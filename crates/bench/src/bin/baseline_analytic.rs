@@ -1,0 +1,96 @@
+//! Extension experiment — white-box analytical baseline vs the learned
+//! predictors.
+//!
+//! §IX-A argues that operator-level analytical models ("relied on
+//! metrics such as FLOPS, which is shown to be unreliable") cannot match
+//! data-driven prediction. This binary quantifies that on our testbed:
+//! the [`predtop_core::AnalyticBaseline`] needs no profiling or training
+//! at all, but its MRE against ground truth is compared with the DAG
+//! Transformer trained at 50%.
+
+use predtop_bench::{platform_scenarios, Protocol, TableWriter};
+use predtop_cluster::Platform;
+use predtop_core::AnalyticBaseline;
+use predtop_gnn::train::{eval_mre, train};
+use predtop_gnn::{mean_relative_error, Dataset, GraphSample, ModelKind};
+use predtop_models::sample_stages;
+use predtop_parallel::StageLatencyProvider;
+use predtop_sim::SimProfiler;
+
+fn main() {
+    let proto = Protocol::from_args();
+    let platform = Platform::platform2();
+    let scenarios = platform_scenarios(&platform);
+    let model = proto.gpt3();
+    let profiler = SimProfiler::new(platform.clone(), proto.seed);
+    let analytic = AnalyticBaseline::new(platform.clone());
+
+    let stages = sample_stages(
+        model,
+        proto.stage_budget(&model),
+        proto.max_stage_layers.min(model.num_layers),
+        proto.seed,
+    );
+    eprintln!("[baseline] profiling {} stages", stages.len());
+    let base: Vec<GraphSample> = stages
+        .iter()
+        .map(|s| GraphSample::new(&profiler.stage_graph(s), 1.0, proto.pe_dim()))
+        .collect();
+
+    let mut table = TableWriter::new(
+        "Extension — white-box analytic baseline vs DAG Transformer (GPT-3, Platform 2)",
+        &["scenario", "analytic MRE (%)", "Tran MRE (%)", "Tran profiling+training", "analytic cost"],
+    );
+
+    for sc in &scenarios {
+        let truth: Vec<f64> = stages
+            .iter()
+            .map(|s| profiler.stage_latency(s, sc.mesh, sc.config))
+            .collect();
+
+        // analytic: zero training, evaluated on every stage
+        let est: Vec<f64> = stages
+            .iter()
+            .map(|s| analytic.stage_latency(s, sc.mesh, sc.config))
+            .collect();
+        let analytic_mre = mean_relative_error(&est, &truth);
+
+        // learned: standard 50% protocol
+        let samples: Vec<GraphSample> = base
+            .iter()
+            .zip(&truth)
+            .map(|(b, &lat)| {
+                let mut s = b.clone();
+                s.latency = lat;
+                s
+            })
+            .collect();
+        let ds = Dataset::new(samples);
+        let split = ds.split(0.5, proto.seed);
+        let mut net = proto.arch(ModelKind::DagTransformer).build(proto.seed);
+        let (scaler, report) = train(net.as_mut(), &ds, &split, &proto.train);
+        let tran_mre = eval_mre(net.as_ref(), &scaler, &ds, &split.test);
+
+        eprintln!(
+            "[baseline] {}: analytic {analytic_mre:.1}% vs Tran {tran_mre:.1}%",
+            sc.id()
+        );
+        table.add_row(vec![
+            sc.id(),
+            format!("{analytic_mre:.2}"),
+            format!("{tran_mre:.2}"),
+            format!("{} stages + {:.0}s", split.train.len(), report.train_seconds),
+            "none".to_string(),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "The analytic model costs nothing but carries a systematic error the\n\
+         learned predictor removes — the gray-box design buys accuracy where\n\
+         it matters (intra-stage) and keeps white-box modeling where it is\n\
+         exact (Eqn. 4 pipeline composition)."
+    );
+    let path = table.save_json("baseline_analytic");
+    println!("saved {}", path.display());
+}

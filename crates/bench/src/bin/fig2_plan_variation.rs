@@ -1,0 +1,58 @@
+//! Fig. 2 — latency spread of random parallelization plans.
+//!
+//! Draws 100 random (stage partition × sub-mesh × configuration) plans
+//! for each benchmark on Platform 2's full cluster and reports the
+//! distribution of their true iteration latencies. The paper's point:
+//! the *same* model on the *same* hardware varies wildly with the plan,
+//! so latency prediction must encode the plan.
+
+use predtop_bench::{Protocol, TableWriter};
+use predtop_cluster::Platform;
+use predtop_parallel::plan::random_plan;
+use predtop_parallel::MeshShape;
+use predtop_sim::SimProfiler;
+
+fn main() {
+    let proto = Protocol::from_args();
+    let platform = Platform::platform2();
+    let cluster = MeshShape::new(2, 2);
+    let microbatches = 8;
+    let num_plans = 100;
+
+    let mut table = TableWriter::new(
+        "Fig. 2 — iteration latency across random parallelization plans (Platform 2, 100 plans)",
+        &["benchmark", "min (s)", "p25 (s)", "median (s)", "p75 (s)", "max (s)", "max/min"],
+    );
+
+    for model in [proto.gpt3(), proto.moe()] {
+        let profiler = SimProfiler::new(platform.clone(), proto.seed);
+        let mut lats: Vec<f64> = (0..num_plans)
+            .map(|i| {
+                let plan = random_plan(model, cluster, microbatches, proto.seed + i as u64);
+                plan.validate(&model).expect("random plans are valid");
+                plan.latency(&profiler)
+            })
+            .collect();
+        lats.sort_by(f64::total_cmp);
+        let q = |p: f64| lats[((lats.len() - 1) as f64 * p) as usize];
+        eprintln!(
+            "[fig2] {}: {} plans evaluated, {} stage profiles",
+            model.kind.name(),
+            num_plans,
+            profiler.profiles_taken()
+        );
+        table.add_row(vec![
+            model.kind.name().to_string(),
+            format!("{:.4}", lats[0]),
+            format!("{:.4}", q(0.25)),
+            format!("{:.4}", q(0.5)),
+            format!("{:.4}", q(0.75)),
+            format!("{:.4}", lats[lats.len() - 1]),
+            format!("{:.2}x", lats[lats.len() - 1] / lats[0]),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_json("fig2_plan_variation");
+    println!("saved {}", path.display());
+}

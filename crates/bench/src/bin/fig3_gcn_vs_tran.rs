@@ -1,0 +1,79 @@
+//! Fig. 3 — the motivating comparison: GCN vs DAG Transformer stage-
+//! latency prediction error across runtime configurations, at equal
+//! training data.
+//!
+//! One benchmark (GPT-3), Platform 2, all six scenarios, one mid-grid
+//! training fraction (50%) — the paper's intro-figure protocol in
+//! miniature. For the full sweep see `table6_mre_platform2`.
+
+use predtop_bench::grid::ARCHES;
+use predtop_bench::{platform_scenarios, Protocol, TableWriter};
+use predtop_cluster::Platform;
+use predtop_gnn::train::{eval_mre, train};
+use predtop_gnn::{Dataset, GraphSample, ModelKind};
+use predtop_models::sample_stages;
+use predtop_parallel::StageLatencyProvider;
+use predtop_sim::SimProfiler;
+
+fn main() {
+    let proto = Protocol::from_args();
+    let platform = Platform::platform2();
+    let scenarios = platform_scenarios(&platform);
+    let model = proto.gpt3();
+    let profiler = SimProfiler::new(platform.clone(), proto.seed);
+
+    let stages = sample_stages(
+        model,
+        proto.stage_budget(&model),
+        proto.max_stage_layers.min(model.num_layers),
+        proto.seed,
+    );
+    eprintln!("[fig3] profiling {} stages", stages.len());
+    let base: Vec<GraphSample> = stages
+        .iter()
+        .map(|s| GraphSample::new(&profiler.stage_graph(s), 1.0, proto.pe_dim()))
+        .collect();
+
+    let mut table = TableWriter::new(
+        "Fig. 3 — prediction MRE (%): GCN vs DAG Transformer (GPT-3, Platform 2, 50% train)",
+        &["scenario", "GCN", "Tran", "Tran better?"],
+    );
+
+    for sc in &scenarios {
+        let samples: Vec<GraphSample> = stages
+            .iter()
+            .zip(&base)
+            .map(|(spec, b)| {
+                let mut s = b.clone();
+                s.latency = profiler.stage_latency(spec, sc.mesh, sc.config);
+                s
+            })
+            .collect();
+        let ds = Dataset::new(samples);
+        let split = ds.split(0.5, proto.seed);
+
+        let mut mres = std::collections::HashMap::new();
+        for kind in ARCHES {
+            if kind == ModelKind::Gat {
+                continue; // Fig. 3 compares GCN vs Transformer only
+            }
+            let mut net = proto.arch(kind).build(proto.seed);
+            let (scaler, _) = train(net.as_mut(), &ds, &split, &proto.train);
+            let mre = eval_mre(net.as_ref(), &scaler, &ds, &split.test);
+            eprintln!("[fig3] {} {}: MRE {:.2}%", sc.id(), kind.label(), mre);
+            mres.insert(kind.label(), mre);
+        }
+        let gcn = mres["GCN"];
+        let tran = mres["Tran"];
+        table.add_row(vec![
+            sc.id(),
+            format!("{gcn:.2}"),
+            format!("{tran:.2}"),
+            if tran < gcn { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    table.print();
+    let path = table.save_json("fig3_gcn_vs_tran");
+    println!("saved {}", path.display());
+}

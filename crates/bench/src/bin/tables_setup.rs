@@ -1,0 +1,119 @@
+//! Tables I–IV — the paper's setup tables, printed from their encodings
+//! in the library (these are definitions, not measurements; the point of
+//! the binary is that the reproduction carries them as code with tests,
+//! and this makes them inspectable).
+
+use predtop_bench::TableWriter;
+use predtop_cluster::Platform;
+use predtop_ir::dtype::NUM_DTYPES;
+use predtop_ir::features::FEATURE_DIM;
+use predtop_ir::graph::NUM_NODE_KINDS;
+use predtop_ir::op::NUM_OP_KINDS;
+use predtop_ir::shape::MAX_RANK;
+use predtop_models::ModelSpec;
+use predtop_parallel::{table3_configs, MeshShape};
+
+fn main() {
+    // Table I — node parameters of the stage DAG
+    let mut t1 = TableWriter::new(
+        "Table I — node features of the stage DAG (total width)",
+        &["parameter", "encoding", "width"],
+    );
+    t1.add_row(vec![
+        "Operator Type".into(),
+        "one-hot over the operator catalog".into(),
+        NUM_OP_KINDS.to_string(),
+    ]);
+    t1.add_row(vec![
+        "Output Tensor Dimensions".into(),
+        "ln(1 + dim) per axis, zero-padded".into(),
+        MAX_RANK.to_string(),
+    ]);
+    t1.add_row(vec![
+        "Output Data Type".into(),
+        "one-hot over dtypes".into(),
+        NUM_DTYPES.to_string(),
+    ]);
+    t1.add_row(vec![
+        "Node Type".into(),
+        "one-hot: input / literal / operator / output".into(),
+        NUM_NODE_KINDS.to_string(),
+    ]);
+    t1.add_row(vec!["(total)".into(), "".into(), FEATURE_DIM.to_string()]);
+    t1.print();
+
+    // Table II — mesh configurations
+    let mut t2 = TableWriter::new(
+        "Table II — mesh configurations",
+        &["mesh index", "nodes", "GPUs per node"],
+    );
+    for mesh in Platform::platform2().table2_meshes() {
+        t2.add_row(vec![
+            mesh.table2_index().unwrap().to_string(),
+            mesh.num_nodes.to_string(),
+            mesh.gpus_per_node.to_string(),
+        ]);
+    }
+    t2.print();
+
+    // Table III — benchmark (parallelism) configurations
+    let mut t3 = TableWriter::new(
+        "Table III — parallelism configurations per mesh",
+        &["mesh index", "conf index", "remark"],
+    );
+    for mesh in Platform::platform2().table2_meshes() {
+        let shape = MeshShape::new(mesh.num_nodes, mesh.gpus_per_node);
+        for (ci, config) in table3_configs(shape).iter().enumerate() {
+            t3.add_row(vec![
+                mesh.table2_index().unwrap().to_string(),
+                (ci + 1).to_string(),
+                config.remark(),
+            ]);
+        }
+    }
+    t3.print();
+
+    // Table IV — benchmarks
+    let mut t4 = TableWriter::new(
+        "Table IV — benchmark models",
+        &["parameter", "GPT-3", "MoE"],
+    );
+    let gpt = ModelSpec::gpt3_1p3b(8);
+    let moe = ModelSpec::moe_2p6b(8);
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "# parameters (computed)",
+            format!("{:.2}B", gpt.approx_params() as f64 / 1e9),
+            format!("{:.2}B", moe.approx_params() as f64 / 1e9),
+        ),
+        ("sequence length", gpt.seq_len.to_string(), moe.seq_len.to_string()),
+        ("hidden size", gpt.hidden.to_string(), moe.hidden.to_string()),
+        ("# layers", gpt.num_layers.to_string(), moe.num_layers.to_string()),
+        ("# heads", gpt.num_heads.to_string(), moe.num_heads.to_string()),
+        ("vocab size", gpt.vocab.to_string(), moe.vocab.to_string()),
+        (
+            "# experts",
+            "-".into(),
+            moe.moe.map(|m| m.num_experts.to_string()).unwrap_or_default(),
+        ),
+        (
+            "expert hidden",
+            "-".into(),
+            moe.moe.map(|m| m.expert_hidden.to_string()).unwrap_or_default(),
+        ),
+    ];
+    for (name, g, m) in rows {
+        t4.add_row(vec![name.to_string(), g, m]);
+    }
+    t4.print();
+
+    for (t, name) in [
+        (&t1, "table1_features"),
+        (&t2, "table2_meshes"),
+        (&t3, "table3_configs"),
+        (&t4, "table4_benchmarks"),
+    ] {
+        t.save_json(name);
+    }
+    println!("saved results/table{{1,2,3,4}}_*.json");
+}

@@ -1,0 +1,132 @@
+//! Deterministic parallel map over experiment cells.
+//!
+//! The MRE grids train hundreds of independent (scenario, fraction,
+//! architecture) cells; on multi-core hosts they parallelize trivially.
+//! This is a small work-stealing `par_map` built on `crossbeam`'s scoped
+//! threads and a shared atomic cursor: each worker claims the next
+//! unprocessed index, so results land at their input positions and the
+//! output order (and with per-cell seeding, every number) is identical
+//! at any thread count.
+//!
+//! Thread count comes from `PREDTOP_THREADS` (default: available
+//! parallelism), clamped to the item count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Resolve the worker count: `PREDTOP_THREADS` if set, else the
+/// machine's available parallelism, floored at 1.
+pub fn configured_threads() -> usize {
+    if let Some(v) = std::env::var_os("PREDTOP_THREADS") {
+        if let Ok(n) = v.to_string_lossy().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers, preserving input
+/// order in the output. Panics in `f` propagate after all workers stop
+/// claiming new work.
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // wrap each item so workers can take them by index
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().take().expect("each index claimed once");
+                let r = f(item);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index produced a result"))
+        .collect()
+}
+
+/// [`par_map_with`] at the configured thread count.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with(items, configured_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let out = par_map_with(items.clone(), threads, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_with(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_match_sequential_for_nontrivial_work() {
+        let items: Vec<u64> = (1..=20).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| (1..=x).product()).collect();
+        let par = par_map_with(items, 4, |x| (1..=x).product::<u64>());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn configured_threads_env_override() {
+        std::env::set_var("PREDTOP_THREADS", "3");
+        assert_eq!(configured_threads(), 3);
+        std::env::set_var("PREDTOP_THREADS", "0");
+        assert_eq!(configured_threads(), 1, "floored at one");
+        std::env::remove_var("PREDTOP_THREADS");
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map_with(vec![1, 2, 3, 4], 2, |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,29 @@
+//! # predtop-cluster
+//!
+//! Hardware model of the paper's two experimental platforms (§VII-A):
+//! GPU specifications, interconnect links, device meshes (Table II), and
+//! analytical cost models for the communication collectives that tensor-,
+//! data-, and pipeline-parallel execution rely on.
+//!
+//! The numbers are the published specs:
+//!
+//! * **Platform 1** — one Dell R750XA node, 2 × NVIDIA A40 (10,752 CUDA
+//!   cores, 48 GB GDDR6 @ 696 GB/s) joined by an NVLink bridge with
+//!   112.5 GB/s bidirectional bandwidth.
+//! * **Platform 2** — two Dell 5820 nodes, each 2 × NVIDIA RTX A5500
+//!   (10,240 CUDA cores, 24 GB GDDR6), NVLink inside a node and 10 GbE
+//!   between nodes.
+//!
+//! Everything is a pure analytical model: no wall clocks, no randomness.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod gpu;
+pub mod interconnect;
+pub mod mesh;
+
+pub use collective::CollectiveCost;
+pub use gpu::GpuSpec;
+pub use interconnect::Link;
+pub use mesh::{Mesh, Platform};

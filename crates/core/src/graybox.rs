@@ -1,0 +1,298 @@
+//! The gray-box framework: profile a sample → train per-scenario
+//! predictors → predict everything (§VI, Fig. 7).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use predtop_gnn::train::{train, TrainConfig, TrainReport};
+use predtop_gnn::{Dataset, GraphSample, Split, TrainedPredictor};
+use predtop_models::{sample_stages, ModelSpec, StageSpec};
+use predtop_parallel::interstage::candidate_submeshes;
+use predtop_parallel::{table3_configs, MeshShape, ParallelConfig, StageLatencyProvider};
+use predtop_sim::SimProfiler;
+
+use crate::predictor::ArchConfig;
+
+/// Configuration of the gray-box workflow.
+#[derive(Debug, Clone, Copy)]
+pub struct GrayBoxConfig {
+    /// How many stage candidates to profile (the paper samples a subset
+    /// of all candidates; Alpa would profile every one).
+    pub num_profile_stages: usize,
+    /// Length cap (in layers) for the sampled training stages — §IV-B1's
+    /// "stages of different sizes", biased away from the quadratic-cost
+    /// giants.
+    pub max_stage_layers: usize,
+    /// Predictor architecture.
+    pub arch: ArchConfig,
+    /// Training protocol.
+    pub train: TrainConfig,
+    /// Seed for stage sampling and weight init.
+    pub seed: u64,
+}
+
+impl GrayBoxConfig {
+    /// Default single-core protocol with the given architecture.
+    pub fn scaled(arch: ArchConfig) -> GrayBoxConfig {
+        GrayBoxConfig {
+            num_profile_stages: 60,
+            max_stage_layers: 6,
+            arch,
+            train: TrainConfig::quick(40),
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted PredTOP instance: one trained predictor per (sub-mesh,
+/// configuration) scenario, usable as a drop-in
+/// [`StageLatencyProvider`] for the inter-stage optimizer.
+pub struct PredTop {
+    predictors: HashMap<(MeshShape, ParallelConfig), TrainedPredictor>,
+    prediction_cache: Mutex<HashMap<(StageSpec, MeshShape, ParallelConfig), f64>>,
+    pe_dim: usize,
+    /// Wall-clock seconds spent training all scenario predictors.
+    pub training_seconds: f64,
+    /// Wall-clock seconds spent on inference so far.
+    inference_seconds: Mutex<f64>,
+    /// Number of stages profiled during the fitting phase.
+    pub profiled_stage_count: usize,
+    /// Per-scenario training reports.
+    pub reports: Vec<(MeshShape, ParallelConfig, TrainReport)>,
+}
+
+impl PredTop {
+    /// Run the profiling and training phases for `model` on `cluster`:
+    /// sample stages, profile them on every (sub-mesh, configuration)
+    /// scenario via `profiler` (the cost lands on the profiler's
+    /// ledger), and fit one predictor per scenario.
+    pub fn fit(
+        model: ModelSpec,
+        cluster: MeshShape,
+        profiler: &SimProfiler,
+        cfg: &GrayBoxConfig,
+    ) -> PredTop {
+        let stages = sample_stages(
+            model,
+            cfg.num_profile_stages,
+            cfg.max_stage_layers,
+            cfg.seed,
+        );
+        assert!(
+            stages.len() >= 10,
+            "need at least 10 profiled stages to fit a predictor"
+        );
+        let pe_dim = cfg.arch.pe_dim();
+
+        // Build the (latency-independent) sample matrices once per stage.
+        let base_samples: Vec<(StageSpec, GraphSample)> = stages
+            .iter()
+            .map(|s| {
+                let g = profiler.stage_graph(s);
+                (*s, GraphSample::new(&g, 1.0, pe_dim))
+            })
+            .collect();
+
+        let mut predictors = HashMap::new();
+        let mut reports = Vec::new();
+        let mut training_seconds = 0.0;
+        let mut scenario_idx = 0u64;
+        for mesh in candidate_submeshes(cluster) {
+            for config in table3_configs(mesh) {
+                // profiling phase for this scenario
+                let samples: Vec<GraphSample> = base_samples
+                    .iter()
+                    .map(|(spec, base)| {
+                        let mut s = base.clone();
+                        s.latency = profiler.stage_latency(spec, mesh, config);
+                        s
+                    })
+                    .collect();
+                let ds = Dataset::new(samples);
+                let split = fit_split(ds.len());
+
+                // training phase
+                let started = Instant::now();
+                let mut net = cfg.arch.build(cfg.seed.wrapping_add(scenario_idx));
+                let (scaler, report) = train(net.as_mut(), &ds, &split, &cfg.train);
+                let secs = started.elapsed().as_secs_f64();
+                training_seconds += secs;
+                profiler.ledger().add_training(secs);
+
+                reports.push((mesh, config, report));
+                predictors.insert(
+                    (mesh, config),
+                    TrainedPredictor { model: net, scaler },
+                );
+                scenario_idx += 1;
+            }
+        }
+
+        PredTop {
+            predictors,
+            prediction_cache: Mutex::new(HashMap::new()),
+            pe_dim,
+            training_seconds,
+            inference_seconds: Mutex::new(0.0),
+            profiled_stage_count: stages.len(),
+            reports,
+        }
+    }
+
+    /// Scenarios this instance can predict for.
+    pub fn scenarios(&self) -> impl Iterator<Item = &(MeshShape, ParallelConfig)> {
+        self.predictors.keys()
+    }
+
+    /// Wall-clock seconds spent on inference so far.
+    pub fn inference_seconds(&self) -> f64 {
+        *self.inference_seconds.lock()
+    }
+
+    /// Predict latencies of `stage` for every scenario at once (one
+    /// sample construction amortized over all predictors) and memoize.
+    fn predict_all_scenarios(&self, stage: &StageSpec) {
+        let started = Instant::now();
+        let sample = GraphSample::new(&stage.build_graph(), 1.0, self.pe_dim);
+        let mut cache = self.prediction_cache.lock();
+        for (&(mesh, config), predictor) in &self.predictors {
+            let pred = predictor.predict(&sample).max(1e-9);
+            cache.insert((*stage, mesh, config), pred);
+        }
+        drop(cache);
+        *self.inference_seconds.lock() += started.elapsed().as_secs_f64();
+    }
+}
+
+/// 90/10 train/validation split over `n` fitted samples (no test part:
+/// held-out evaluation happens at the table experiments, not inside the
+/// workflow).
+fn fit_split(n: usize) -> Split {
+    let n_val = (n / 10).max(1);
+    Split {
+        train: (0..n - n_val).collect(),
+        val: (n - n_val..n).collect(),
+        test: Vec::new(),
+    }
+}
+
+impl StageLatencyProvider for PredTop {
+    fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
+        let key = (*stage, mesh, config);
+        if let Some(&t) = self.prediction_cache.lock().get(&key) {
+            return t;
+        }
+        assert!(
+            self.predictors.contains_key(&(mesh, config)),
+            "no predictor trained for scenario ({mesh:?}, {config:?})"
+        );
+        self.predict_all_scenarios(stage);
+        *self
+            .prediction_cache
+            .lock()
+            .get(&key)
+            .expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predtop_cluster::Platform;
+    use predtop_gnn::{mean_relative_error, ModelKind};
+
+    fn tiny_model() -> ModelSpec {
+        let mut s = ModelSpec::gpt3_1p3b(2);
+        s.seq_len = 32;
+        s.hidden = 32;
+        s.num_heads = 4;
+        s.vocab = 64;
+        s.num_layers = 6;
+        s
+    }
+
+    fn tiny_cfg() -> GrayBoxConfig {
+        let mut arch = ArchConfig::scaled(ModelKind::DagTransformer);
+        arch.layers = 1;
+        arch.hidden = 16;
+        arch.heads = 2;
+        GrayBoxConfig {
+            num_profile_stages: 12,
+            max_stage_layers: 4,
+            arch,
+            train: TrainConfig::quick(8),
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn fit_and_predict_end_to_end() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let cluster = MeshShape::new(1, 2);
+        let pt = PredTop::fit(tiny_model(), cluster, &profiler, &tiny_cfg());
+        // scenarios: (1,1) serial + (1,2) {dp, mp} = 3
+        assert_eq!(pt.scenarios().count(), 3);
+        assert_eq!(pt.profiled_stage_count, 12);
+        assert!(pt.training_seconds > 0.0);
+
+        // prediction works for an unseen stage and is positive
+        let stage = StageSpec::new(tiny_model(), 0, 5);
+        let t = pt.stage_latency(&stage, MeshShape::new(1, 2), ParallelConfig::new(2, 1));
+        assert!(t > 0.0);
+
+        // cached: second call must not spend more inference time
+        let before = pt.inference_seconds();
+        let t2 = pt.stage_latency(&stage, MeshShape::new(1, 2), ParallelConfig::new(2, 1));
+        assert_eq!(t, t2);
+        assert_eq!(pt.inference_seconds(), before);
+    }
+
+    #[test]
+    fn predictions_track_ground_truth_direction() {
+        // even a briefly-trained predictor must capture the dominant
+        // signal: more layers = more latency
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let cluster = MeshShape::new(1, 1);
+        let mut cfg = tiny_cfg();
+        cfg.train = TrainConfig::quick(25);
+        let pt = PredTop::fit(tiny_model(), cluster, &profiler, &cfg);
+        let mesh = MeshShape::new(1, 1);
+        let c = ParallelConfig::SERIAL;
+        let short = pt.stage_latency(&StageSpec::new(tiny_model(), 1, 2), mesh, c);
+        let long = pt.stage_latency(&StageSpec::new(tiny_model(), 1, 6), mesh, c);
+        assert!(
+            long > short,
+            "predictor missed size trend: short {short}, long {long}"
+        );
+    }
+
+    #[test]
+    fn predictor_mre_on_profiled_stages_is_sane() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let cluster = MeshShape::new(1, 1);
+        let mut cfg = tiny_cfg();
+        cfg.train = TrainConfig::quick(30);
+        let pt = PredTop::fit(tiny_model(), cluster, &profiler, &cfg);
+        let mesh = MeshShape::new(1, 1);
+        let c = ParallelConfig::SERIAL;
+        let stages = sample_stages(tiny_model(), 12, 4, 0);
+        let (mut preds, mut truth) = (Vec::new(), Vec::new());
+        for s in &stages {
+            preds.push(pt.stage_latency(s, mesh, c));
+            truth.push(profiler.stage_latency(s, mesh, c));
+        }
+        let mre = mean_relative_error(&preds, &truth);
+        assert!(mre < 60.0, "in-sample MRE {mre:.1}% is way off");
+    }
+
+    #[test]
+    #[should_panic(expected = "no predictor trained")]
+    fn unknown_scenario_panics() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let pt = PredTop::fit(tiny_model(), MeshShape::new(1, 1), &profiler, &tiny_cfg());
+        let stage = StageSpec::new(tiny_model(), 0, 1);
+        let _ = pt.stage_latency(&stage, MeshShape::new(2, 2), ParallelConfig::new(4, 1));
+    }
+}

@@ -1,0 +1,41 @@
+//! # predtop-core
+//!
+//! The paper's primary contribution: the gray-box latency-prediction
+//! framework (§III, §VI) that combines
+//!
+//! * **white-box** modeling of inter-stage (pipeline) parallelism —
+//!   eqn. 4, re-exported here as [`pipeline_latency`] — with
+//! * **black-box** DAG-Transformer prediction of intra-stage (model /
+//!   tensor parallel) optimal latencies,
+//!
+//! and its flagship use case: cutting the optimization cost of
+//! Alpa-style parallelization-plan search (§VIII-B).
+//!
+//! The three phases of §VI map onto [`graybox::PredTop`]:
+//!
+//! 1. **Profiling phase** — sample a size-diverse subset of stage
+//!    candidates and profile them (here: on the simulator) for every
+//!    (sub-mesh, configuration) scenario;
+//! 2. **Training phase** — fit one predictor per scenario on the
+//!    profiled `(graph, latency)` pairs;
+//! 3. **Prediction phase** — serve `stage_latency` queries for *all*
+//!    candidates from the trained predictors, so the inter-stage DP
+//!    never profiles again.
+//!
+//! [`search`] wraps the end-to-end comparison: full profiling vs partial
+//! profiling vs PredTOP with each predictor architecture.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod graybox;
+pub mod persist;
+pub mod predictor;
+pub mod search;
+
+pub use analytic::AnalyticBaseline;
+pub use graybox::{GrayBoxConfig, PredTop};
+pub use persist::{load_from_file, save_to_file, SavedPredictor};
+pub use predictor::ArchConfig;
+pub use predtop_parallel::plan::pipeline_latency;
+pub use search::{search_plan, SearchOutcome};

@@ -1,0 +1,226 @@
+//! Saving and loading trained predictors.
+//!
+//! A deployed PredTOP instance is a set of per-scenario predictors that
+//! took real profiling effort to fit; throwing them away after one plan
+//! search wastes exactly the cost the system exists to save. This module
+//! serializes a trained predictor as self-describing JSON — architecture
+//! hyper-parameters, all weight matrices, and the target scaler — and
+//! restores it to a bit-identical [`TrainedPredictor`].
+
+use std::path::Path;
+
+use predtop_gnn::{GraphSample, TargetScaler, TrainedPredictor};
+use predtop_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::predictor::ArchConfig;
+
+/// Serializable snapshot of one trained predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedPredictor {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Architecture hyper-parameters (enough to rebuild the network).
+    pub arch: ArchConfig,
+    /// All weight matrices in [`predtop_tensor::ParamStore`] slot order.
+    pub params: Vec<Matrix>,
+    /// Target scaler: mean of `ln(latency)` over the fit set.
+    pub scaler_mean: f64,
+    /// Target scaler: std-dev of `ln(latency)`.
+    pub scaler_std: f64,
+}
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from predictor persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON or wrong schema.
+    Format(serde_json::Error),
+    /// The snapshot's parameter count does not match the architecture.
+    ShapeMismatch {
+        /// Parameters expected by the rebuilt architecture.
+        expected: usize,
+        /// Parameters found in the snapshot.
+        found: usize,
+    },
+    /// Unknown snapshot version.
+    Version(u32),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Format(e) => write!(f, "format error: {e}"),
+            PersistError::ShapeMismatch { expected, found } => {
+                write!(f, "snapshot has {found} params, architecture expects {expected}")
+            }
+            PersistError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Snapshot a trained predictor (the `arch` must be the configuration it
+/// was built with).
+pub fn snapshot(arch: ArchConfig, predictor: &TrainedPredictor) -> SavedPredictor {
+    SavedPredictor {
+        version: FORMAT_VERSION,
+        arch,
+        params: predictor.model.store().snapshot(),
+        scaler_mean: predictor.scaler.mean,
+        scaler_std: predictor.scaler.std,
+    }
+}
+
+/// Rebuild a predictor from a snapshot.
+pub fn restore(saved: &SavedPredictor) -> Result<TrainedPredictor, PersistError> {
+    if saved.version != FORMAT_VERSION {
+        return Err(PersistError::Version(saved.version));
+    }
+    let mut model = saved.arch.build(0);
+    if model.store().len() != saved.params.len() {
+        return Err(PersistError::ShapeMismatch {
+            expected: model.store().len(),
+            found: saved.params.len(),
+        });
+    }
+    model.store_mut().restore(&saved.params);
+    Ok(TrainedPredictor {
+        model,
+        scaler: TargetScaler {
+            mean: saved.scaler_mean,
+            std: saved.scaler_std,
+        },
+    })
+}
+
+/// Save a predictor to a JSON file.
+pub fn save_to_file(
+    path: impl AsRef<Path>,
+    arch: ArchConfig,
+    predictor: &TrainedPredictor,
+) -> Result<(), PersistError> {
+    let json = serde_json::to_string(&snapshot(arch, predictor))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a predictor from a JSON file.
+pub fn load_from_file(path: impl AsRef<Path>) -> Result<TrainedPredictor, PersistError> {
+    let body = std::fs::read_to_string(path)?;
+    let saved: SavedPredictor = serde_json::from_str(&body)?;
+    restore(&saved)
+}
+
+/// Convenience: predict a latency with a just-loaded predictor (smoke
+/// check that the weights survived).
+pub fn predict(predictor: &TrainedPredictor, sample: &GraphSample) -> f64 {
+    predictor.predict(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predtop_gnn::train::{train, TrainConfig};
+    use predtop_gnn::{Dataset, ModelKind};
+    use predtop_ir::{DType, GraphBuilder, OpKind};
+
+    fn toy_dataset(pe: usize) -> Dataset {
+        let samples = (1..=16)
+            .map(|len| {
+                let mut b = GraphBuilder::new();
+                let mut x = b.input([4, 4], DType::F32);
+                for _ in 0..len {
+                    x = b.unary(OpKind::Exp, x);
+                }
+                let g = b.finish(&[x]).unwrap();
+                GraphSample::new(&g, 1e-3 * len as f64, pe)
+            })
+            .collect();
+        Dataset::new(samples)
+    }
+
+    fn trained() -> (ArchConfig, TrainedPredictor, Dataset) {
+        let mut arch = ArchConfig::scaled(ModelKind::DagTransformer);
+        arch.layers = 1;
+        arch.hidden = 16;
+        arch.heads = 2;
+        let ds = toy_dataset(arch.pe_dim());
+        let split = ds.split(0.6, 1);
+        let mut model = arch.build(1);
+        let (scaler, _) = train(model.as_mut(), &ds, &split, &TrainConfig::quick(10));
+        (arch, TrainedPredictor { model, scaler }, ds)
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let (arch, predictor, ds) = trained();
+        let saved = snapshot(arch, &predictor);
+        let json = serde_json::to_string(&saved).unwrap();
+        let back: SavedPredictor = serde_json::from_str(&json).unwrap();
+        let restored = restore(&back).unwrap();
+        for s in &ds.samples {
+            assert_eq!(predictor.predict(s), restored.predict(s));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (arch, predictor, ds) = trained();
+        let path = std::env::temp_dir().join("predtop_persist_test.json");
+        save_to_file(&path, arch, &predictor).unwrap();
+        let restored = load_from_file(&path).unwrap();
+        assert_eq!(predictor.predict(&ds.samples[0]), restored.predict(&ds.samples[0]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (arch, predictor, _) = trained();
+        let mut saved = snapshot(arch, &predictor);
+        saved.version = 99;
+        match restore(&saved) {
+            Err(PersistError::Version(99)) => {}
+            Err(other) => panic!("expected version error, got {other:?}"),
+            Ok(_) => panic!("expected version error, got Ok"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (arch, predictor, _) = trained();
+        let mut saved = snapshot(arch, &predictor);
+        saved.params.pop();
+        match restore(&saved) {
+            Err(PersistError::ShapeMismatch { .. }) => {}
+            Err(other) => panic!("expected shape mismatch, got {other:?}"),
+            Ok(_) => panic!("expected shape mismatch, got Ok"),
+        }
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        let path = std::env::temp_dir().join("predtop_persist_corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(load_from_file(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,195 @@
+//! Seed-ensembled predictors (extension).
+//!
+//! The Tables V/VI runs show the known failure mode of small profiled
+//! pools: at 10 % training fractions a single network occasionally
+//! converges to a bad basin and its MRE explodes. The standard remedy is
+//! a deep ensemble — train `k` replicas differing only in their init and
+//! shuffle seeds, predict with the median. The median (rather than the
+//! mean) keeps one diverged replica from dragging the ensemble with it.
+
+use predtop_tensor::Tape;
+
+use crate::dataset::{Dataset, GraphSample, Split, TargetScaler};
+use crate::model::GnnModel;
+use crate::train::{train, TrainConfig, TrainReport};
+
+/// A median-vote ensemble of independently-seeded predictors.
+pub struct Ensemble {
+    members: Vec<(Box<dyn GnnModel>, TargetScaler)>,
+}
+
+impl Ensemble {
+    /// Train `k` replicas with `build(seed)` supplying a fresh model per
+    /// member; member `i` trains with data-order seed `base_seed + i`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn fit<F>(
+        k: usize,
+        build: F,
+        ds: &Dataset,
+        split: &Split,
+        cfg: &TrainConfig,
+        base_seed: u64,
+    ) -> (Ensemble, Vec<TrainReport>)
+    where
+        F: Fn(u64) -> Box<dyn GnnModel>,
+    {
+        assert!(k >= 1, "ensemble needs at least one member");
+        let mut members = Vec::with_capacity(k);
+        let mut reports = Vec::with_capacity(k);
+        for i in 0..k {
+            let seed = base_seed.wrapping_add(i as u64);
+            let mut net = build(seed);
+            let mut member_cfg = *cfg;
+            member_cfg.seed = seed;
+            let (scaler, report) = train(net.as_mut(), ds, split, &member_cfg);
+            members.push((net, scaler));
+            reports.push(report);
+        }
+        (Ensemble { members }, reports)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ensemble has no members (unreachable via [`Ensemble::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Median-of-members latency prediction in seconds.
+    pub fn predict(&self, sample: &GraphSample) -> f64 {
+        let mut preds: Vec<f64> = self
+            .members
+            .iter()
+            .map(|(net, scaler)| {
+                let mut tape = Tape::new();
+                let out = net.forward(&mut tape, sample);
+                scaler.inverse(tape.value(out).get(0, 0))
+            })
+            .collect();
+        preds.sort_by(f64::total_cmp);
+        let n = preds.len();
+        if n % 2 == 1 {
+            preds[n / 2]
+        } else {
+            0.5 * (preds[n / 2 - 1] + preds[n / 2])
+        }
+    }
+
+    /// MRE of the ensemble over `idx` of `ds` (eqn. 5).
+    pub fn eval_mre(&self, ds: &Dataset, idx: &[usize]) -> f64 {
+        let preds: Vec<f64> = idx.iter().map(|&i| self.predict(&ds.samples[i])).collect();
+        let actual: Vec<f64> = idx.iter().map(|&i| ds.samples[i].latency).collect();
+        crate::metrics::mean_relative_error(&preds, &actual)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_transformer::{DagTransformer, TransformerConfig};
+    use crate::train::eval_mre;
+    use predtop_ir::{DType, Graph, GraphBuilder, OpKind};
+
+    fn chain(len: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let mut x = b.input([4, 4], DType::F32);
+        for i in 0..len {
+            x = b.unary(if i % 2 == 0 { OpKind::Exp } else { OpKind::Tanh }, x);
+        }
+        b.finish(&[x]).unwrap()
+    }
+
+    fn toy() -> (Dataset, Split) {
+        let samples = (1..=20)
+            .map(|l| GraphSample::new(&chain(l), 1e-3 * l as f64, 16))
+            .collect();
+        let ds = Dataset::new(samples);
+        let split = Split {
+            train: (0..12).collect(),
+            val: (12..16).collect(),
+            test: (16..20).collect(),
+        };
+        (ds, split)
+    }
+
+    fn build(seed: u64) -> Box<dyn GnnModel> {
+        Box::new(DagTransformer::new(
+            TransformerConfig {
+                num_layers: 1,
+                dim: 16,
+                heads: 2,
+                use_dagra: true,
+                use_dagpe: true,
+            },
+            seed,
+        ))
+    }
+
+    #[test]
+    fn ensemble_trains_and_predicts() {
+        let (ds, split) = toy();
+        let (ens, reports) = Ensemble::fit(3, build, &ds, &split, &TrainConfig::quick(15), 7);
+        assert_eq!(ens.len(), 3);
+        assert_eq!(reports.len(), 3);
+        let mre = ens.eval_mre(&ds, &split.test);
+        assert!(mre.is_finite() && mre >= 0.0);
+        for s in &ds.samples {
+            assert!(ens.predict(s) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ensemble_is_no_worse_than_its_worst_member() {
+        let (ds, split) = toy();
+        let cfg = TrainConfig::quick(20);
+        let (ens, _) = Ensemble::fit(3, build, &ds, &split, &cfg, 11);
+        let ens_mre = ens.eval_mre(&ds, &split.test);
+        // worst individual member
+        let mut worst = 0.0f64;
+        for i in 0..3 {
+            let seed = 11u64 + i;
+            let mut net = build(seed);
+            let mut c = cfg;
+            c.seed = seed;
+            let (scaler, _) = train(net.as_mut(), &ds, &split, &c);
+            worst = worst.max(eval_mre(net.as_ref(), &scaler, &ds, &split.test));
+        }
+        assert!(
+            ens_mre <= worst + 1e-9,
+            "ensemble {ens_mre:.2}% vs worst member {worst:.2}%"
+        );
+    }
+
+    #[test]
+    fn median_ignores_one_diverged_member() {
+        // construct an ensemble by hand where one member is garbage
+        let (ds, split) = toy();
+        let cfg = TrainConfig::quick(15);
+        let (mut ens, _) = Ensemble::fit(2, build, &ds, &split, &cfg, 3);
+        // third member: untrained network with an absurd scaler
+        ens.members.push((
+            build(99),
+            TargetScaler {
+                mean: 10.0, // e^10 seconds
+                std: 1e-6,
+            },
+        ));
+        let sane = ens.predict(&ds.samples[0]);
+        assert!(
+            sane < 1.0,
+            "median must suppress the diverged member: {sane}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let (ds, split) = toy();
+        let _ = Ensemble::fit(0, build, &ds, &split, &TrainConfig::quick(5), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Evaluation metrics.
+
+/// Mean relative error (eqn. 5), in percent:
+/// `MRE = 100/N · Σ |ŷᵢ − yᵢ| / yᵢ`.
+///
+/// ```
+/// use predtop_gnn::mean_relative_error;
+/// let mre = mean_relative_error(&[1.1, 1.8], &[1.0, 2.0]);
+/// assert!((mre - 10.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics on empty or mismatched slices, or non-positive true values.
+pub fn mean_relative_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!actual.is_empty(), "empty evaluation set");
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| {
+            assert!(a > 0.0, "true latency must be positive");
+            (p - a).abs() / a
+        })
+        .sum();
+    100.0 * sum / actual.len() as f64
+}
+
+/// Mean and (population) standard deviation of a slice — used for the
+/// Fig. 8/9 aggregation of per-scenario MREs.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty());
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        assert_eq!(mean_relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn eqn5_example() {
+        // |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 → 10%
+        let mre = mean_relative_error(&[1.1, 1.8], &[1.0, 2.0]);
+        assert!((mre - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_relative_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mre_nonnegative_and_scale_invariant(
+            pairs in proptest::collection::vec((0.1f64..10.0, 0.1f64..10.0), 1..20),
+            k in 0.5f64..5.0,
+        ) {
+            let (p, a): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let base = mean_relative_error(&p, &a);
+            prop_assert!(base >= 0.0);
+            // relative error is invariant under joint rescaling
+            let ps: Vec<f64> = p.iter().map(|x| x * k).collect();
+            let as_: Vec<f64> = a.iter().map(|x| x * k).collect();
+            let scaled = mean_relative_error(&ps, &as_);
+            prop_assert!((base - scaled).abs() < 1e-6 * base.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The training loop (§IV-B6–B8): Adam with cosine learning-rate decay,
+//! MAE loss, mini-batches of 32 graphs, and early stopping that restores
+//! the best-validation-loss weights.
+
+use std::time::Instant;
+
+use predtop_tensor::{cosine_decay, Adam, Loss, Matrix, Tape};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::dataset::{Dataset, Split, TargetScaler};
+use crate::metrics::mean_relative_error;
+use crate::model::GnnModel;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Total epochs (paper: 500).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 32).
+    pub batch_size: usize,
+    /// Initial learning rate for the cosine schedule (paper: 1e-3).
+    pub base_lr: f32,
+    /// Loss function (paper: MAE; MSE for the ablation).
+    pub loss: Loss,
+    /// Early-stopping patience in epochs (paper: 200).
+    pub patience: usize,
+    /// Global gradient-norm clip (stabilizes MAE training of the
+    /// un-normalized-input attention layers; `None` disables).
+    pub clip_norm: Option<f32>,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's exact protocol.
+    pub fn paper() -> TrainConfig {
+        TrainConfig {
+            epochs: 500,
+            batch_size: 32,
+            base_lr: 1e-3,
+            loss: Loss::Mae,
+            patience: 200,
+            clip_norm: Some(1.0),
+            seed: 0,
+        }
+    }
+
+    /// Scaled-down protocol for single-core default runs: same shape
+    /// (cosine decay to zero, MAE, early stopping), fewer epochs and a
+    /// smaller batch so small profiled pools still get enough optimizer
+    /// steps per epoch.
+    pub fn quick(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            base_lr: 2e-3,
+            loss: Loss::Mae,
+            patience: (epochs / 3).max(8),
+            clip_norm: Some(1.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainReport {
+    /// Epochs actually executed (≤ configured when early-stopped).
+    pub epochs_run: usize,
+    /// Best validation loss reached (normalized-target space).
+    pub best_val_loss: f32,
+    /// Whether early stopping fired.
+    pub stopped_early: bool,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+}
+
+/// Train `model` on `ds[split.train]`, early-stopping on `ds[split.val]`.
+/// Returns the target scaler (fit on the training targets) and a report.
+/// On return the model holds the best-validation weights.
+pub fn train(
+    model: &mut dyn GnnModel,
+    ds: &Dataset,
+    split: &Split,
+    cfg: &TrainConfig,
+) -> (TargetScaler, TrainReport) {
+    assert!(!split.train.is_empty() && !split.val.is_empty());
+    let start = Instant::now();
+    let scaler = TargetScaler::fit(&ds.latencies(&split.train));
+    let targets: Vec<f32> = ds
+        .samples
+        .iter()
+        .map(|s| scaler.transform(s.latency))
+        .collect();
+
+    let mut adam = Adam::new(model.store());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order = split.train.clone();
+
+    let mut best_val = f32::INFINITY;
+    let mut best_snap = model.store().snapshot();
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    let mut stopped_early = false;
+
+    for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
+        let lr = cosine_decay(cfg.base_lr, epoch, cfg.epochs);
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size) {
+            model.store_mut().zero_grads();
+            for &i in chunk {
+                let sample = &ds.samples[i];
+                let mut tape = Tape::new();
+                let out = model.forward(&mut tape, sample);
+                let pred = tape.value(out).get(0, 0);
+                let g = cfg.loss.grad(pred, targets[i]) / chunk.len() as f32;
+                tape.backward(out, Matrix::full(1, 1, g), model.store_mut());
+            }
+            if let Some(clip) = cfg.clip_norm {
+                let norm = model.store().grad_global_norm();
+                if norm > clip {
+                    model.store_mut().scale_grads(clip / norm);
+                }
+            }
+            adam.step(model.store_mut(), lr);
+        }
+
+        // validation (§IV-B8)
+        let val_loss = eval_loss(model, ds, &split.val, &targets, cfg.loss);
+        if val_loss < best_val {
+            best_val = val_loss;
+            best_snap = model.store().snapshot();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+
+    model.store_mut().restore(&best_snap);
+    let report = TrainReport {
+        epochs_run,
+        best_val_loss: best_val,
+        stopped_early,
+        train_seconds: start.elapsed().as_secs_f64(),
+    };
+    (scaler, report)
+}
+
+/// Mean loss of `model` over `idx` in normalized-target space.
+pub fn eval_loss(
+    model: &dyn GnnModel,
+    ds: &Dataset,
+    idx: &[usize],
+    targets: &[f32],
+    loss: Loss,
+) -> f32 {
+    assert!(!idx.is_empty());
+    let mut total = 0.0f32;
+    for &i in idx {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &ds.samples[i]);
+        total += loss.value(tape.value(out).get(0, 0), targets[i]);
+    }
+    total / idx.len() as f32
+}
+
+/// Predict latencies (seconds) for `idx` and compute the MRE (eqn. 5)
+/// against ground truth.
+pub fn eval_mre(model: &dyn GnnModel, scaler: &TargetScaler, ds: &Dataset, idx: &[usize]) -> f64 {
+    let mut preds = Vec::with_capacity(idx.len());
+    let mut actual = Vec::with_capacity(idx.len());
+    for &i in idx {
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &ds.samples[i]);
+        preds.push(scaler.inverse(tape.value(out).get(0, 0)));
+        actual.push(ds.samples[i].latency);
+    }
+    mean_relative_error(&preds, &actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_transformer::{DagTransformer, TransformerConfig};
+    use crate::dataset::GraphSample;
+    use crate::gcn::Gcn;
+    use predtop_ir::{DType, Graph, GraphBuilder, OpKind};
+
+    /// Chain graphs of varying length with latency proportional to
+    /// length — learnable from structure alone.
+    fn chain(len: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let mut x = b.input([4, 4], DType::F32);
+        for i in 0..len {
+            x = b.unary(if i % 2 == 0 { OpKind::Exp } else { OpKind::Tanh }, x);
+        }
+        b.finish(&[x]).unwrap()
+    }
+
+    fn toy_dataset(pe_dim: usize) -> Dataset {
+        let samples = (1..=24)
+            .map(|len| GraphSample::new(&chain(len), 0.001 * len as f64, pe_dim))
+            .collect();
+        Dataset::new(samples)
+    }
+
+    fn toy_split(n: usize) -> Split {
+        Split {
+            train: (0..n * 6 / 10).collect(),
+            val: (n * 6 / 10..n * 8 / 10).collect(),
+            test: (n * 8 / 10..n).collect(),
+        }
+    }
+
+    #[test]
+    fn gcn_learns_chain_lengths() {
+        let ds = toy_dataset(16);
+        let split = toy_split(ds.len());
+        let mut model = Gcn::new(2, 16, 1);
+        let mut cfg = TrainConfig::quick(100);
+        cfg.batch_size = 8;
+        let (scaler, report) = train(&mut model, &ds, &split, &cfg);
+        assert!(report.epochs_run <= 60);
+        let mre = eval_mre(&model, &scaler, &ds, &split.test);
+        assert!(mre < 35.0, "GCN failed to learn: MRE {mre:.1}%");
+    }
+
+    #[test]
+    fn transformer_learns_chain_lengths() {
+        let ds = toy_dataset(16);
+        let split = toy_split(ds.len());
+        let mut model = DagTransformer::new(
+            TransformerConfig {
+                num_layers: 2,
+                dim: 16,
+                heads: 2,
+                use_dagra: true,
+                use_dagpe: true,
+            },
+            1,
+        );
+        let mut cfg = TrainConfig::quick(100);
+        cfg.batch_size = 8;
+        let (scaler, report) = train(&mut model, &ds, &split, &cfg);
+        let mre = eval_mre(&model, &scaler, &ds, &split.test);
+        assert!(mre < 35.0, "Transformer failed to learn: MRE {mre:.1}%");
+        assert!(report.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        let ds = toy_dataset(16);
+        let split = toy_split(ds.len());
+        let mut model = Gcn::new(1, 8, 3);
+        let mut cfg = TrainConfig::quick(40);
+        cfg.patience = 3;
+        cfg.batch_size = 8;
+        let (scaler, report) = train(&mut model, &ds, &split, &cfg);
+        // after restore, the recorded best val loss is reproduced exactly
+        let targets: Vec<f32> = ds
+            .samples
+            .iter()
+            .map(|s| scaler.transform(s.latency))
+            .collect();
+        let val = eval_loss(&model, &ds, &split.val, &targets, cfg.loss);
+        assert!(
+            (val - report.best_val_loss).abs() < 1e-5,
+            "restored val {val} != best {}",
+            report.best_val_loss
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = toy_dataset(16);
+        let split = toy_split(ds.len());
+        let run = || {
+            let mut model = Gcn::new(1, 8, 5);
+            let mut cfg = TrainConfig::quick(10);
+            cfg.batch_size = 8;
+            let (scaler, _) = train(&mut model, &ds, &split, &cfg);
+            eval_mre(&model, &scaler, &ds, &split.test)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for IR construction and queries.
+
+use crate::graph::NodeId;
+
+/// Errors produced while building or transforming IR graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An operand refers to a node id that does not exist (yet). Because
+    /// the builder only accepts already-created ids, this also guarantees
+    /// acyclicity by construction.
+    UnknownNode(NodeId),
+    /// An operator node was created with no operands, but its kind
+    /// requires at least one.
+    MissingOperands {
+        /// Name of the offending operator kind.
+        op: &'static str,
+    },
+    /// The graph has no output nodes; every well-formed stage graph must
+    /// declare at least one output.
+    NoOutputs,
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::UnknownNode(id) => write!(f, "operand refers to unknown node {id:?}"),
+            IrError::MissingOperands { op } => {
+                write!(f, "operator `{op}` requires at least one operand")
+            }
+            IrError::NoOutputs => write!(f, "graph declares no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,154 @@
+//! Table I node features.
+//!
+//! Every node is encoded as the concatenation of four blocks, exactly the
+//! schema of the paper's Table I:
+//!
+//! | block | width | content |
+//! |---|---|---|
+//! | operator type | [`NUM_OP_KINDS`] | one-hot of [`crate::op::OpKind`] (all-zero for non-operator nodes) |
+//! | output tensor dimensions | [`MAX_RANK`] | `ln(1 + dim)` per axis, zero-padded |
+//! | output data type | [`NUM_DTYPES`] | one-hot of [`crate::dtype::DType`] |
+//! | node type | [`NUM_NODE_KINDS`] | one-hot of input / literal / operator / output |
+//!
+//! The log scaling of the dimension block is §IV-B3's "tensor dimension is
+//! typically much larger than other features, potentially dominating the
+//! output".
+
+use crate::dtype::NUM_DTYPES;
+use crate::graph::{Graph, Node, NUM_NODE_KINDS};
+use crate::op::NUM_OP_KINDS;
+use crate::shape::MAX_RANK;
+
+/// Total width of one node's feature vector.
+pub const FEATURE_DIM: usize = NUM_OP_KINDS + MAX_RANK + NUM_DTYPES + NUM_NODE_KINDS;
+
+/// Offset of the operator-type one-hot block.
+pub const OP_BLOCK: usize = 0;
+/// Offset of the log-scaled dimension block.
+pub const DIM_BLOCK: usize = NUM_OP_KINDS;
+/// Offset of the dtype one-hot block.
+pub const DTYPE_BLOCK: usize = NUM_OP_KINDS + MAX_RANK;
+/// Offset of the node-type one-hot block.
+pub const NODE_KIND_BLOCK: usize = NUM_OP_KINDS + MAX_RANK + NUM_DTYPES;
+
+/// Write the feature vector of `node` into `out` (length [`FEATURE_DIM`]).
+pub fn write_node_features(node: &Node, out: &mut [f32]) {
+    assert_eq!(out.len(), FEATURE_DIM);
+    out.fill(0.0);
+    if let Some(op) = node.kind.op() {
+        out[OP_BLOCK + op.one_hot_index()] = 1.0;
+    }
+    out[DIM_BLOCK..DIM_BLOCK + MAX_RANK].copy_from_slice(&node.shape.log_features());
+    out[DTYPE_BLOCK + node.dtype.one_hot_index()] = 1.0;
+    out[NODE_KIND_BLOCK + node.kind.one_hot_index()] = 1.0;
+}
+
+/// The feature vector of one node.
+pub fn node_features(node: &Node) -> [f32; FEATURE_DIM] {
+    let mut out = [0.0f32; FEATURE_DIM];
+    write_node_features(node, &mut out);
+    out
+}
+
+/// Row-major `n × FEATURE_DIM` feature matrix for a whole graph, node
+/// rows in topological (= id) order — the exact input matrix `X` consumed
+/// by the predictors.
+pub fn graph_features(g: &Graph) -> Vec<f32> {
+    let mut out = vec![0.0f32; g.len() * FEATURE_DIM];
+    for (node, row) in g.nodes().iter().zip(out.chunks_mut(FEATURE_DIM)) {
+        write_node_features(node, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::graph::{GraphBuilder, NodeKind};
+    use crate::op::OpKind;
+
+    #[test]
+    fn blocks_partition_the_vector() {
+        assert_eq!(OP_BLOCK, 0);
+        assert_eq!(DIM_BLOCK, NUM_OP_KINDS);
+        assert_eq!(DTYPE_BLOCK, DIM_BLOCK + MAX_RANK);
+        assert_eq!(NODE_KIND_BLOCK, DTYPE_BLOCK + NUM_DTYPES);
+        assert_eq!(FEATURE_DIM, NODE_KIND_BLOCK + NUM_NODE_KINDS);
+    }
+
+    #[test]
+    fn operator_node_features() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 8], DType::BF16);
+        let y = b.unary(OpKind::Exp, x);
+        let g = b.finish(&[y]).unwrap();
+
+        let f = node_features(g.node(y));
+        // exactly one op-type bit
+        let op_bits: Vec<usize> = (0..NUM_OP_KINDS).filter(|&i| f[OP_BLOCK + i] == 1.0).collect();
+        assert_eq!(op_bits, vec![OpKind::Exp.one_hot_index()]);
+        // dims: ln(5), ln(9), then zeros
+        assert!((f[DIM_BLOCK] - 5f32.ln()).abs() < 1e-6);
+        assert!((f[DIM_BLOCK + 1] - 9f32.ln()).abs() < 1e-6);
+        assert_eq!(f[DIM_BLOCK + 2], 0.0);
+        // dtype bf16
+        assert_eq!(f[DTYPE_BLOCK + DType::BF16.one_hot_index()], 1.0);
+        // node kind operator
+        assert_eq!(f[NODE_KIND_BLOCK + 2], 1.0);
+    }
+
+    #[test]
+    fn input_node_has_no_op_bit() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4], DType::I32);
+        let y = b.unary(OpKind::Neg, x);
+        let g = b.finish(&[y]).unwrap();
+        let f = node_features(g.node(x));
+        assert!((0..NUM_OP_KINDS).all(|i| f[OP_BLOCK + i] == 0.0));
+        assert_eq!(f[NODE_KIND_BLOCK + NodeKind::Input.one_hot_index()], 1.0);
+    }
+
+    #[test]
+    fn output_node_mirrors_value_type() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([3], DType::F16);
+        let g = b.finish(&[x]).unwrap();
+        let out_id = g.outputs().next().unwrap();
+        let f = node_features(g.node(out_id));
+        assert_eq!(f[DTYPE_BLOCK + DType::F16.one_hot_index()], 1.0);
+        assert_eq!(f[NODE_KIND_BLOCK + 3], 1.0);
+        assert!((f[DIM_BLOCK] - 4f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn graph_features_shape_and_rows() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 2], DType::F32);
+        let y = b.unary(OpKind::Tanh, x);
+        let g = b.finish(&[y]).unwrap();
+        let m = graph_features(&g);
+        assert_eq!(m.len(), g.len() * FEATURE_DIM);
+        for (n, row) in g.nodes().iter().zip(m.chunks(FEATURE_DIM)) {
+            assert_eq!(row, &node_features(n));
+        }
+    }
+
+    #[test]
+    fn one_hot_blocks_sum_to_expected() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4], DType::F32);
+        let l = b.literal([4], DType::F32);
+        let y = b.binary(OpKind::Mul, x, l);
+        let g = b.finish(&[y]).unwrap();
+        for node in g.nodes() {
+            let f = node_features(node);
+            let op_sum: f32 = f[OP_BLOCK..OP_BLOCK + NUM_OP_KINDS].iter().sum();
+            let dt_sum: f32 = f[DTYPE_BLOCK..DTYPE_BLOCK + NUM_DTYPES].iter().sum();
+            let nk_sum: f32 = f[NODE_KIND_BLOCK..].iter().sum();
+            assert_eq!(op_sum, if node.kind.op().is_some() { 1.0 } else { 0.0 });
+            assert_eq!(dt_sum, 1.0);
+            assert_eq!(nk_sum, 1.0);
+        }
+    }
+}

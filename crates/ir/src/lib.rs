@@ -1,0 +1,42 @@
+//! # predtop-ir
+//!
+//! Tensor-level operator intermediate representation for PredTOP.
+//!
+//! This crate is the reproduction's substitute for the JAX `jaxpr`
+//! representation used by the paper (§IV-B2): a deep-learning model (or a
+//! pipeline *stage* sliced out of one) is a directed acyclic graph whose
+//! nodes are tensor-level operations (`dot_general`, `add`, `exp`, ...)
+//! and whose edges are data dependencies.
+//!
+//! The crate provides everything the black-box predictors and the
+//! simulator need from the IR:
+//!
+//! * a typed operator catalog ([`op::OpKind`]) with shapes and dtypes,
+//! * a validated-by-construction DAG ([`graph::Graph`] / [`graph::GraphBuilder`]),
+//! * graph pruning of latency-irrelevant bookkeeping ops (§IV-B4, [`prune`]),
+//! * Table I node features with log-scaled tensor dimensions ([`features`]),
+//! * reachability closures (DAGRA) and node depths (DAGPE) ([`reach`]).
+//!
+//! Determinism: nothing in this crate is stochastic. Graph node ids are
+//! dense indices in insertion order, and all derived quantities
+//! (topological order, depths, reachability) are pure functions of the
+//! graph.
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod dtype;
+pub mod error;
+pub mod features;
+pub mod graph;
+pub mod op;
+pub mod prune;
+pub mod reach;
+pub mod shape;
+pub mod verify;
+
+pub use dtype::DType;
+pub use error::IrError;
+pub use graph::{Graph, GraphBuilder, Node, NodeId, NodeKind};
+pub use op::OpKind;
+pub use shape::Shape;

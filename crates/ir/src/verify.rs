@@ -1,0 +1,222 @@
+//! Semantic lint over operator graphs.
+//!
+//! The graph builder guarantees structural well-formedness (acyclic,
+//! dense topological ids); this module checks the *semantic* conventions
+//! the emitters and the cost model rely on:
+//!
+//! * elementwise ops preserve shape (and their operands match it),
+//! * pure-movement unaries (`reshape`, `transpose`, `convert`, `copy`)
+//!   preserve element counts,
+//! * `broadcast_in_dim` outputs a multiple of its input's elements,
+//! * contractions declare a positive contracted size and have ≥ 2
+//!   operands,
+//! * reductions do not grow element counts; `slice` shrinks or keeps,
+//! * `output` nodes mirror their producer's type exactly.
+//!
+//! Emitter regressions (a wrong shape on one of GPT's ~60 ops per layer)
+//! are invisible to the builder but poison both the simulator's costs
+//! and the predictor's features — the benchmark-model tests run this
+//! lint over every emitted stage graph.
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::op::OpKind;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Node that breaks the rule.
+    pub node: NodeId,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {}: {}", self.node.0, self.message)
+    }
+}
+
+/// Run all semantic checks; an empty vec means the graph is clean.
+pub fn verify(g: &Graph) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut complain = |node: NodeId, message: String| out.push(Violation { node, message });
+
+    for node in g.nodes() {
+        let id = node.id;
+        match node.kind {
+            NodeKind::Input | NodeKind::Literal => {
+                if !node.inputs.is_empty() {
+                    complain(id, "source node has operands".into());
+                }
+            }
+            NodeKind::Output => {
+                if node.inputs.len() != 1 {
+                    complain(id, format!("output node has {} operands", node.inputs.len()));
+                    continue;
+                }
+                let src = g.node(node.inputs[0]);
+                if src.shape != node.shape || src.dtype != node.dtype {
+                    complain(
+                        id,
+                        format!(
+                            "output type {}{} differs from producer {}{}",
+                            node.dtype, node.shape, src.dtype, src.shape
+                        ),
+                    );
+                }
+            }
+            NodeKind::Operator(op) => {
+                verify_operator(g, node, op, &mut complain);
+            }
+        }
+    }
+    out
+}
+
+fn verify_operator(
+    g: &Graph,
+    node: &crate::graph::Node,
+    op: OpKind,
+    complain: &mut impl FnMut(NodeId, String),
+) {
+    use OpKind::*;
+    let id = node.id;
+    let elems = node.shape.num_elements();
+    let in_elems = |i: usize| g.node(node.inputs[i]).shape.num_elements();
+
+    if node.inputs.is_empty() && !matches!(op, Iota | RngUniform | RngBitGenerator) {
+        complain(id, format!("{op} has no operands"));
+        return;
+    }
+
+    match op {
+        DotGeneral => {
+            if node.attrs.contracted == 0 {
+                complain(id, "dot_general without contracted size".into());
+            }
+            if node.inputs.len() < 2 {
+                complain(id, "dot_general needs two operands".into());
+            }
+        }
+        // shape-preserving elementwise: every float operand of matching
+        // rank must carry exactly the output's element count
+        Add | Sub | Mul | Div | Max | Min | Pow | Compare | Select | Neg | Exp | Log | Tanh
+        | Erf | Logistic | Sqrt | Rsqrt => {
+            for (i, &p) in node.inputs.iter().enumerate() {
+                let pe = g.node(p).shape.num_elements();
+                if pe != elems {
+                    complain(
+                        id,
+                        format!("{op} operand {i} has {pe} elements, output has {elems}"),
+                    );
+                }
+            }
+        }
+        Reshape | Transpose | ConvertElementType | Copy | StopGradient => {
+            if in_elems(0) != elems {
+                complain(
+                    id,
+                    format!(
+                        "{op} changes element count {} -> {elems}",
+                        in_elems(0)
+                    ),
+                );
+            }
+        }
+        BroadcastInDim => {
+            if elems % in_elems(0) != 0 {
+                complain(
+                    id,
+                    format!(
+                        "broadcast output {elems} not a multiple of input {}",
+                        in_elems(0)
+                    ),
+                );
+            }
+        }
+        ReduceSum | ReduceMax | ArgMax => {
+            if elems > in_elems(0) {
+                complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
+            }
+        }
+        Slice | DynamicSlice => {
+            if elems > in_elems(0) {
+                complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
+            }
+        }
+        CumSum => {
+            if elems != in_elems(0) {
+                complain(id, "cumsum must preserve shape".into());
+            }
+        }
+        // irregular / rng / concat / pad / scatter / gather / one-hot /
+        // top-k: output shapes are data- or attribute-dependent, so no
+        // portable element-count rule applies
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn clean_graph_has_no_violations() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 8], DType::F32);
+        let w = b.input([8, 2], DType::F32);
+        let y = b.dot(x, w, [4, 2], DType::F32, 8);
+        let z = b.unary(OpKind::Tanh, y);
+        let g = b.finish(&[z]).unwrap();
+        assert_eq!(verify(&g), vec![]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch_flagged() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4], DType::F32);
+        let y = b.input([8], DType::F32);
+        // deliberately wrong: add of mismatched shapes
+        let bad = b.op(OpKind::Add, &[x, y], [4], DType::F32);
+        let g = b.finish(&[bad]).unwrap();
+        let v = verify(&g);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("operand 1"), "{}", v[0]);
+    }
+
+    #[test]
+    fn reshape_element_change_flagged() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([4, 4], DType::F32);
+        let bad = b.op(OpKind::Reshape, &[x], [5], DType::F32);
+        let g = b.finish(&[bad]).unwrap();
+        let v = verify(&g);
+        assert!(v.iter().any(|v| v.message.contains("changes element count")));
+    }
+
+    #[test]
+    fn dot_without_contraction_flagged() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([2, 2], DType::F32);
+        let y = b.input([2, 2], DType::F32);
+        let bad = b.op(OpKind::DotGeneral, &[x, y], [2, 2], DType::F32);
+        let g = b.finish(&[bad]).unwrap();
+        assert!(verify(&g)
+            .iter()
+            .any(|v| v.message.contains("without contracted size")));
+    }
+
+    #[test]
+    fn broadcast_multiple_rule() {
+        let mut b = GraphBuilder::new();
+        let x = b.input([3], DType::F32);
+        let bad = b.op(OpKind::BroadcastInDim, &[x], [4], DType::F32);
+        let used = b.unary(OpKind::Exp, bad);
+        let g = b.finish(&[used]).unwrap();
+        assert!(verify(&g)
+            .iter()
+            .any(|v| v.message.contains("not a multiple")));
+    }
+}

@@ -1,0 +1,508 @@
+//! Tensor-operator-level emitters for transformer building blocks.
+//!
+//! The emitters produce exactly the op mix a jaxpr trace of a JAX/Flax
+//! transformer contains: layer-norm decomposed into its reductions and
+//! elementwise chain, fused QKV projections with `slice` splits, masked
+//! softmax computed in f32 with `convert_element_type` on both sides
+//! (those converts are what §IV-B4 prunes), dropout as
+//! `rng_uniform → compare → select`, GELU via `erf`, and GShard MoE
+//! routing (`top_k`, `one_hot`, `cumsum`, dispatch/combine einsums).
+//!
+//! Activations are BF16; softmax statistics and layer-norm moments are
+//! F32, matching mixed-precision training.
+
+use predtop_ir::graph::Attrs;
+use predtop_ir::{DType, GraphBuilder, NodeId, OpKind, Shape};
+
+use crate::spec::ModelSpec;
+
+/// Activation dtype used throughout the emitted graphs.
+pub const ACT: DType = DType::BF16;
+/// Accumulation dtype for normalization statistics.
+pub const ACC: DType = DType::F32;
+
+/// Stateful emitter: wraps a [`GraphBuilder`] plus the model
+/// hyper-parameters and provides one method per architectural block.
+pub struct Emitter {
+    /// The underlying graph builder (public so stage assembly can add
+    /// inputs/outputs around the emitted blocks).
+    pub b: GraphBuilder,
+    spec: ModelSpec,
+}
+
+impl Emitter {
+    /// New emitter for a model spec.
+    pub fn new(spec: ModelSpec) -> Emitter {
+        Emitter {
+            b: GraphBuilder::new(),
+            spec,
+        }
+    }
+
+    /// The spec this emitter builds for.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Finish the graph, declaring `outputs`.
+    pub fn finish(self, outputs: &[NodeId]) -> predtop_ir::Graph {
+        self.b.finish(outputs).expect("emitter produces valid graphs")
+    }
+
+    // ---- small helpers -------------------------------------------------
+
+    fn tokens(&self) -> usize {
+        self.spec.tokens()
+    }
+
+    /// A scalar literal broadcast to `shape`, returning the broadcast id.
+    fn scalar_lit(&mut self, shape: Shape, dt: DType) -> NodeId {
+        let lit = self.b.literal(Shape::SCALAR, dt);
+        self.b.op(OpKind::BroadcastInDim, &[lit], shape, dt)
+    }
+
+    /// `x * scalar_literal` (two nodes).
+    fn scale(&mut self, x: NodeId, shape: Shape, dt: DType) -> NodeId {
+        let s = self.scalar_lit(shape, dt);
+        self.b.op(OpKind::Mul, &[x, s], shape, dt)
+    }
+
+    /// `x + scalar_literal` (two nodes).
+    fn shift(&mut self, x: NodeId, shape: Shape, dt: DType) -> NodeId {
+        let s = self.scalar_lit(shape, dt);
+        self.b.op(OpKind::Add, &[x, s], shape, dt)
+    }
+
+    /// Dense projection `x · W (+ b)`: `W` is a parameter input of shape
+    /// `[in_dim, out_dim]`; output `[rows, out_dim]`.
+    pub fn linear(&mut self, x: NodeId, rows: usize, in_dim: usize, out_dim: usize) -> NodeId {
+        let w = self.b.input([in_dim, out_dim], ACT);
+        let y = self.b.dot(x, w, [rows, out_dim], ACT, in_dim as u64);
+        let bias = self.b.input([out_dim], ACT);
+        let bb = self
+            .b
+            .op(OpKind::BroadcastInDim, &[bias], [rows, out_dim], ACT);
+        self.b.op(OpKind::Add, &[y, bb], [rows, out_dim], ACT)
+    }
+
+    /// Layer normalization over the last axis of `[rows, width]`,
+    /// decomposed jaxpr-style (moments in F32).
+    pub fn layer_norm(&mut self, x: NodeId, rows: usize, width: usize) -> NodeId {
+        let full = Shape::new(&[rows, width]);
+        let stat = Shape::new(&[rows]);
+        let xf = self.b.op(OpKind::ConvertElementType, &[x], full, ACC);
+        let sum = self.b.op(OpKind::ReduceSum, &[xf], stat, ACC);
+        let mean = self.scale(sum, stat, ACC); // * 1/width
+        let mean_b = self.b.op(OpKind::BroadcastInDim, &[mean], full, ACC);
+        let centered = self.b.op(OpKind::Sub, &[xf, mean_b], full, ACC);
+        let sq = self.b.op(OpKind::Mul, &[centered, centered], full, ACC);
+        let var_sum = self.b.op(OpKind::ReduceSum, &[sq], stat, ACC);
+        let var = self.scale(var_sum, stat, ACC);
+        let var_eps = self.shift(var, stat, ACC);
+        let rstd = self.b.op(OpKind::Rsqrt, &[var_eps], stat, ACC);
+        let rstd_b = self.b.op(OpKind::BroadcastInDim, &[rstd], full, ACC);
+        let normed = self.b.op(OpKind::Mul, &[centered, rstd_b], full, ACC);
+        let normed_act = self.b.op(OpKind::ConvertElementType, &[normed], full, ACT);
+        // scale & bias parameters
+        let gamma = self.b.input([width], ACT);
+        let gamma_b = self.b.op(OpKind::BroadcastInDim, &[gamma], full, ACT);
+        let scaled = self.b.op(OpKind::Mul, &[normed_act, gamma_b], full, ACT);
+        let beta = self.b.input([width], ACT);
+        let beta_b = self.b.op(OpKind::BroadcastInDim, &[beta], full, ACT);
+        self.b.op(OpKind::Add, &[scaled, beta_b], full, ACT)
+    }
+
+    /// Numerically-stable softmax over the last axis, computed in F32.
+    /// `shape` is the full operand shape, `stat_shape` the shape with the
+    /// softmax axis removed.
+    pub fn softmax(&mut self, x: NodeId, shape: Shape, stat_shape: Shape) -> NodeId {
+        let xf = self.b.op(OpKind::ConvertElementType, &[x], shape, ACC);
+        let mx = self.b.op(OpKind::ReduceMax, &[xf], stat_shape, ACC);
+        let mx_b = self.b.op(OpKind::BroadcastInDim, &[mx], shape, ACC);
+        let sub = self.b.op(OpKind::Sub, &[xf, mx_b], shape, ACC);
+        let ex = self.b.op(OpKind::Exp, &[sub], shape, ACC);
+        let sum = self.b.op(OpKind::ReduceSum, &[ex], stat_shape, ACC);
+        let sum_b = self.b.op(OpKind::BroadcastInDim, &[sum], shape, ACC);
+        let sm = self.b.op(OpKind::Div, &[ex, sum_b], shape, ACC);
+        self.b.op(OpKind::ConvertElementType, &[sm], shape, ACT)
+    }
+
+    /// Dropout as `rng_uniform → compare(threshold) → select(x, 0)`.
+    pub fn dropout(&mut self, x: NodeId, shape: Shape) -> NodeId {
+        let u = self.b.op(OpKind::RngUniform, &[], shape, ACC);
+        let thr = self.scalar_lit(shape, ACC);
+        let keep = self.b.op(OpKind::Compare, &[u, thr], shape, DType::Bool);
+        let zero = self.scalar_lit(shape, ACT);
+        self.b.op(OpKind::Select, &[keep, x, zero], shape, ACT)
+    }
+
+    /// GELU via `0.5 · x · (1 + erf(x/√2))`.
+    pub fn gelu(&mut self, x: NodeId, shape: Shape) -> NodeId {
+        let scaled = self.scale(x, shape, ACT); // x / sqrt(2)
+        let erf = self.b.op(OpKind::Erf, &[scaled], shape, ACT);
+        let one = self.shift(erf, shape, ACT); // 1 + erf
+        let prod = self.b.op(OpKind::Mul, &[x, one], shape, ACT);
+        self.scale(prod, shape, ACT) // * 0.5
+    }
+
+    // ---- architectural blocks ------------------------------------------
+
+    /// Token + positional embedding: `tokens: i32[batch, seq]` →
+    /// `bf16[tokens, hidden]`.
+    pub fn embedding(&mut self) -> NodeId {
+        let s = self.spec;
+        let t = self.tokens();
+        let ids = self.b.input([s.batch, s.seq_len], DType::I32);
+        let flat = self.b.op(OpKind::Reshape, &[ids], [t], DType::I32);
+        let table = self.b.input([s.vocab, s.hidden], ACT);
+        let emb = self
+            .b
+            .op(OpKind::Gather, &[table, flat], [t, s.hidden], ACT);
+        let pos = self.b.input([s.seq_len, s.hidden], ACT);
+        let pos_b = self
+            .b
+            .op(OpKind::BroadcastInDim, &[pos], [t, s.hidden], ACT);
+        let summed = self.b.op(OpKind::Add, &[emb, pos_b], [t, s.hidden], ACT);
+        self.dropout(summed, Shape::new(&[t, s.hidden]))
+    }
+
+    /// Multi-head self-attention block with pre-norm, returning the
+    /// residual output.
+    pub fn attention(&mut self, x: NodeId) -> NodeId {
+        let s = self.spec;
+        let (t, h, nh, dh) = (self.tokens(), s.hidden, s.num_heads, s.head_dim());
+        let (b_, sl) = (s.batch, s.seq_len);
+        let full = Shape::new(&[t, h]);
+
+        let ln = self.layer_norm(x, t, h);
+        // fused QKV projection
+        let qkv = self.linear(ln, t, h, 3 * h);
+        let q = self.b.op(OpKind::Slice, &[qkv], [t, h], ACT);
+        let k = self.b.op(OpKind::Slice, &[qkv], [t, h], ACT);
+        let v = self.b.op(OpKind::Slice, &[qkv], [t, h], ACT);
+
+        // head split: reshape + transpose to [b, nh, s, dh]
+        let heads = |e: &mut Emitter, n: NodeId| {
+            let r = e.b.op(OpKind::Reshape, &[n], [b_, sl, nh, dh], ACT);
+            e.b.op(OpKind::Transpose, &[r], [b_, nh, sl, dh], ACT)
+        };
+        let qh = heads(self, q);
+        let kh = heads(self, k);
+        let vh = heads(self, v);
+
+        // scores = q · kᵀ / sqrt(dh) + causal mask
+        let score_shape = Shape::new(&[b_, nh, sl, sl]);
+        let stat_shape = Shape::new(&[b_, nh, sl]);
+        let scores = self.b.op_with(
+            OpKind::DotGeneral,
+            &[qh, kh],
+            score_shape,
+            ACT,
+            Attrs {
+                contracted: dh as u64,
+                param: 0,
+            },
+        );
+        let scaled = self.scale(scores, score_shape, ACT);
+        let mask = self.b.literal([sl, sl], ACT);
+        let mask_b = self
+            .b
+            .op(OpKind::BroadcastInDim, &[mask], score_shape, ACT);
+        let masked = self.b.op(OpKind::Add, &[scaled, mask_b], score_shape, ACT);
+        let probs = self.softmax(masked, score_shape, stat_shape);
+        let probs = self.dropout(probs, score_shape);
+
+        // context = probs · v, merge heads, output projection
+        let ctx = self.b.op_with(
+            OpKind::DotGeneral,
+            &[probs, vh],
+            Shape::new(&[b_, nh, sl, dh]),
+            ACT,
+            Attrs {
+                contracted: sl as u64,
+                param: 0,
+            },
+        );
+        let ctx_t = self.b.op(OpKind::Transpose, &[ctx], [b_, sl, nh, dh], ACT);
+        let merged = self.b.op(OpKind::Reshape, &[ctx_t], [t, h], ACT);
+        let out = self.linear(merged, t, h, h);
+        let out = self.dropout(out, full);
+        self.b.op(OpKind::Add, &[x, out], full, ACT)
+    }
+
+    /// Dense feed-forward block (pre-norm, GELU, residual).
+    pub fn dense_ffn(&mut self, x: NodeId) -> NodeId {
+        let s = self.spec;
+        let (t, h) = (self.tokens(), s.hidden);
+        let inner = s.ffn_mult * h;
+        let full = Shape::new(&[t, h]);
+
+        let ln = self.layer_norm(x, t, h);
+        let up = self.linear(ln, t, h, inner);
+        let act = self.gelu(up, Shape::new(&[t, inner]));
+        let down = self.linear(act, t, inner, h);
+        let drop = self.dropout(down, full);
+        self.b.op(OpKind::Add, &[x, drop], full, ACT)
+    }
+
+    /// GShard MoE feed-forward block: top-2 gating, capacity-limited
+    /// dispatch, per-expert FFN, weighted combine, residual.
+    pub fn moe_ffn(&mut self, x: NodeId) -> NodeId {
+        let s = self.spec;
+        let m = s.moe.expect("moe_ffn requires an MoE spec");
+        let (t, h) = (self.tokens(), s.hidden);
+        let e = m.num_experts;
+        let cap = 2 * t / e; // top-2 routing, capacity factor 1
+        let full = Shape::new(&[t, h]);
+
+        let ln = self.layer_norm(x, t, h);
+
+        // gate: logits → softmax → top-2 → capacity masking
+        let wg = self.b.input([h, e], ACT);
+        let logits = self.b.dot(ln, wg, [t, e], ACT, h as u64);
+        let probs = self.softmax(logits, Shape::new(&[t, e]), Shape::new(&[t]));
+        let topk = self.b.op_with(
+            OpKind::TopK,
+            &[probs],
+            Shape::new(&[t, 2]),
+            ACT,
+            Attrs {
+                contracted: 0,
+                param: 2,
+            },
+        );
+        let idx = self.b.op(OpKind::ArgMax, &[probs], [t, 2], DType::I32);
+        let onehot = self.b.op(OpKind::OneHot, &[idx], [t, 2, e], ACT);
+        let position = self.b.op(OpKind::CumSum, &[onehot], [t, 2, e], ACT);
+        let cap_lim = self.scalar_lit(Shape::new(&[t, 2, e]), ACT);
+        let in_cap = self
+            .b
+            .op(OpKind::Compare, &[position, cap_lim], [t, 2, e], DType::Bool);
+        let gate_b = self
+            .b
+            .op(OpKind::BroadcastInDim, &[topk], [t, 2, e], ACT);
+        let zero = self.scalar_lit(Shape::new(&[t, 2, e]), ACT);
+        let gated = self
+            .b
+            .op(OpKind::Select, &[in_cap, gate_b, zero], [t, 2, e], ACT);
+        // combine weights [t, e*cap]; dispatch mask is its 0/1 skeleton
+        let combine = self
+            .b
+            .op(OpKind::Scatter, &[gated, position], [t, e, cap], ACT);
+        let zero_cap = self.scalar_lit(Shape::new(&[t, e, cap]), ACT);
+        let dispatch = self
+            .b
+            .op(OpKind::Compare, &[combine, zero_cap], [t, e, cap], DType::Bool);
+        let dispatch_f = self
+            .b
+            .op(OpKind::ConvertElementType, &[dispatch], [t, e, cap], ACT);
+
+        // dispatch einsum: [t, e, cap] × [t, h] → [e, cap, h]
+        let expert_in = self.b.op_with(
+            OpKind::DotGeneral,
+            &[dispatch_f, ln],
+            Shape::new(&[e, cap, h]),
+            ACT,
+            Attrs {
+                contracted: t as u64,
+                param: 0,
+            },
+        );
+
+        // per-expert FFN (batched over the expert axis)
+        let w1 = self.b.input([e, h, m.expert_hidden], ACT);
+        let up = self.b.op_with(
+            OpKind::DotGeneral,
+            &[expert_in, w1],
+            Shape::new(&[e, cap, m.expert_hidden]),
+            ACT,
+            Attrs {
+                contracted: h as u64,
+                param: 0,
+            },
+        );
+        let act = self.gelu(up, Shape::new(&[e, cap, m.expert_hidden]));
+        let w2 = self.b.input([e, m.expert_hidden, h], ACT);
+        let down = self.b.op_with(
+            OpKind::DotGeneral,
+            &[act, w2],
+            Shape::new(&[e, cap, h]),
+            ACT,
+            Attrs {
+                contracted: m.expert_hidden as u64,
+                param: 0,
+            },
+        );
+
+        // combine einsum: [t, e, cap] × [e, cap, h] → [t, h]
+        let combined = self.b.op_with(
+            OpKind::DotGeneral,
+            &[combine, down],
+            full,
+            ACT,
+            Attrs {
+                contracted: (e * cap) as u64,
+                param: 0,
+            },
+        );
+        let drop = self.dropout(combined, full);
+        self.b.op(OpKind::Add, &[x, drop], full, ACT)
+    }
+
+    /// One full transformer layer: attention followed by the dense or MoE
+    /// FFN depending on `layer_idx`.
+    pub fn transformer_layer(&mut self, x: NodeId, layer_idx: usize) -> NodeId {
+        let x = self.attention(x);
+        if self.spec.is_moe_layer(layer_idx) {
+            self.moe_ffn(x)
+        } else {
+            self.dense_ffn(x)
+        }
+    }
+
+    /// Final layer-norm, LM head projection, and cross-entropy loss.
+    pub fn lm_head(&mut self, x: NodeId) -> NodeId {
+        let s = self.spec;
+        let (t, h, v) = (self.tokens(), s.hidden, s.vocab);
+
+        let ln = self.layer_norm(x, t, h);
+        let table = self.b.input([h, v], ACT);
+        let logits = self.b.dot(ln, table, [t, v], ACT, h as u64);
+        let probs = self.softmax(logits, Shape::new(&[t, v]), Shape::new(&[t]));
+        // cross-entropy: gather label probabilities, -log, mean
+        let labels = self.b.input([t], DType::I32);
+        let picked = self.b.op(OpKind::Gather, &[probs, labels], [t], ACC);
+        let logp = self.b.op(OpKind::Log, &[picked], [t], ACC);
+        let neg = self.b.op(OpKind::Neg, &[logp], [t], ACC);
+        let sum = self.b.op(OpKind::ReduceSum, &[neg], Shape::SCALAR, ACC);
+        self.scale(sum, Shape::SCALAR, ACC)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predtop_ir::prune::prune;
+    use predtop_ir::NodeKind;
+
+    fn tiny_spec() -> ModelSpec {
+        let mut s = ModelSpec::gpt3_1p3b(2);
+        s.seq_len = 64;
+        s.hidden = 32;
+        s.num_heads = 4;
+        s.vocab = 128;
+        s
+    }
+
+    #[test]
+    fn dense_layer_emits_expected_op_mix() {
+        let mut e = Emitter::new(tiny_spec());
+        let t = e.spec().tokens();
+        let h = e.spec().hidden;
+        let x = e.b.input([t, h], ACT);
+        let y = e.transformer_layer(x, 0);
+        let g = e.finish(&[y]);
+        g.validate().unwrap();
+        // 4 projection dots + 2 attention dots
+        assert_eq!(g.count_ops(OpKind::DotGeneral), 6);
+        // two layer-norms, one softmax => >= 5 reductions
+        assert!(g.count_ops(OpKind::ReduceSum) >= 4);
+        assert_eq!(g.count_ops(OpKind::ReduceMax), 1);
+        // three dropouts (attention probs, attention out, ffn out)
+        assert_eq!(g.count_ops(OpKind::RngUniform), 3);
+        assert_eq!(g.count_ops(OpKind::Erf), 1);
+        // realistic jaxpr graphs carry prunable converts
+        assert!(g.count_ops(OpKind::ConvertElementType) >= 4);
+    }
+
+    #[test]
+    fn moe_layer_is_larger_than_dense() {
+        let mut sm = ModelSpec::moe_2p6b(2);
+        sm.seq_len = 64;
+        sm.hidden = 32;
+        sm.num_heads = 4;
+        sm.vocab = 128;
+        sm.moe.as_mut().unwrap().expert_hidden = 64;
+
+        let mut e_dense = Emitter::new(sm);
+        let t = sm.tokens();
+        let x = e_dense.b.input([t, sm.hidden], ACT);
+        let y = e_dense.transformer_layer(x, 0); // even layer: dense
+        let g_dense = e_dense.finish(&[y]);
+
+        let mut e_moe = Emitter::new(sm);
+        let x = e_moe.b.input([t, sm.hidden], ACT);
+        let y = e_moe.transformer_layer(x, 1); // odd layer: MoE
+        let g_moe = e_moe.finish(&[y]);
+
+        assert!(
+            g_moe.len() > g_dense.len(),
+            "MoE layer graph ({}) should exceed dense ({})",
+            g_moe.len(),
+            g_dense.len()
+        );
+        assert!(g_moe.count_ops(OpKind::TopK) == 1);
+        assert!(g_moe.count_ops(OpKind::CumSum) == 1);
+        // dispatch + 2 expert ffn + combine + gate + 4 dense-attention dots
+        assert_eq!(g_moe.count_ops(OpKind::DotGeneral), 9);
+    }
+
+    #[test]
+    fn pruning_shrinks_layer_graph() {
+        let mut e = Emitter::new(tiny_spec());
+        let t = e.spec().tokens();
+        let x = e.b.input([t, e.spec().hidden], ACT);
+        let y = e.transformer_layer(x, 0);
+        let g = e.finish(&[y]);
+        let (p, stats) = prune(&g);
+        assert!(stats.removed >= 6, "expected converts+reshapes removed, got {stats:?}");
+        assert_eq!(p.count_ops(OpKind::ConvertElementType), 0);
+        assert_eq!(p.count_ops(OpKind::Reshape), 0);
+        // pruning preserves the compute ops
+        assert_eq!(p.count_ops(OpKind::DotGeneral), g.count_ops(OpKind::DotGeneral));
+    }
+
+    #[test]
+    fn embedding_and_head_bound_the_model() {
+        let mut e = Emitter::new(tiny_spec());
+        let x = e.embedding();
+        let y = e.transformer_layer(x, 0);
+        let loss = e.lm_head(y);
+        let g = e.finish(&[loss]);
+        g.validate().unwrap();
+        assert_eq!(g.count_ops(OpKind::Gather), 2); // embed + label pick
+        // loss output is a scalar
+        let out = g.outputs().next().unwrap();
+        assert_eq!(g.node(out).shape.num_elements(), 1);
+    }
+
+    #[test]
+    fn parameters_enter_as_inputs() {
+        let mut e = Emitter::new(tiny_spec());
+        let t = e.spec().tokens();
+        let x = e.b.input([t, e.spec().hidden], ACT);
+        let y = e.dense_ffn(x);
+        let g = e.finish(&[y]);
+        // x + 2 LN params + 2 weights + 2 biases = 7 inputs
+        let inputs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == NodeKind::Input)
+            .count();
+        assert_eq!(inputs, 7);
+    }
+
+    #[test]
+    fn attention_flops_dominated_by_projections() {
+        let mut e = Emitter::new(tiny_spec());
+        let t = e.spec().tokens();
+        let h = e.spec().hidden;
+        let x = e.b.input([t, h], ACT);
+        let y = e.attention(x);
+        let g = e.finish(&[y]);
+        let flops = g.total_flops();
+        // qkv: 2*t*h*3h, out: 2*t*h*h => projections total 2*t*h*4h
+        let proj = 2 * (t as u64) * (h as u64) * (4 * h as u64);
+        assert!(flops > proj, "flops {flops} must include projections {proj}");
+    }
+}

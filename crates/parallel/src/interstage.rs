@@ -1,0 +1,383 @@
+//! Inter-stage optimizer: Alpa's inter-operator dynamic program.
+//!
+//! Finds the contiguous layer partition, sub-mesh assignment, and
+//! per-stage configuration minimizing the Eqn. 4 pipeline latency
+//! `Σ tᵢ + (B−1)·max tⱼ` subject to the cluster's device budget.
+//!
+//! The max-term makes a direct DP non-Markovian, so we use Alpa's
+//! enumeration: for every candidate bottleneck latency `t_max` (every
+//! distinct stage latency), run a DP that minimizes `Σ tᵢ` using only
+//! stages with `tᵢ ≤ t_max`, then pick the `t_max` whose
+//! `Σ + (B−1)·t_max` is smallest.
+//!
+//! Stage latencies arrive through [`StageLatencyProvider`] and are
+//! queried exactly once per (layer-range, sub-mesh, configuration)
+//! candidate — with the ground-truth profiler as the provider this *is*
+//! "full profiling", and the candidate filter reproduces vanilla Alpa's
+//! "partial profiling" stage-device imbalance heuristic, so the Fig. 10
+//! optimization-cost comparison falls directly out of this module.
+
+use predtop_models::{ModelSpec, StageSpec};
+
+use crate::config::{table3_configs, MeshShape, ParallelConfig};
+use crate::plan::{PipelinePlan, PlannedStage};
+use crate::StageLatencyProvider;
+
+/// Options controlling the inter-stage search.
+#[derive(Debug, Clone, Copy)]
+pub struct InterStageOptions {
+    /// Number of micro-batches `B` in Eqn. 4.
+    pub microbatches: usize,
+    /// Vanilla Alpa's partial-profiling heuristic: only consider
+    /// candidates where `|stage_layers/total_layers −
+    /// stage_devices/total_devices| ≤ tol`. `None` = full profiling of
+    /// every candidate.
+    pub imbalance_tolerance: Option<f64>,
+}
+
+impl Default for InterStageOptions {
+    fn default() -> Self {
+        InterStageOptions {
+            microbatches: 8,
+            imbalance_tolerance: None,
+        }
+    }
+}
+
+/// One profiled/predicted candidate: layers `start..end` on `mesh` under
+/// `config`, with latency `t`.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    stage: StageSpec,
+    mesh: MeshShape,
+    config: ParallelConfig,
+    t: f64,
+}
+
+/// Sub-mesh shapes considered inside `cluster`: power-of-two slices that
+/// stay within a node where possible, plus the whole cluster.
+pub fn candidate_submeshes(cluster: MeshShape) -> Vec<MeshShape> {
+    let mut out = Vec::new();
+    let mut g = 1;
+    while g <= cluster.gpus_per_node {
+        out.push(MeshShape::new(1, g));
+        g *= 2;
+    }
+    let mut n = 2;
+    while n <= cluster.nodes {
+        out.push(MeshShape::new(n, cluster.gpus_per_node));
+        n *= 2;
+    }
+    out
+}
+
+/// Result of the inter-stage search.
+#[derive(Debug, Clone)]
+pub struct InterStageResult {
+    /// The optimal plan found.
+    pub plan: PipelinePlan,
+    /// Its predicted Eqn. 4 latency (seconds).
+    pub latency: f64,
+    /// How many (stage, mesh, config) latency queries were issued —
+    /// the profiling workload whose cost Fig. 10a measures.
+    pub num_queries: usize,
+}
+
+/// Run the inter-stage DP for `model` on `cluster`.
+///
+/// # Panics
+/// Panics if no feasible plan exists (cannot happen for the Table II
+/// clusters: a single stage on the full mesh is always a candidate).
+pub fn optimize_pipeline<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    opts: InterStageOptions,
+) -> InterStageResult {
+    let layers = model.num_layers;
+    let total_dev = cluster.num_devices();
+
+    // Phase 1: collect candidates (the profiling / prediction pass).
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut num_queries = 0;
+    for mesh in candidate_submeshes(cluster) {
+        let dev_frac = mesh.num_devices() as f64 / total_dev as f64;
+        for start in 0..layers {
+            for end in start + 1..=layers {
+                if let Some(tol) = opts.imbalance_tolerance {
+                    let size_frac = (end - start) as f64 / layers as f64;
+                    if (size_frac - dev_frac).abs() > tol {
+                        continue;
+                    }
+                }
+                let stage = StageSpec::new(model, start, end);
+                for config in table3_configs(mesh) {
+                    let t = provider.stage_latency(&stage, mesh, config);
+                    num_queries += 1;
+                    cands.push(Candidate {
+                        stage,
+                        mesh,
+                        config,
+                        t,
+                    });
+                }
+            }
+        }
+    }
+
+    // Phase 2: Alpa's t_max enumeration + sum-minimizing DP.
+    let mut tmax_set: Vec<f64> = cands.iter().map(|c| c.t).collect();
+    tmax_set.sort_by(f64::total_cmp);
+    tmax_set.dedup();
+
+    let mut best: Option<(f64, PipelinePlan)> = None;
+    for &tmax in &tmax_set {
+        if let Some((sum, plan)) = dp_min_sum(&cands, layers, total_dev, tmax, opts.microbatches) {
+            let total = sum + (opts.microbatches as f64 - 1.0) * tmax;
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                best = Some((total, plan));
+            }
+        }
+    }
+
+    let (latency, plan) = best.expect("a single full-mesh stage is always feasible");
+    InterStageResult {
+        plan,
+        latency,
+        num_queries,
+    }
+}
+
+/// DP minimizing the stage-latency sum for a fixed bottleneck bound:
+/// `f[l][d]` = min Σ tᵢ covering layers `0..l` with exactly `d` devices,
+/// using only candidates with `t ≤ tmax`. Returns the best plan over all
+/// `d ≤ total_dev`.
+fn dp_min_sum(
+    cands: &[Candidate],
+    layers: usize,
+    total_dev: usize,
+    tmax: f64,
+    microbatches: usize,
+) -> Option<(f64, PipelinePlan)> {
+    const INF: f64 = f64::INFINITY;
+    let width = total_dev + 1;
+    let mut f = vec![INF; (layers + 1) * width];
+    // parent[end][d] = candidate index used for the stage ending at `end`
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; (layers + 1) * width];
+    let mut cand_at: Vec<usize> = vec![usize::MAX; (layers + 1) * width];
+    f[0] = 0.0;
+
+    // Process in order of stage end so that f[start][*] is final before
+    // any candidate ending later reads it; iterate candidates grouped by
+    // `end` via simple filtering (candidate counts are small: ≤ ~2k).
+    for end in 1..=layers {
+        for (ci, c) in cands.iter().enumerate() {
+            if c.stage.end != end || c.t > tmax {
+                continue;
+            }
+            let dev = c.mesh.num_devices();
+            for d_prev in 0..width - dev {
+                let prev = f[c.stage.start * width + d_prev];
+                if prev == INF {
+                    continue;
+                }
+                let idx = end * width + d_prev + dev;
+                if prev + c.t < f[idx] {
+                    f[idx] = prev + c.t;
+                    parent[idx] = Some((c.stage.start, d_prev));
+                    cand_at[idx] = ci;
+                }
+            }
+        }
+    }
+
+    // best over device usage
+    let (mut best_d, mut best_sum) = (0, INF);
+    for d in 1..width {
+        let v = f[layers * width + d];
+        if v < best_sum {
+            best_sum = v;
+            best_d = d;
+        }
+    }
+    if best_sum == INF {
+        return None;
+    }
+
+    // reconstruct
+    let mut stages_rev: Vec<PlannedStage> = Vec::new();
+    let (mut end, mut d) = (layers, best_d);
+    while end > 0 {
+        let idx = end * width + d;
+        let ci = cand_at[idx];
+        let c = &cands[ci];
+        stages_rev.push(PlannedStage {
+            stage: c.stage,
+            mesh: c.mesh,
+            config: c.config,
+        });
+        let (pstart, pd) = parent[idx].expect("parent chain intact");
+        end = pstart;
+        d = pd;
+    }
+    stages_rev.reverse();
+    Some((
+        best_sum,
+        PipelinePlan {
+            stages: stages_rev,
+            microbatches,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ModelSpec {
+        let mut s = ModelSpec::gpt3_1p3b(2);
+        s.num_layers = 8;
+        s
+    }
+
+    /// Latency model with a deliberate shape: per-layer cost shrinks with
+    /// devices but MP pays overhead; embedding/head stages are heavier.
+    struct SynthLat;
+    impl StageLatencyProvider for SynthLat {
+        fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
+            let mut work = stage.num_layers() as f64;
+            if stage.has_embedding() {
+                work += 1.5;
+            }
+            if stage.has_head() {
+                work += 2.0;
+            }
+            let speedup = config.num_devices() as f64;
+            let mp_overhead = 1.0 + 0.15 * (config.mp as f64 - 1.0);
+            let cross_node = if mesh.nodes > 1 { 1.2 } else { 1.0 };
+            work / speedup * mp_overhead * cross_node * 0.01
+        }
+    }
+
+    #[test]
+    fn finds_valid_optimal_plan() {
+        let m = tiny_model();
+        let r = optimize_pipeline(
+            m,
+            MeshShape::new(2, 2),
+            &SynthLat,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: None,
+            },
+        );
+        r.plan.validate(&m).unwrap();
+        assert!(r.plan.devices_used() <= 4);
+        assert!(r.latency > 0.0);
+        assert!(r.num_queries > 0);
+        // the plan's Eqn. 4 latency recomputed from the provider must
+        // match the DP's reported optimum
+        let recomputed = r.plan.latency(&SynthLat);
+        assert!((recomputed - r.latency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_profiling_queries_fewer_candidates() {
+        let m = tiny_model();
+        let full = optimize_pipeline(
+            m,
+            MeshShape::new(2, 2),
+            &SynthLat,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: None,
+            },
+        );
+        let partial = optimize_pipeline(
+            m,
+            MeshShape::new(2, 2),
+            &SynthLat,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: Some(0.25),
+            },
+        );
+        assert!(partial.num_queries < full.num_queries);
+        // partial profiling can only do as well or worse
+        assert!(partial.latency >= full.latency - 1e-12);
+        partial.plan.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn optimum_beats_random_plans() {
+        let m = tiny_model();
+        let opt = optimize_pipeline(
+            m,
+            MeshShape::new(2, 2),
+            &SynthLat,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: None,
+            },
+        );
+        for seed in 0..30 {
+            let rp = crate::plan::random_plan(m, MeshShape::new(2, 2), 4, seed);
+            assert!(
+                opt.latency <= rp.latency(&SynthLat) + 1e-12,
+                "random plan (seed {seed}) beat the optimum"
+            );
+        }
+    }
+
+    /// Provider that marks some candidates infeasible (OOM semantics).
+    struct OomLat;
+    impl StageLatencyProvider for OomLat {
+        fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
+            // single-device execution of more than 3 layers "OOMs"
+            if config.num_devices() == 1 && stage.num_layers() > 3 {
+                return f64::INFINITY;
+            }
+            SynthLat.stage_latency(stage, mesh, config)
+        }
+    }
+
+    #[test]
+    fn infinite_candidates_are_never_selected() {
+        let m = tiny_model(); // 8 layers
+        let r = optimize_pipeline(
+            m,
+            MeshShape::new(2, 2),
+            &OomLat,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: None,
+            },
+        );
+        r.plan.validate(&m).unwrap();
+        assert!(r.latency.is_finite());
+        for ps in &r.plan.stages {
+            assert!(
+                !(ps.mesh.num_devices() == 1 && ps.stage.num_layers() > 3),
+                "picked an OOM stage: {ps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_device_cluster_yields_single_stage() {
+        let m = tiny_model();
+        let r = optimize_pipeline(
+            m,
+            MeshShape::new(1, 1),
+            &SynthLat,
+            InterStageOptions {
+                microbatches: 2,
+                imbalance_tolerance: None,
+            },
+        );
+        // with one device, pipelining splits still serialize; any
+        // partition has the same sum but more (B-1)*tmax slack, so one
+        // stage wins
+        assert_eq!(r.plan.stages.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # predtop-parallel
+//!
+//! Parallelization plans and plan optimizers — the reproduction of the
+//! Alpa machinery PredTOP plugs into.
+//!
+//! * [`config`] — intra-stage parallelism configurations (Table III):
+//!   how many data-parallel replicas × how many model/tensor-parallel
+//!   ways a stage runs with on its device mesh.
+//! * [`sharding`] — per-operator sharding strategies (replicate, batch-,
+//!   row-, column-sharded) and the collectives each transition costs.
+//! * [`intra`] — the intra-stage optimizer: picks one sharding strategy
+//!   per operator to minimize the stage's execution time on a mesh,
+//!   generic over an [`intra::OpCost`] model (implemented by the
+//!   simulator; this keeps `predtop-parallel` free of hardware specifics
+//!   and lets tests drive the optimizer with synthetic costs).
+//! * [`interstage`] — Alpa's inter-operator pass: dynamic programming
+//!   over contiguous layer ranges × sub-mesh shapes minimizing the Eqn. 4
+//!   pipeline latency.
+//! * [`plan`] — end-to-end pipeline plans and the Eqn. 4 white-box
+//!   formula `T = Σ tᵢ + (B−1)·max tⱼ`.
+//!
+//! The [`StageLatencyProvider`] trait is the gray-box seam of the whole
+//! system: the inter-stage optimizer only needs *some* source of stage
+//! latencies — full profiling (the simulator), partial profiling, or a
+//! trained predictor — and the paper's Fig. 10 experiment is exactly the
+//! comparison of those sources.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod interstage;
+pub mod intra;
+pub mod plan;
+pub mod schedule;
+pub mod sharding;
+
+pub use config::{table3_configs, MeshShape, ParallelConfig};
+pub use interstage::{optimize_pipeline, InterStageOptions};
+pub use intra::{IntraPlan, OpCost};
+pub use plan::{pipeline_latency, PipelinePlan, PlannedStage};
+pub use schedule::{one_f_one_b, Schedule, Slot};
+
+use predtop_models::StageSpec;
+
+/// Source of per-stage optimal latencies — the gray-box seam.
+///
+/// Implementations: the ground-truth profiler (simulator), a trained
+/// black-box predictor, or a cached table. The inter-stage optimizer
+/// calls this for every (stage, sub-mesh, configuration) candidate.
+pub trait StageLatencyProvider {
+    /// Optimal execution latency (seconds, forward+backward for one
+    /// micro-batch) of `stage` on a `mesh`-shaped sub-mesh under
+    /// `config`.
+    fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64;
+}

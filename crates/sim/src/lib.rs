@@ -1,0 +1,40 @@
+//! # predtop-sim
+//!
+//! The ground-truth cluster simulator — this reproduction's substitute
+//! for running Alpa's intra-operator compiler and profiling stages on
+//! physical A40/A5500 machines.
+//!
+//! * [`opcost`] — a roofline per-operator cost model with non-linear
+//!   efficiency curves, wave quantization, kernel-launch overheads, and a
+//!   deterministic hash-based perturbation standing in for the
+//!   micro-architectural effects (kernel selection, cache behaviour) that
+//!   make real GPU latencies opaque. It implements
+//!   [`predtop_parallel::intra::OpCost`].
+//! * [`profiler`] — [`SimProfiler`], the "profiling" provider: for every
+//!   `(stage, mesh, configuration)` query it builds the stage graph, runs
+//!   the intra-stage optimizer, and returns the optimal latency — exactly
+//!   what Alpa's *profile everything* baseline does. It also meters the
+//!   simulated wall-clock cost of that work for the Fig. 10a comparison.
+//! * [`costing`] — the optimization-cost ledger: simulated seconds spent
+//!   enumerating, compiling, transferring, and timing stages.
+//! * [`pipeline`] — a discrete-event 1F1B pipeline simulator used to
+//!   validate the Eqn. 4 white-box formula and to stress the paper's
+//!   "inter-stage communication is negligible" assumption.
+//!
+//! Everything is deterministic given `(platform, seed)`; the predictors
+//! in `predtop-gnn` only ever see `(graph, latency)` pairs, preserving
+//! the paper's black-box learning setup.
+
+#![warn(missing_docs)]
+
+pub mod costing;
+pub mod memory;
+pub mod opcost;
+pub mod pipeline;
+pub mod profiler;
+pub mod trace;
+
+pub use costing::{CostLedger, CostingModel};
+pub use memory::{estimate_stage_memory, fits_on, MemoryEstimate};
+pub use opcost::DeviceCostModel;
+pub use profiler::SimProfiler;

@@ -1,0 +1,50 @@
+//! Weight initialization.
+
+use rand::{rngs::StdRng, Rng};
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: entries drawn from
+/// `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(m.data().iter().all(|&x| x > -a && x < a));
+        // not degenerate
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(xavier_uniform(4, 4, &mut r1), xavier_uniform(4, 4, &mut r2));
+        let mut r3 = StdRng::seed_from_u64(8);
+        assert_ne!(xavier_uniform(4, 4, &mut r1), xavier_uniform(4, 4, &mut r3));
+    }
+
+    #[test]
+    fn scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small_fan = xavier_uniform(4, 4, &mut rng);
+        let big_fan = xavier_uniform(512, 512, &mut rng);
+        let rms = |m: &Matrix| m.norm() / (m.data().len() as f32).sqrt();
+        assert!(rms(&big_fan) < rms(&small_fan));
+    }
+}

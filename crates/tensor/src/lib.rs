@@ -1,0 +1,32 @@
+//! # predtop-tensor
+//!
+//! A minimal, dependency-free deep-learning substrate: dense f32
+//! matrices, tape-based reverse-mode automatic differentiation, parameter
+//! stores, Adam with cosine learning-rate decay, and the MAE/MSE losses —
+//! everything `predtop-gnn` needs to train the paper's GCN / GAT /
+//! DAG-Transformer predictors from scratch on a CPU.
+//!
+//! Scope is deliberately 2-D: graph neural networks over node-feature
+//! matrices only ever need `N×d` matrices, `N×N` attention/adjacency
+//! matrices, and row-wise reductions. Keeping rank fixed lets the matmul
+//! kernel stay simple and fast (ikj loop order, autovectorized) — the
+//! whole Table V/VI grid trains on a single core.
+//!
+//! Numerical-gradient property tests in [`tape`] check every operator's
+//! backward rule against central finite differences.
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod schedule;
+pub mod tape;
+
+pub use init::xavier_uniform;
+pub use loss::Loss;
+pub use matrix::Matrix;
+pub use optim::{Adam, ParamStore};
+pub use schedule::cosine_decay;
+pub use tape::{Tape, Var};

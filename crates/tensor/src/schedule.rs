@@ -1,0 +1,47 @@
+//! Learning-rate schedules.
+
+/// Cosine decay (§IV-B6): the learning rate starts at `base` in the
+/// first epoch and decays to 0 in the last, following
+/// `base · ½ (1 + cos(π · epoch / total))`.
+///
+/// # Panics
+/// Panics if `total == 0` or `epoch > total`.
+pub fn cosine_decay(base: f32, epoch: usize, total: usize) -> f32 {
+    assert!(total > 0, "schedule needs at least one epoch");
+    assert!(epoch <= total, "epoch {epoch} beyond total {total}");
+    let progress = epoch as f64 / total as f64;
+    (base as f64 * 0.5 * (1.0 + (std::f64::consts::PI * progress).cos())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(cosine_decay(0.001, 0, 500), 0.001);
+        assert!(cosine_decay(0.001, 500, 500).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let mid = cosine_decay(0.002, 250, 500);
+        assert!((mid - 0.001).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_nonincreasing(base in 1e-5f32..1.0, total in 2usize..1000, e in 0usize..999) {
+            let e = e % total;
+            prop_assert!(cosine_decay(base, e, total) >= cosine_decay(base, e + 1, total));
+        }
+
+        #[test]
+        fn prop_bounded(base in 1e-5f32..1.0, total in 1usize..1000, e in 0usize..1000) {
+            let e = e % (total + 1);
+            let lr = cosine_decay(base, e, total);
+            prop_assert!(lr >= 0.0 && lr <= base);
+        }
+    }
+}

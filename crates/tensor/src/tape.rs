@@ -1,0 +1,662 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records the forward computation as a flat list of operator
+//! nodes over [`Matrix`] values; [`Tape::backward`] walks the list in
+//! reverse, propagating adjoints and accumulating parameter gradients
+//! into a [`ParamStore`]. The operator set is exactly what the three
+//! predictors need — dense affine maps, (masked) row softmax for
+//! attention, (leaky-)ReLU, column slicing/concatenation for multi-head
+//! attention, and the global-add-pool row sum.
+//!
+//! Every backward rule is validated against central finite differences in
+//! the tests at the bottom of this file.
+
+use crate::matrix::Matrix;
+use crate::optim::ParamStore;
+
+/// Handle to a value on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf (inputs, masks, positional encodings): no gradient.
+    Const,
+    /// Parameter leaf: gradient accumulates into `ParamStore` slot.
+    Param(usize),
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// `A · Bᵀ` (attention logits).
+    MatMulNT(Var, Var),
+    /// Elementwise sum of same-shaped matrices.
+    Add(Var, Var),
+    /// `A + broadcast_rows(bias)` with `bias : 1 × d`.
+    AddRow(Var, Var),
+    /// Elementwise product.
+    Hadamard(Var, Var),
+    /// `c · A`.
+    Scale(Var, f32),
+    /// Elementwise max(0, x).
+    Relu(Var),
+    /// Elementwise leaky ReLU.
+    LeakyRelu(Var, f32),
+    /// Row-wise `softmax(A + mask)`; the mask is a constant and gets no
+    /// gradient.
+    MaskedSoftmaxRows(Var, Var),
+    /// Column-sum to a `1 × d` row (global add pool).
+    SumRows(Var),
+    /// Columns `[c0, c1)` of the input.
+    ColSlice(Var, usize, usize),
+    /// Horizontal concatenation.
+    ConcatCols(Vec<Var>),
+    /// Row-wise standardization `(x − μ_row) / σ_row` (layer-norm core).
+    /// Stores the per-row 1/σ for the backward pass.
+    NormalizeRows(Var, Vec<f32>),
+    /// `A ∘ broadcast_rows(scale)` with `scale : 1 × d` (layer-norm γ).
+    MulRow(Var, Var),
+}
+
+/// The autodiff tape.
+#[derive(Debug, Default)]
+pub struct Tape {
+    ops: Vec<Op>,
+    values: Vec<Matrix>,
+}
+
+impl Tape {
+    /// Fresh tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The current value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.values[v.0]
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.ops.push(op);
+        self.values.push(value);
+        Var(self.values.len() - 1)
+    }
+
+    /// Record a constant leaf (no gradient flows into it).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(Op::Const, m)
+    }
+
+    /// Record a parameter leaf reading slot `pid` of `store`.
+    pub fn param(&mut self, store: &ParamStore, pid: usize) -> Var {
+        self.push(Op::Param(pid), store.value(pid).clone())
+    }
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].matmul_nt(&self.values[b.0]);
+        self.push(Op::MatMulNT(a, b), v)
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].add(&self.values[b.0]);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `a + broadcast(bias)` where `bias` is `1 × cols(a)`.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let (av, bv) = (&self.values[a.0], &self.values[bias.0]);
+        assert_eq!(bv.rows(), 1, "bias must be a row vector");
+        assert_eq!(bv.cols(), av.cols());
+        let mut out = av.clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bv.row(0)) {
+                *o += b;
+            }
+        }
+        self.push(Op::AddRow(a, bias), out)
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].hadamard(&self.values[b.0]);
+        self.push(Op::Hadamard(a, b), v)
+    }
+
+    /// `c · a`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.values[a.0].scale(c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let mut v = self.values[a.0].clone();
+        for x in v.data_mut() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let mut v = self.values[a.0].clone();
+        for x in v.data_mut() {
+            if *x < 0.0 {
+                *x *= alpha;
+            }
+        }
+        self.push(Op::LeakyRelu(a, alpha), v)
+    }
+
+    /// Row-wise `softmax(a + mask)`. `mask` must be a constant leaf of
+    /// the same shape; use `0.0` for allowed and `f32::NEG_INFINITY` for
+    /// masked entries (eqn. 1 of the paper). Fully-masked rows produce a
+    /// zero row (not NaN), matching the convention that an isolated node
+    /// attends to nothing.
+    pub fn masked_softmax_rows(&mut self, a: Var, mask: Var) -> Var {
+        let (av, mv) = (&self.values[a.0], &self.values[mask.0]);
+        assert_eq!((av.rows(), av.cols()), (mv.rows(), mv.cols()));
+        let mut out = Matrix::zeros(av.rows(), av.cols());
+        for r in 0..av.rows() {
+            let arow = av.row(r);
+            let mrow = mv.row(r);
+            let mut mx = f32::NEG_INFINITY;
+            for (x, m) in arow.iter().zip(mrow) {
+                let s = x + m;
+                if s > mx {
+                    mx = s;
+                }
+            }
+            if mx == f32::NEG_INFINITY {
+                continue; // fully masked row stays zero
+            }
+            let orow = out.row_mut(r);
+            let mut denom = 0.0f32;
+            for ((o, x), m) in orow.iter_mut().zip(arow).zip(mrow) {
+                let e = (x + m - mx).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in orow.iter_mut() {
+                *o /= denom;
+            }
+        }
+        self.push(Op::MaskedSoftmaxRows(a, mask), out)
+    }
+
+    /// Global add pool: sum all rows into a `1 × d` row.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = &self.values[a.0];
+        let mut out = Matrix::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(r)) {
+                *o += x;
+            }
+        }
+        self.push(Op::SumRows(a), out)
+    }
+
+    /// Columns `[c0, c1)` of `a`.
+    pub fn col_slice(&mut self, a: Var, c0: usize, c1: usize) -> Var {
+        let av = &self.values[a.0];
+        assert!(c0 < c1 && c1 <= av.cols(), "bad column range {c0}..{c1}");
+        let mut out = Matrix::zeros(av.rows(), c1 - c0);
+        for r in 0..av.rows() {
+            out.row_mut(r).copy_from_slice(&av.row(r)[c0..c1]);
+        }
+        self.push(Op::ColSlice(a, c0, c1), out)
+    }
+
+    /// Horizontal concatenation of equal-row-count matrices.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty());
+        let rows = self.values[parts[0].0].rows();
+        let total: usize = parts.iter().map(|p| self.values[p.0].cols()).sum();
+        let mut out = Matrix::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let pv = &self.values[p.0];
+            assert_eq!(pv.rows(), rows, "row mismatch in concat");
+            for r in 0..rows {
+                out.row_mut(r)[off..off + pv.cols()].copy_from_slice(pv.row(r));
+            }
+            off += pv.cols();
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), out)
+    }
+
+    /// Row-wise standardization: each row becomes `(x − μ) / σ` with
+    /// `σ = sqrt(var + 1e-5)` — the core of layer normalization (compose
+    /// with [`Tape::mul_row`] and [`Tape::add_row`] for γ/β).
+    pub fn normalize_rows(&mut self, a: Var) -> Var {
+        let av = &self.values[a.0];
+        let (rows, cols) = (av.rows(), av.cols());
+        let mut out = Matrix::zeros(rows, cols);
+        let mut inv_sigma = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = av.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            inv_sigma.push(inv);
+            for (o, &x) in out.row_mut(r).iter_mut().zip(row) {
+                *o = (x - mean) * inv;
+            }
+        }
+        self.push(Op::NormalizeRows(a, inv_sigma), out)
+    }
+
+    /// `a ∘ broadcast(scale)` where `scale` is `1 × cols(a)`.
+    pub fn mul_row(&mut self, a: Var, scale: Var) -> Var {
+        let (av, sv) = (&self.values[a.0], &self.values[scale.0]);
+        assert_eq!(sv.rows(), 1, "scale must be a row vector");
+        assert_eq!(sv.cols(), av.cols());
+        let mut out = av.clone();
+        for r in 0..out.rows() {
+            for (o, &s) in out.row_mut(r).iter_mut().zip(sv.row(0)) {
+                *o *= s;
+            }
+        }
+        self.push(Op::MulRow(a, scale), out)
+    }
+
+    /// Reverse pass: seed the adjoint of `out` with `seed` and accumulate
+    /// parameter gradients into `store.grads`.
+    ///
+    /// # Panics
+    /// Panics if `seed`'s shape differs from `out`'s value.
+    pub fn backward(&self, out: Var, seed: Matrix, store: &mut ParamStore) {
+        let ov = &self.values[out.0];
+        assert_eq!((seed.rows(), seed.cols()), (ov.rows(), ov.cols()));
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.values.len()];
+        grads[out.0] = Some(seed);
+
+        for idx in (0..=out.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            match &self.ops[idx] {
+                Op::Const => {}
+                Op::Param(pid) => store.grad_mut(*pid).add_assign(&g),
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_nt(&self.values[b.0]);
+                    let db = self.values[a.0].matmul_tn(&g);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::MatMulNT(a, b) => {
+                    // y = A Bᵀ : dA = G B ; dB = Gᵀ A
+                    let da = g.matmul(&self.values[b.0]);
+                    let db = g.matmul_tn(&self.values[a.0]);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, bias) => {
+                    let mut db = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    accumulate(&mut grads, *bias, db);
+                    accumulate(&mut grads, *a, g);
+                }
+                Op::Hadamard(a, b) => {
+                    let da = g.hadamard(&self.values[b.0]);
+                    let db = g.hadamard(&self.values[a.0]);
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *b, db);
+                }
+                Op::Scale(a, c) => accumulate(&mut grads, *a, g.scale(*c)),
+                Op::Relu(a) => {
+                    let mut da = g;
+                    for (d, &x) in da.data_mut().iter_mut().zip(self.values[a.0].data()) {
+                        if x <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let mut da = g;
+                    for (d, &x) in da.data_mut().iter_mut().zip(self.values[a.0].data()) {
+                        if x < 0.0 {
+                            *d *= alpha;
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::MaskedSoftmaxRows(a, _mask) => {
+                    // dA_rc = y_rc * (g_rc - Σ_k g_rk y_rk)
+                    let y = &self.values[idx];
+                    let mut da = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let yrow = y.row(r);
+                        let grow = g.row(r);
+                        let dot: f32 = yrow.iter().zip(grow).map(|(a, b)| a * b).sum();
+                        for ((d, &yv), &gv) in da.row_mut(r).iter_mut().zip(yrow).zip(grow) {
+                            *d = yv * (gv - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::SumRows(a) => {
+                    let av = &self.values[a.0];
+                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        da.row_mut(r).copy_from_slice(g.row(0));
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::ColSlice(a, c0, _c1) => {
+                    let av = &self.values[a.0];
+                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..g.rows() {
+                        da.row_mut(r)[*c0..*c0 + g.cols()].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::NormalizeRows(a, inv_sigma) => {
+                    // y = (x − μ)/σ ; dx = (1/σ)(g − mean(g) − y · mean(g∘y))
+                    let y = &self.values[idx];
+                    let cols = y.cols() as f32;
+                    let mut da = Matrix::zeros(y.rows(), y.cols());
+                    for (r, &inv) in inv_sigma.iter().enumerate() {
+                        let yrow = y.row(r);
+                        let grow = g.row(r);
+                        let gmean = grow.iter().sum::<f32>() / cols;
+                        let gy_mean =
+                            grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f32>() / cols;
+                        for ((d, &gv), &yv) in da.row_mut(r).iter_mut().zip(grow).zip(yrow) {
+                            *d = inv * (gv - gmean - yv * gy_mean);
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                }
+                Op::MulRow(a, scale) => {
+                    let sv = &self.values[scale.0];
+                    let av = &self.values[a.0];
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        for (d, &s) in da.row_mut(r).iter_mut().zip(sv.row(0)) {
+                            *d *= s;
+                        }
+                    }
+                    let mut ds = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for ((o, &gv), &xv) in
+                            ds.row_mut(0).iter_mut().zip(g.row(r)).zip(av.row(r))
+                        {
+                            *o += gv * xv;
+                        }
+                    }
+                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *scale, ds);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let pc = self.values[p.0].cols();
+                        let rows = g.rows();
+                        let mut dp = Matrix::zeros(rows, pc);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
+                        }
+                        accumulate(&mut grads, p, dp);
+                        off += pc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
+        Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    }
+
+    /// Generic finite-difference check: `f` builds a scalar-producing
+    /// graph from the parameter store; compares autodiff grads of every
+    /// param entry against central differences.
+    fn grad_check<F>(store: &mut ParamStore, f: F)
+    where
+        F: Fn(&mut Tape, &ParamStore) -> Var,
+    {
+        // analytic gradient
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let out = f(&mut tape, store);
+        assert_eq!(
+            (tape.value(out).rows(), tape.value(out).cols()),
+            (1, 1),
+            "grad_check needs a scalar output"
+        );
+        tape.backward(out, Matrix::full(1, 1, 1.0), store);
+
+        let eps = 3e-3f32;
+        for pid in 0..store.len() {
+            for i in 0..store.value(pid).data().len() {
+                let orig = store.value(pid).data()[i];
+                store.value_mut(pid).data_mut()[i] = orig + eps;
+                let mut tp = Tape::new();
+                let o = f(&mut tp, store);
+                let plus = tp.value(o).get(0, 0);
+                store.value_mut(pid).data_mut()[i] = orig - eps;
+                let mut tm = Tape::new();
+                let o = f(&mut tm, store);
+                let minus = tm.value(o).get(0, 0);
+                store.value_mut(pid).data_mut()[i] = orig;
+
+                let numeric = (plus - minus) / (2.0 * eps);
+                let analytic = store.grad(pid).data()[i];
+                let denom = numeric.abs().max(analytic.abs()).max(1e-2);
+                assert!(
+                    (numeric - analytic).abs() / denom < 0.08,
+                    "param {pid}[{i}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w1 = store.add(rand_matrix(&mut rng, 4, 3));
+        let w2 = store.add(rand_matrix(&mut rng, 3, 1));
+        let x = rand_matrix(&mut rng, 1, 4);
+        grad_check(&mut store, move |t, s| {
+            let xv = t.constant(x.clone());
+            let a = t.param(s, w1);
+            let b = t.param(s, w2);
+            let h = t.matmul(xv, a);
+            let h = t.relu(h);
+            t.matmul(h, b)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_nt_and_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let q = store.add(rand_matrix(&mut rng, 2, 3));
+        let k = store.add(rand_matrix(&mut rng, 2, 3));
+        grad_check(&mut store, move |t, s| {
+            let qv = t.param(s, q);
+            let kv = t.param(s, k);
+            let scores = t.matmul_nt(qv, kv); // 2x2
+            let scaled = t.scale(scores, 0.7);
+            let pooled = t.sum_rows(scaled); // 1x2
+            let ones = t.constant(Matrix::full(1, 2, 1.0));
+            let h = t.hadamard(pooled, ones);
+            // reduce to scalar: h · onesᵀ
+            let ones2 = t.constant(Matrix::full(1, 2, 1.0));
+            t.matmul_nt(h, ones2)
+        });
+    }
+
+    #[test]
+    fn grad_masked_softmax() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let a = store.add(rand_matrix(&mut rng, 3, 3));
+        // mask out one entry per row, keep rows viable
+        let mut mask = Matrix::zeros(3, 3);
+        mask.set(0, 2, f32::NEG_INFINITY);
+        mask.set(1, 0, f32::NEG_INFINITY);
+        grad_check(&mut store, move |t, s| {
+            let av = t.param(s, a);
+            let mv = t.constant(mask.clone());
+            let sm = t.masked_softmax_rows(av, mv);
+            let w = t.constant(rand_det(3));
+            let prod = t.hadamard(sm, w);
+            let pooled = t.sum_rows(prod); // 1x3
+            let ones = t.constant(Matrix::full(1, 3, 1.0));
+            t.matmul_nt(pooled, ones)
+        });
+    }
+
+    fn rand_det(n: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(99);
+        Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen_range(0.1f32..1.0)).collect())
+    }
+
+    #[test]
+    fn grad_add_row_and_leaky() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let w = store.add(rand_matrix(&mut rng, 3, 2));
+        let b = store.add(rand_matrix(&mut rng, 1, 2));
+        let x = rand_matrix(&mut rng, 2, 3);
+        grad_check(&mut store, move |t, s| {
+            let xv = t.constant(x.clone());
+            let wv = t.param(s, w);
+            let bv = t.param(s, b);
+            let h = t.matmul(xv, wv);
+            let h = t.add_row(h, bv);
+            let h = t.leaky_relu(h, 0.2);
+            let pooled = t.sum_rows(h);
+            let ones = t.constant(Matrix::full(1, 2, 1.0));
+            t.matmul_nt(pooled, ones)
+        });
+    }
+
+    #[test]
+    fn grad_slice_concat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let w = store.add(rand_matrix(&mut rng, 2, 4));
+        grad_check(&mut store, move |t, s| {
+            let wv = t.param(s, w);
+            let left = t.col_slice(wv, 0, 2);
+            let right = t.col_slice(wv, 2, 4);
+            let swapped = t.concat_cols(&[right, left]);
+            let act = t.relu(swapped);
+            let pooled = t.sum_rows(act);
+            let ones = t.constant(Matrix::full(1, 4, 1.0));
+            t.matmul_nt(pooled, ones)
+        });
+    }
+
+    #[test]
+    fn grad_normalize_and_mul_row() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ParamStore::new();
+        let x = store.add(rand_matrix(&mut rng, 3, 4));
+        let gamma = store.add(rand_matrix(&mut rng, 1, 4));
+        let beta = store.add(rand_matrix(&mut rng, 1, 4));
+        grad_check(&mut store, move |t, s| {
+            let xv = t.param(s, x);
+            let normed = t.normalize_rows(xv);
+            let gv = t.param(s, gamma);
+            let bv = t.param(s, beta);
+            let scaled = t.mul_row(normed, gv);
+            let shifted = t.add_row(scaled, bv);
+            let act = t.relu(shifted);
+            let pooled = t.sum_rows(act);
+            let ones = t.constant(Matrix::full(1, 4, 1.0));
+            t.matmul_nt(pooled, ones)
+        });
+    }
+
+    #[test]
+    fn normalize_rows_standardizes() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 0.0]));
+        let y = tape.normalize_rows(x);
+        let v = tape.value(y);
+        for r in 0..2 {
+            let mean: f32 = v.row(r).iter().sum::<f32>() / 4.0;
+            let var: f32 = v.row(r).iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn fanout_accumulates_gradients() {
+        // y = (x·w) + (x·w) — grad wrt w must be doubled
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::full(1, 1, 0.5));
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::full(1, 1, 3.0));
+        let wv = tape.param(&store, w);
+        let a = tape.matmul(x, wv);
+        let y = tape.add(a, a);
+        tape.backward(y, Matrix::full(1, 1, 1.0), &mut store);
+        assert_eq!(store.grad(w).get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn fully_masked_row_yields_zero_not_nan() {
+        let mut tape = Tape::new();
+        let store = ParamStore::new();
+        let _ = &store;
+        let a = tape.constant(Matrix::full(2, 2, 1.0));
+        let mut mask = Matrix::zeros(2, 2);
+        mask.set(1, 0, f32::NEG_INFINITY);
+        mask.set(1, 1, f32::NEG_INFINITY);
+        let mv = tape_const(&mut tape, mask);
+        let sm = tape.masked_softmax_rows(a, mv);
+        let v = tape.value(sm);
+        assert!((v.get(0, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(v.row(1), &[0.0, 0.0]);
+        assert!(v.data().iter().all(|x| x.is_finite()));
+    }
+
+    fn tape_const(t: &mut Tape, m: Matrix) -> Var {
+        t.constant(m)
+    }
+}

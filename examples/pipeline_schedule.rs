@@ -1,0 +1,88 @@
+//! Visualize pipeline schedules (the Fig. 6 picture): 1F1B vs GPipe
+//! timelines for a realistic stage partition, with bubble fractions and
+//! activation-memory footprints.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_schedule
+//! ```
+
+use predtop::parallel::schedule::{gpipe, one_f_one_b, Schedule, Slot, SlotSpan};
+use predtop::prelude::*;
+use predtop::sim::trace::{schedule_trace, to_json};
+
+/// Render simulated slot spans as an ASCII Gantt chart: one row per
+/// stage, one column per time unit (forward = `Fi`, backward = `bi`,
+/// idle = `..`).
+fn render(spans: &[Vec<SlotSpan>], makespan: f64, unit: f64) -> String {
+    let width = (makespan / unit).ceil() as usize;
+    let mut out = String::new();
+    for (s, row) in spans.iter().enumerate() {
+        let mut line = vec!["..".to_string(); width];
+        for sp in row {
+            let label = match sp.slot {
+                Slot::Forward(i) => format!("F{i}"),
+                Slot::Backward(i) => format!("b{i}"),
+            };
+            let c0 = (sp.start / unit).round() as usize;
+            let c1 = ((sp.finish / unit).round() as usize).min(width);
+            for cell in line.iter_mut().take(c1).skip(c0) {
+                *cell = format!("{label:<2}");
+            }
+        }
+        out.push_str(&format!("stage {s}: {}\n", line.join("")));
+    }
+    out
+}
+
+fn main() {
+    // per-stage forward/backward times from the simulator: a 4-stage even
+    // partition of a small GPT on four single-GPU meshes
+    let mut model = ModelSpec::gpt3_1p3b(2);
+    model.seq_len = 64;
+    model.hidden = 128;
+    model.num_heads = 8;
+    model.vocab = 1024;
+    model.num_layers = 8;
+    let profiler = SimProfiler::new(Platform::platform2(), 3);
+    let iter_times: Vec<f64> = (0..4)
+        .map(|i| {
+            profiler.stage_latency(
+                &StageSpec::new(model, i * 2, (i + 1) * 2),
+                MeshShape::new(1, 1),
+                ParallelConfig::SERIAL,
+            )
+        })
+        .collect();
+    // iteration time = fwd + bwd with bwd ≈ 2×fwd
+    let fwd: Vec<f64> = iter_times.iter().map(|t| t / 3.0).collect();
+    let bwd: Vec<f64> = iter_times.iter().map(|t| t * 2.0 / 3.0).collect();
+    let unit = fwd.iter().cloned().fold(f64::MAX, f64::min) / 2.0;
+    let microbatches = 6;
+
+    let schedules: [(&str, Schedule); 2] = [
+        ("1F1B (the paper's schedule)", one_f_one_b(4, microbatches)),
+        ("GPipe fill-drain", gpipe(4, microbatches)),
+    ];
+    for (name, sched) in &schedules {
+        sched.validate().expect("valid schedule");
+        let (spans, mk) = sched.simulate(&fwd, &bwd);
+        println!("=== {name}: makespan {mk:.4} s ===");
+        print!("{}", render(&spans, mk, unit));
+        let peak: Vec<usize> = (0..4).map(|s| sched.peak_in_flight(s)).collect();
+        println!("peak in-flight activations per stage: {peak:?}\n");
+    }
+
+    // export the 1F1B timeline as a chrome://tracing / Perfetto file
+    let (spans, _) = schedules[0].1.simulate(&fwd, &bwd);
+    let trace = to_json(&schedule_trace(&schedules[0].1, &spans));
+    let path = std::env::temp_dir().join("predtop_1f1b_trace.json");
+    std::fs::write(&path, trace).expect("write trace");
+    println!("Perfetto trace written to {} (open in ui.perfetto.dev)", path.display());
+
+    let total: Vec<f64> = fwd.iter().zip(&bwd).map(|(f, b)| f + b).collect();
+    println!(
+        "Eqn. 4 on t = fwd+bwd: {:.4} s (B = {microbatches})",
+        pipeline_latency(&total, microbatches)
+    );
+    println!("1F1B matches Eqn. 4; GPipe matches too but holds all {microbatches} microbatches live.");
+}

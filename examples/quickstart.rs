@@ -1,0 +1,86 @@
+//! Quickstart: predict the end-to-end training iteration latency of a
+//! GPT-style model with the gray-box workflow.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full §VI pipeline on a small model: profile a sampled
+//! subset of stages on the simulated Platform 1, train a DAG Transformer
+//! per (mesh, configuration) scenario, then predict the latency of a
+//! pipeline plan that was never profiled — and compare with ground
+//! truth.
+
+use predtop::prelude::*;
+
+fn main() {
+    // A GPT-style benchmark scaled to run in seconds on a laptop core.
+    let mut model = ModelSpec::gpt3_1p3b(2);
+    model.seq_len = 128;
+    model.hidden = 128;
+    model.num_heads = 8;
+    model.vocab = 2048;
+    model.num_layers = 8;
+
+    // Platform 1: one node, two A40s over NVLink (simulated).
+    let profiler = SimProfiler::new(Platform::platform1(), 42);
+    let cluster = MeshShape::new(1, 2);
+
+    // Phases 1+2 (§VI): profile sampled stages, train per-scenario
+    // DAG Transformers.
+    println!("fitting PredTOP (profiling + training phases)...");
+    let mut arch = ArchConfig::scaled(ModelKind::DagTransformer);
+    arch.hidden = 32;
+    arch.layers = 2;
+    let cfg = GrayBoxConfig {
+        num_profile_stages: 24,
+        max_stage_layers: 4,
+        arch,
+        train: TrainConfig::quick(60),
+        seed: 42,
+    };
+    let predtop = PredTop::fit(model, cluster, &profiler, &cfg);
+    println!(
+        "  profiled {} stages, trained {} scenario predictors in {:.1}s",
+        predtop.profiled_stage_count,
+        predtop.scenarios().count(),
+        predtop.training_seconds
+    );
+
+    // Phase 3: predict the latency of a two-stage pipeline plan.
+    let stages = [
+        (StageSpec::new(model, 0, 4), ParallelConfig::new(1, 1)),
+        (StageSpec::new(model, 4, 8), ParallelConfig::new(1, 1)),
+    ];
+    let mesh = MeshShape::new(1, 1);
+    let microbatches = 8;
+
+    let predicted: Vec<f64> = stages
+        .iter()
+        .map(|(s, c)| predtop.stage_latency(s, mesh, *c))
+        .collect();
+    let actual: Vec<f64> = stages
+        .iter()
+        .map(|(s, c)| profiler.stage_latency(s, mesh, *c))
+        .collect();
+
+    // White-box composition (eqn. 4).
+    let t_pred = pipeline_latency(&predicted, microbatches);
+    let t_true = pipeline_latency(&actual, microbatches);
+
+    println!("\nper-stage latencies (seconds):");
+    for ((stage, _), (p, a)) in stages.iter().zip(predicted.iter().zip(&actual)) {
+        println!(
+            "  {:<14} predicted {:.5}  actual {:.5}  ({:+.1}%)",
+            stage.label(),
+            p,
+            a,
+            100.0 * (p - a) / a
+        );
+    }
+    println!(
+        "\npipeline iteration latency (Eqn. 4, B={microbatches}):\n  \
+         predicted {t_pred:.5} s  vs  ground truth {t_true:.5} s  ({:+.1}%)",
+        100.0 * (t_pred - t_true) / t_true
+    );
+}

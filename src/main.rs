@@ -1,0 +1,373 @@
+//! `predtop` — command-line front end to the library.
+//!
+//! ```text
+//! predtop info                          platforms, meshes, benchmarks
+//! predtop profile [options]             simulate one stage's latency
+//! predtop search  [options]             optimize a pipeline plan
+//! predtop fit     [options] -o FILE     fit a predictor and save it
+//! predtop predict -m FILE [options]     predict with a saved predictor
+//! ```
+//!
+//! Common options: `--model gpt3|moe`, `--platform 1|2`, `--mesh NxG`,
+//! `--dp D --mp M`, `--stage A..B`, `--scaled` (shrink the benchmark so
+//! runs finish in seconds on a laptop), `--seed S`.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use predtop::core::persist;
+use predtop::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: predtop <command> [options]\n\
+         \n\
+         commands:\n\
+           info                       list platforms, meshes, and benchmarks\n\
+           profile                    simulate one stage's training latency\n\
+           search                     optimize a full pipeline plan\n\
+           fit -o FILE                fit a DAG-Transformer predictor, save JSON\n\
+           predict -m FILE            predict a stage latency with a saved model\n\
+         \n\
+         options:\n\
+           --model gpt3|moe           benchmark (default gpt3)\n\
+           --platform 1|2             hardware platform (default 2)\n\
+           --mesh NxG                 sub-mesh, e.g. 1x2 (default 1x1)\n\
+           --dp D --mp M              parallelism config (default 1,1)\n\
+           --stage A..B               layer range (default whole model)\n\
+           --microbatches B           pipeline micro-batches (default 8)\n\
+           --scaled                   shrink the benchmark for quick runs\n\
+           --seed S                   simulator seed (default 7)"
+    );
+    exit(2)
+}
+
+struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else { usage() };
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if !a.starts_with("--") && a != "-o" && a != "-m" {
+            eprintln!("unexpected argument `{a}`");
+            usage();
+        }
+        let key = a.trim_start_matches('-').to_string();
+        if matches!(key.as_str(), "scaled") {
+            switches.push(key);
+        } else {
+            i += 1;
+            if i >= rest.len() {
+                eprintln!("flag `{a}` needs a value");
+                usage();
+            }
+            flags.insert(key, rest[i].clone());
+        }
+        i += 1;
+    }
+    Args {
+        command,
+        flags,
+        switches,
+    }
+}
+
+impl Args {
+    fn model(&self) -> ModelSpec {
+        let scaled = self.switches.iter().any(|s| s == "scaled");
+        let mut m = match self.flags.get("model").map(|s| s.as_str()) {
+            None | Some("gpt3") => ModelSpec::gpt3_1p3b(if scaled { 2 } else { 8 }),
+            Some("moe") => ModelSpec::moe_2p6b(if scaled { 2 } else { 8 }),
+            Some(other) => {
+                eprintln!("unknown model `{other}` (gpt3|moe)");
+                usage()
+            }
+        };
+        if scaled {
+            m.seq_len = 128;
+            m.hidden = 128;
+            m.num_heads = 8;
+            m.vocab = 2048;
+            m.num_layers = 8;
+            if let Some(moe) = m.moe.as_mut() {
+                moe.num_experts = 8;
+                moe.expert_hidden = 256;
+            }
+        }
+        m
+    }
+
+    fn platform(&self) -> Platform {
+        match self.flags.get("platform").map(|s| s.as_str()) {
+            Some("1") => Platform::platform1(),
+            None | Some("2") => Platform::platform2(),
+            Some(other) => {
+                eprintln!("unknown platform `{other}` (1|2)");
+                usage()
+            }
+        }
+    }
+
+    fn mesh(&self) -> MeshShape {
+        let spec = self.flags.get("mesh").map(|s| s.as_str()).unwrap_or("1x1");
+        let parts: Vec<&str> = spec.split('x').collect();
+        match parts.as_slice() {
+            [n, g] => match (n.parse(), g.parse()) {
+                (Ok(n), Ok(g)) => MeshShape::new(n, g),
+                _ => {
+                    eprintln!("bad mesh `{spec}` (expected NxG)");
+                    usage()
+                }
+            },
+            _ => {
+                eprintln!("bad mesh `{spec}` (expected NxG)");
+                usage()
+            }
+        }
+    }
+
+    fn config(&self) -> ParallelConfig {
+        let dp = self.usize_flag("dp", 1);
+        let mp = self.usize_flag("mp", 1);
+        ParallelConfig::new(dp, mp)
+    }
+
+    fn usize_flag(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} expects a number, got `{v}`");
+                    usage()
+                })
+            })
+            .unwrap_or(default)
+    }
+
+    fn seed(&self) -> u64 {
+        self.usize_flag("seed", 7) as u64
+    }
+
+    fn stage(&self, model: ModelSpec) -> StageSpec {
+        match self.flags.get("stage") {
+            None => StageSpec::new(model, 0, model.num_layers),
+            Some(spec) => {
+                let parts: Vec<&str> = spec.split("..").collect();
+                match parts.as_slice() {
+                    [a, b] => match (a.parse(), b.parse()) {
+                        (Ok(a), Ok(b)) => StageSpec::new(model, a, b),
+                        _ => {
+                            eprintln!("bad stage `{spec}` (expected A..B)");
+                            usage()
+                        }
+                    },
+                    _ => {
+                        eprintln!("bad stage `{spec}` (expected A..B)");
+                        usage()
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn cmd_info() {
+    println!("PredTOP — gray-box latency prediction for distributed DL training\n");
+    for platform in [Platform::platform1(), Platform::platform2()] {
+        println!(
+            "{}: {} ({} CUDA cores, {:.0} GiB, {:.0} GB/s)",
+            platform.name,
+            platform.gpu.name,
+            platform.gpu.cuda_cores,
+            platform.gpu.memory_gib,
+            platform.gpu.mem_bandwidth_gbs
+        );
+        for mesh in platform.table2_meshes() {
+            let shape = MeshShape::new(mesh.num_nodes, mesh.gpus_per_node);
+            let configs: Vec<String> = table3_configs(shape)
+                .iter()
+                .map(|c| c.remark())
+                .collect();
+            println!(
+                "  mesh {} ({}): {}",
+                mesh.table2_index().unwrap(),
+                mesh.label(),
+                configs.join(" / ")
+            );
+        }
+    }
+    println!();
+    for model in [ModelSpec::gpt3_1p3b(8), ModelSpec::moe_2p6b(8)] {
+        println!(
+            "{}: {} layers, hidden {}, seq {}, vocab {}, ~{:.2}B params, {} stage candidates",
+            model.kind.name(),
+            model.num_layers,
+            model.hidden,
+            model.seq_len,
+            model.vocab,
+            model.approx_params() as f64 / 1e9,
+            enumerate_stages(model).len()
+        );
+    }
+}
+
+fn cmd_profile(args: &Args) {
+    let model = args.model();
+    let stage = args.stage(model);
+    let mesh = args.mesh();
+    let config = args.config();
+    if config.num_devices() != mesh.num_devices() {
+        eprintln!(
+            "config dp*mp = {} does not fill mesh {} ({} devices)",
+            config.num_devices(),
+            mesh.label(),
+            mesh.num_devices()
+        );
+        exit(2);
+    }
+    let profiler = SimProfiler::new(args.platform(), args.seed());
+    let graph = profiler.stage_graph(&stage);
+    let t = profiler.stage_latency(&stage, mesh, config);
+    println!(
+        "{} on {} mesh {} [{}]",
+        stage.label(),
+        args.platform().name,
+        mesh.label(),
+        config.remark()
+    );
+    println!("  graph: {} nodes, {} edges", graph.len(), graph.num_edges());
+    println!("  training-iteration latency: {:.6} s (one micro-batch)", t);
+}
+
+fn cmd_search(args: &Args) {
+    let model = args.model();
+    let platform = args.platform();
+    let cluster = MeshShape::new(platform.max_nodes, platform.gpus_per_node);
+    let profiler = SimProfiler::new(platform.clone(), args.seed());
+    let opts = InterStageOptions {
+        microbatches: args.usize_flag("microbatches", 8),
+        imbalance_tolerance: None,
+    };
+    eprintln!(
+        "searching plans for {} on {} ({} candidates will be profiled)...",
+        model.kind.name(),
+        platform.name,
+        enumerate_stages(model).len()
+    );
+    let out = search_plan(model, cluster, &profiler, &profiler, opts);
+    println!("optimal plan ({} stage-latency queries):", out.num_queries);
+    for ps in &out.plan.stages {
+        println!(
+            "  {} on {} [{}]",
+            ps.stage.label(),
+            ps.mesh.label(),
+            ps.config.remark()
+        );
+    }
+    println!(
+        "iteration latency: {:.6} s (B = {})",
+        out.true_latency, out.plan.microbatches
+    );
+    let bill = profiler.ledger().totals();
+    println!(
+        "profiling bill: {} stages, {:.0} simulated seconds",
+        bill.stages_profiled, bill.profiling_s
+    );
+}
+
+fn cmd_fit(args: &Args) {
+    let Some(out_path) = args.flags.get("o") else {
+        eprintln!("fit requires -o FILE");
+        usage()
+    };
+    let model = args.model();
+    let mesh = args.mesh();
+    let config = args.config();
+    let platform = args.platform();
+    let profiler = SimProfiler::new(platform.clone(), args.seed());
+
+    let mut arch = ArchConfig::scaled(ModelKind::DagTransformer);
+    if !args.switches.iter().any(|s| s == "scaled") {
+        arch = ArchConfig::paper(ModelKind::DagTransformer);
+    }
+    let stages = sample_stages(model, args.usize_flag("stages", 24), 4, args.seed());
+    eprintln!(
+        "profiling {} stages on {} {} [{}]...",
+        stages.len(),
+        platform.name,
+        mesh.label(),
+        config.remark()
+    );
+    let samples: Vec<GraphSample> = stages
+        .iter()
+        .map(|s| {
+            let lat = profiler.stage_latency(s, mesh, config);
+            GraphSample::new(&profiler.stage_graph(s), lat, arch.pe_dim())
+        })
+        .collect();
+    let ds = Dataset::new(samples);
+    let split = ds.split(0.8, args.seed());
+    let mut net = arch.build(args.seed());
+    eprintln!("training DAG Transformer ({} layers x {})...", arch.layers, arch.hidden);
+    let (scaler, report) = predtop::gnn::train::train(
+        net.as_mut(),
+        &ds,
+        &split,
+        &TrainConfig::quick(args.usize_flag("epochs", 60)),
+    );
+    let mre = predtop::gnn::train::eval_mre(net.as_ref(), &scaler, &ds, &split.test);
+    let predictor = TrainedPredictor { model: net, scaler };
+    persist::save_to_file(out_path, arch, &predictor).unwrap_or_else(|e| {
+        eprintln!("save failed: {e}");
+        exit(1);
+    });
+    println!(
+        "trained in {:.1}s ({} epochs), held-out MRE {:.2}%, saved to {out_path}",
+        report.train_seconds, report.epochs_run, mre
+    );
+}
+
+fn cmd_predict(args: &Args) {
+    let Some(model_path) = args.flags.get("m") else {
+        eprintln!("predict requires -m FILE");
+        usage()
+    };
+    let predictor = persist::load_from_file(model_path).unwrap_or_else(|e| {
+        eprintln!("load failed: {e}");
+        exit(1);
+    });
+    let model = args.model();
+    let stage = args.stage(model);
+    let graph = stage.build_graph();
+    // the saved file knows its pe_dim via the architecture; rebuild a
+    // compatible sample using the stored input width
+    let saved = std::fs::read_to_string(model_path).unwrap();
+    let arch: persist::SavedPredictor = serde_json::from_str(&saved).unwrap();
+    let sample = GraphSample::new(&graph, 1.0, arch.arch.pe_dim());
+    let t = predictor.predict(&sample);
+    println!("{}: predicted latency {:.6} s", stage.label(), t);
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "info" => cmd_info(),
+        "profile" => cmd_profile(&args),
+        "search" => cmd_search(&args),
+        "fit" => cmd_fit(&args),
+        "predict" => cmd_predict(&args),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the `predtop` command-line binary.
+
+use std::process::Command;
+
+fn predtop() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_predtop"))
+}
+
+#[test]
+fn info_lists_platforms_and_benchmarks() {
+    let out = predtop().arg("info").output().expect("run predtop info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("NVIDIA A40"));
+    assert!(text.contains("NVIDIA RTX A5500"));
+    assert!(text.contains("GPT-3"));
+    assert!(text.contains("300 stage candidates"));
+    assert!(text.contains("4 way Model parallel"));
+}
+
+#[test]
+fn profile_reports_latency() {
+    let out = predtop()
+        .args([
+            "profile", "--scaled", "--stage", "2..4", "--mesh", "1x2", "--mp", "2",
+        ])
+        .output()
+        .expect("run predtop profile");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GPT-3[2..4)"));
+    assert!(text.contains("2 way Model parallel"));
+    assert!(text.contains("training-iteration latency"));
+}
+
+#[test]
+fn profile_rejects_config_mesh_mismatch() {
+    let out = predtop()
+        .args(["profile", "--scaled", "--mesh", "1x1", "--mp", "2"])
+        .output()
+        .expect("run predtop profile");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not fill"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = predtop().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn fit_then_predict_roundtrip() {
+    let model_path = std::env::temp_dir().join("predtop_cli_test_model.json");
+    let _ = std::fs::remove_file(&model_path);
+    let out = predtop()
+        .args([
+            "fit",
+            "--scaled",
+            "--mesh",
+            "1x1",
+            "--stages",
+            "12",
+            "--epochs",
+            "6",
+            "-o",
+            model_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run predtop fit");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model_path.exists(), "model file written");
+
+    let out = predtop()
+        .args([
+            "predict",
+            "--scaled",
+            "--stage",
+            "1..3",
+            "-m",
+            model_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run predtop predict");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted latency"), "{text}");
+    std::fs::remove_file(model_path).ok();
+}
+
+#[test]
+fn search_finds_a_plan() {
+    let out = predtop()
+        .args(["search", "--scaled", "--platform", "1", "--microbatches", "4"])
+        .output()
+        .expect("run predtop search");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimal plan"));
+    assert!(text.contains("iteration latency"));
+    assert!(text.contains("profiling bill"));
+}
