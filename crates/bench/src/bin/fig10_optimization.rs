@@ -15,7 +15,8 @@
 
 use predtop_bench::{Protocol, TableWriter};
 use predtop_cluster::Platform;
-use predtop_core::{search_plan, GrayBoxConfig, PredTop};
+use predtop_core::{search_plan, search_plan_cached, GrayBoxConfig, PredTop};
+use predtop_runtime::configured_threads;
 use predtop_gnn::ModelKind;
 use predtop_parallel::{InterStageOptions, MeshShape};
 use predtop_sim::SimProfiler;
@@ -53,12 +54,23 @@ fn main() {
         let bench_name = model.kind.name();
 
         // ---- full profiling -------------------------------------------
+        // the memoized search is transparent (same plan, same latency);
+        // its stats show how much of the DP's candidate traffic the
+        // cache absorbed before it reached the simulator
         let profiler = SimProfiler::new(platform.clone(), proto.seed);
-        let full = search_plan(model, cluster, &profiler, &profiler, opts);
+        let full = search_plan_cached(model, cluster, &profiler, &profiler, opts);
         let full_cost = profiler.ledger().totals();
+        let stats = full.cache.expect("cached search reports stats");
         eprintln!(
-            "[fig10/{bench_name}] full profiling: {} queries, {:.0} sim-s, plan {:.4}s",
-            full.num_queries, full_cost.profiling_s, full.true_latency
+            "[fig10/{bench_name}] full profiling: {} queries ({} cache hits, {} misses, \
+             {} worker threads, {:.2}s wall), {:.0} sim-s, plan {:.4}s",
+            full.num_queries,
+            stats.hits,
+            stats.misses,
+            configured_threads(),
+            full.search_seconds,
+            full_cost.profiling_s,
+            full.true_latency
         );
 
         // ---- partial profiling ----------------------------------------

@@ -1,0 +1,82 @@
+//! Wall-clock scaling of the parallel plan-search engine.
+//!
+//! Runs the same full-profiling inter-stage search at 1 worker thread
+//! and at the configured pool size (see `PREDTOP_THREADS`), verifies the
+//! outcomes are bit-identical, and prints both wall clocks — the
+//! engine's determinism contract made visible. A final cached pass shows
+//! the memoization layer's hit/miss accounting.
+//!
+//! ```sh
+//! cargo run --release --bin search_scaling
+//! PREDTOP_THREADS=8 cargo run --release --bin search_scaling
+//! ```
+
+use predtop_cluster::Platform;
+use predtop_core::{search_plan_cached_with_threads, search_plan_with_threads};
+use predtop_models::ModelSpec;
+use predtop_parallel::{InterStageOptions, MeshShape};
+use predtop_runtime::configured_threads;
+use predtop_sim::SimProfiler;
+
+fn main() {
+    let mut model = ModelSpec::gpt3_1p3b(2);
+    model.seq_len = 128;
+    model.hidden = 128;
+    model.num_heads = 8;
+    model.vocab = 2048;
+    model.num_layers = 8;
+
+    let platform = Platform::platform2();
+    let cluster = MeshShape::new(2, 2);
+    let opts = InterStageOptions {
+        microbatches: 8,
+        imbalance_tolerance: None,
+    };
+    let pool = configured_threads();
+
+    // Fresh profilers per run: the profiler memoizes internally, so a
+    // shared one would hand the second run a fully warmed cache and the
+    // comparison would time hash lookups, not candidate evaluation.
+    let serial_profiler = SimProfiler::new(platform.clone(), 7);
+    let serial = search_plan_with_threads(model, cluster, &serial_profiler, &serial_profiler, opts, 1);
+    println!(
+        "1 thread      : {:7.3}s wall, {} queries, plan latency {:.5}s",
+        serial.search_seconds, serial.num_queries, serial.true_latency
+    );
+
+    let pool_profiler = SimProfiler::new(platform.clone(), 7);
+    let parallel = search_plan_with_threads(model, cluster, &pool_profiler, &pool_profiler, opts, pool);
+    println!(
+        "{pool} thread(s)   : {:7.3}s wall, {} queries, plan latency {:.5}s  ({:.2}x speedup)",
+        parallel.search_seconds,
+        parallel.num_queries,
+        parallel.true_latency,
+        serial.search_seconds / parallel.search_seconds
+    );
+
+    assert_eq!(
+        serial.estimated_latency.to_bits(),
+        parallel.estimated_latency.to_bits(),
+        "thread count changed the search result"
+    );
+    assert_eq!(serial.num_queries, parallel.num_queries);
+    assert_eq!(serial.plan, parallel.plan, "thread count changed the chosen plan");
+
+    let cached_profiler = SimProfiler::new(platform, 7);
+    let cached =
+        search_plan_cached_with_threads(model, cluster, &cached_profiler, &cached_profiler, opts, pool);
+    let stats = cached.cache.expect("cached search reports stats");
+    assert_eq!(
+        cached.estimated_latency.to_bits(),
+        serial.estimated_latency.to_bits(),
+        "memoization changed the search result"
+    );
+    println!(
+        "cached, {pool} thr: {:7.3}s wall, {} hits / {} misses ({:.0}% hit rate)",
+        cached.search_seconds,
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+    println!("all runs chose bit-identical plans — determinism holds");
+}

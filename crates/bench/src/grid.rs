@@ -119,7 +119,7 @@ pub fn run_grid(
             .iter()
             .flat_map(|&f| ARCHES.into_iter().map(move |k| (f, k)))
             .collect();
-        let cell_results = crate::par::par_map(work, |(fraction, kind)| {
+        let cell_results = predtop_runtime::par_map(work, |(fraction, kind)| {
             let split = ds.split(fraction, proto.seed ^ (fraction * 1000.0) as u64);
             let mut net = proto.arch(kind).build(proto.seed);
             let (scaler, report) = train(net.as_mut(), &ds, &split, &proto.train);

@@ -12,13 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod grid;
-pub mod par;
 pub mod protocol;
 pub mod scenario;
 pub mod table;
 
 pub use grid::{render_table, run_grid, GridResult};
-pub use par::{par_map, par_map_with};
+// the deterministic worker pool moved to the shared runtime crate; the
+// re-export keeps existing `predtop_bench::par_map` callers working
+pub use predtop_runtime::{configured_threads, par_map, par_map_with};
 pub use protocol::Protocol;
 pub use scenario::{platform_scenarios, Scenario};
 pub use table::TableWriter;

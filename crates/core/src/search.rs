@@ -5,8 +5,10 @@ use std::time::Instant;
 
 use predtop_models::ModelSpec;
 use predtop_parallel::{
-    optimize_pipeline, InterStageOptions, MeshShape, PipelinePlan, StageLatencyProvider,
+    optimize_pipeline_with_threads, CacheStats, CachedProvider, InterStageOptions, MeshShape,
+    PipelinePlan, StageLatencyProvider,
 };
+use predtop_runtime::configured_threads;
 use predtop_sim::SimProfiler;
 
 /// Outcome of one plan search, with everything Fig. 10 reports.
@@ -23,6 +25,10 @@ pub struct SearchOutcome {
     pub num_queries: usize,
     /// Wall-clock seconds the search itself took.
     pub search_seconds: f64,
+    /// Hit/miss counters of the memoization layer, when the search ran
+    /// through a [`CachedProvider`] (see [`search_plan_cached`]); `None`
+    /// for an uncached search.
+    pub cache: Option<CacheStats>,
 }
 
 /// Run the inter-stage optimizer with `provider` as the latency source,
@@ -30,7 +36,9 @@ pub struct SearchOutcome {
 ///
 /// When `provider` *is* the profiler this is vanilla Alpa (full or,
 /// via `opts.imbalance_tolerance`, partial profiling); when it is a
-/// fitted [`crate::PredTop`] this is the paper's system.
+/// fitted [`crate::PredTop`] this is the paper's system. Candidate
+/// evaluation fans out over the worker pool `predtop-runtime` sizes
+/// from `PREDTOP_THREADS`.
 pub fn search_plan<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -38,8 +46,21 @@ pub fn search_plan<P: StageLatencyProvider>(
     profiler: &SimProfiler,
     opts: InterStageOptions,
 ) -> SearchOutcome {
+    search_plan_with_threads(model, cluster, provider, profiler, opts, configured_threads())
+}
+
+/// [`search_plan`] with an explicit evaluation-pool size. The outcome is
+/// bit-identical for every `threads ≥ 1`.
+pub fn search_plan_with_threads<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    threads: usize,
+) -> SearchOutcome {
     let started = Instant::now();
-    let result = optimize_pipeline(model, cluster, provider, opts);
+    let result = optimize_pipeline_with_threads(model, cluster, provider, opts, threads);
     let search_seconds = started.elapsed().as_secs_f64();
     let true_latency = result.plan.latency(profiler);
     SearchOutcome {
@@ -48,7 +69,45 @@ pub fn search_plan<P: StageLatencyProvider>(
         true_latency,
         num_queries: result.num_queries,
         search_seconds,
+        cache: None,
     }
+}
+
+/// [`search_plan`] through a fresh [`CachedProvider`] wrapped around
+/// `provider`, surfacing the cache's hit/miss counters in
+/// [`SearchOutcome::cache`].
+///
+/// The memoization is transparent: the chosen plan, its latencies, and
+/// `num_queries` (the number of candidates the *search* evaluated) are
+/// identical to the uncached [`search_plan`]; only the number of queries
+/// reaching the underlying provider shrinks. Within one search every
+/// candidate is distinct, so the payoff comes from providers with
+/// internal redundancy or from reusing one cache across searches — for
+/// the latter, wrap the provider in a [`CachedProvider`] yourself and
+/// pass `&CachedProvider` to [`search_plan`].
+pub fn search_plan_cached<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+) -> SearchOutcome {
+    search_plan_cached_with_threads(model, cluster, provider, profiler, opts, configured_threads())
+}
+
+/// [`search_plan_cached`] with an explicit evaluation-pool size.
+pub fn search_plan_cached_with_threads<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    threads: usize,
+) -> SearchOutcome {
+    let cached = CachedProvider::new(provider);
+    let mut out = search_plan_with_threads(model, cluster, &cached, profiler, opts, threads);
+    out.cache = Some(cached.stats());
+    out
 }
 
 #[cfg(test)]
@@ -87,6 +146,38 @@ mod tests {
         out.plan.validate(&tiny_model()).unwrap();
         assert!((out.estimated_latency - out.true_latency).abs() < 1e-12);
         assert!(out.num_queries > 0);
+    }
+
+    #[test]
+    fn cached_search_is_transparent() {
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let plain = search_plan(tiny_model(), cluster, &profiler, &profiler, opts);
+        let plain_underlying = profiler.queries_issued();
+        assert!(plain.cache.is_none());
+
+        let profiler2 = SimProfiler::new(Platform::platform1(), 7);
+        let cached = search_plan_cached(tiny_model(), cluster, &profiler2, &profiler2, opts);
+
+        // the memoization layer must be invisible in the outcome...
+        assert_eq!(
+            cached.estimated_latency.to_bits(),
+            plain.estimated_latency.to_bits()
+        );
+        assert_eq!(cached.true_latency.to_bits(), plain.true_latency.to_bits());
+        assert_eq!(cached.num_queries, plain.num_queries);
+        assert_eq!(cached.plan, plain.plan);
+
+        // ...and its counters must account for every search query
+        let stats = cached.cache.expect("cached search reports stats");
+        assert_eq!(stats.queries(), cached.num_queries);
+        // never more work for the underlying provider than uncached
+        assert!(profiler2.queries_issued() <= plain_underlying);
     }
 
     #[test]

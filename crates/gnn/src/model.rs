@@ -35,7 +35,11 @@ impl ModelKind {
 }
 
 /// A trainable graph-level regressor.
-pub trait GnnModel: Send {
+///
+/// `Send + Sync` so a [`TrainedPredictor`] (and anything wearing one,
+/// like `predtop-core`'s `PredTop`) can serve `stage_latency` queries
+/// from the parallel plan-search engine's worker threads.
+pub trait GnnModel: Send + Sync {
     /// Architecture tag.
     fn kind(&self) -> ModelKind;
 

@@ -112,42 +112,31 @@ fn verify_operator(
                 }
             }
         }
-        Reshape | Transpose | ConvertElementType | Copy | StopGradient => {
-            if in_elems(0) != elems {
-                complain(
-                    id,
-                    format!(
-                        "{op} changes element count {} -> {elems}",
-                        in_elems(0)
-                    ),
-                );
-            }
+        Reshape | Transpose | ConvertElementType | Copy | StopGradient
+            if in_elems(0) != elems =>
+        {
+            complain(
+                id,
+                format!("{op} changes element count {} -> {elems}", in_elems(0)),
+            );
         }
-        BroadcastInDim => {
-            if elems % in_elems(0) != 0 {
-                complain(
-                    id,
-                    format!(
-                        "broadcast output {elems} not a multiple of input {}",
-                        in_elems(0)
-                    ),
-                );
-            }
+        BroadcastInDim if !elems.is_multiple_of(in_elems(0)) => {
+            complain(
+                id,
+                format!(
+                    "broadcast output {elems} not a multiple of input {}",
+                    in_elems(0)
+                ),
+            );
         }
-        ReduceSum | ReduceMax | ArgMax => {
-            if elems > in_elems(0) {
-                complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
-            }
+        ReduceSum | ReduceMax | ArgMax if elems > in_elems(0) => {
+            complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
         }
-        Slice | DynamicSlice => {
-            if elems > in_elems(0) {
-                complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
-            }
+        Slice | DynamicSlice if elems > in_elems(0) => {
+            complain(id, format!("{op} grows elements {} -> {elems}", in_elems(0)));
         }
-        CumSum => {
-            if elems != in_elems(0) {
-                complain(id, "cumsum must preserve shape".into());
-            }
+        CumSum if elems != in_elems(0) => {
+            complain(id, "cumsum must preserve shape".into());
         }
         // irregular / rng / concat / pad / scatter / gather / one-hot /
         // top-k: output shapes are data- or attribute-dependent, so no

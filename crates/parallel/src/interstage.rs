@@ -10,14 +10,22 @@
 //! stages with `tᵢ ≤ t_max`, then pick the `t_max` whose
 //! `Σ + (B−1)·t_max` is smallest.
 //!
-//! Stage latencies arrive through [`StageLatencyProvider`] and are
-//! queried exactly once per (layer-range, sub-mesh, configuration)
-//! candidate — with the ground-truth profiler as the provider this *is*
-//! "full profiling", and the candidate filter reproduces vanilla Alpa's
+//! The search runs as a **two-phase engine**. Phase 1
+//! ([`enumerate_candidates`]) builds the complete candidate work-list —
+//! every (layer-range, sub-mesh, configuration) triple surviving the
+//! imbalance filter — in a deterministic order. Phase 2 evaluates the
+//! work-list through the [`StageLatencyProvider`] across worker threads
+//! (`predtop-runtime`'s deterministic pool); each result lands at its
+//! candidate's fixed index, so the candidate table, the DP that reads
+//! it, and therefore the chosen plan are bit-identical at any
+//! `PREDTOP_THREADS` setting. Each candidate is queried exactly once —
+//! with the ground-truth profiler as the provider this *is* "full
+//! profiling", and the candidate filter reproduces vanilla Alpa's
 //! "partial profiling" stage-device imbalance heuristic, so the Fig. 10
 //! optimization-cost comparison falls directly out of this module.
 
 use predtop_models::{ModelSpec, StageSpec};
+use predtop_runtime::{configured_threads, par_map_with};
 
 use crate::config::{table3_configs, MeshShape, ParallelConfig};
 use crate::plan::{PipelinePlan, PlannedStage};
@@ -55,7 +63,8 @@ struct Candidate {
 }
 
 /// Sub-mesh shapes considered inside `cluster`: power-of-two slices that
-/// stay within a node where possible, plus the whole cluster.
+/// stay within a node where possible, plus power-of-two multiples of
+/// whole nodes up to the full cluster.
 pub fn candidate_submeshes(cluster: MeshShape) -> Vec<MeshShape> {
     let mut out = Vec::new();
     let mut g = 1;
@@ -67,6 +76,43 @@ pub fn candidate_submeshes(cluster: MeshShape) -> Vec<MeshShape> {
     while n <= cluster.nodes {
         out.push(MeshShape::new(n, cluster.gpus_per_node));
         n *= 2;
+    }
+    out
+}
+
+/// Phase 1 of the two-phase engine: the complete candidate work-list
+/// for `model` on `cluster`, in the engine's canonical order (sub-mesh,
+/// then stage start, then stage end, then configuration).
+///
+/// The order is part of the determinism contract: phase 2 evaluates this
+/// list with results landing at fixed indices, so as long as the list is
+/// reproducible the whole search is, at any thread count. The list also
+/// *defines* `num_queries` — its length is exactly the number of
+/// provider queries the search will issue.
+pub fn enumerate_candidates(
+    model: ModelSpec,
+    cluster: MeshShape,
+    opts: InterStageOptions,
+) -> Vec<(StageSpec, MeshShape, ParallelConfig)> {
+    let layers = model.num_layers;
+    let total_dev = cluster.num_devices();
+    let mut out = Vec::new();
+    for mesh in candidate_submeshes(cluster) {
+        let dev_frac = mesh.num_devices() as f64 / total_dev as f64;
+        for start in 0..layers {
+            for end in start + 1..=layers {
+                if let Some(tol) = opts.imbalance_tolerance {
+                    let size_frac = (end - start) as f64 / layers as f64;
+                    if (size_frac - dev_frac).abs() > tol {
+                        continue;
+                    }
+                }
+                let stage = StageSpec::new(model, start, end);
+                for config in table3_configs(mesh) {
+                    out.push((stage, mesh, config));
+                }
+            }
+        }
     }
     out
 }
@@ -83,7 +129,9 @@ pub struct InterStageResult {
     pub num_queries: usize,
 }
 
-/// Run the inter-stage DP for `model` on `cluster`.
+/// Run the inter-stage DP for `model` on `cluster`, evaluating
+/// candidates on the pool size `predtop-runtime` derives from
+/// `PREDTOP_THREADS` (see [`configured_threads`]).
 ///
 /// # Panics
 /// Panics if no feasible plan exists (cannot happen for the Table II
@@ -94,38 +142,42 @@ pub fn optimize_pipeline<P: StageLatencyProvider>(
     provider: &P,
     opts: InterStageOptions,
 ) -> InterStageResult {
+    optimize_pipeline_with_threads(model, cluster, provider, opts, configured_threads())
+}
+
+/// [`optimize_pipeline`] with an explicit evaluation-pool size.
+///
+/// The result is bit-identical for every `threads ≥ 1`: candidate
+/// latencies land at fixed work-list indices, so the DP always reads the
+/// same table. Tests use this entry point to verify that invariant
+/// without touching the `PREDTOP_THREADS` environment variable.
+pub fn optimize_pipeline_with_threads<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    opts: InterStageOptions,
+    threads: usize,
+) -> InterStageResult {
     let layers = model.num_layers;
     let total_dev = cluster.num_devices();
 
-    // Phase 1: collect candidates (the profiling / prediction pass).
-    let mut cands: Vec<Candidate> = Vec::new();
-    let mut num_queries = 0;
-    for mesh in candidate_submeshes(cluster) {
-        let dev_frac = mesh.num_devices() as f64 / total_dev as f64;
-        for start in 0..layers {
-            for end in start + 1..=layers {
-                if let Some(tol) = opts.imbalance_tolerance {
-                    let size_frac = (end - start) as f64 / layers as f64;
-                    if (size_frac - dev_frac).abs() > tol {
-                        continue;
-                    }
-                }
-                let stage = StageSpec::new(model, start, end);
-                for config in table3_configs(mesh) {
-                    let t = provider.stage_latency(&stage, mesh, config);
-                    num_queries += 1;
-                    cands.push(Candidate {
-                        stage,
-                        mesh,
-                        config,
-                        t,
-                    });
-                }
-            }
-        }
-    }
+    // Phase 1: enumerate the work-list (no provider queries yet).
+    let worklist = enumerate_candidates(model, cluster, opts);
+    let num_queries = worklist.len();
 
-    // Phase 2: Alpa's t_max enumeration + sum-minimizing DP.
+    // Phase 2: fan the provider queries out across the worker pool.
+    // Each candidate's latency lands at its work-list index.
+    let cands: Vec<Candidate> = par_map_with(worklist, threads, |(stage, mesh, config)| {
+        let t = provider.stage_latency(&stage, mesh, config);
+        Candidate {
+            stage,
+            mesh,
+            config,
+            t,
+        }
+    });
+
+    // Phase 3: Alpa's t_max enumeration + sum-minimizing DP.
     let mut tmax_set: Vec<f64> = cands.iter().map(|c| c.t).collect();
     tmax_set.sort_by(f64::total_cmp);
     tmax_set.dedup();
@@ -233,6 +285,7 @@ fn dp_min_sum(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn tiny_model() -> ModelSpec {
         let mut s = ModelSpec::gpt3_1p3b(2);
@@ -379,5 +432,286 @@ mod tests {
         // partition has the same sum but more (B-1)*tmax slack, so one
         // stage wins
         assert_eq!(r.plan.stages.len(), 1);
+    }
+
+    // ---- candidate_submeshes --------------------------------------
+
+    #[test]
+    fn submeshes_are_power_of_two_slices() {
+        for cluster in [
+            MeshShape::new(1, 1),
+            MeshShape::new(1, 8),
+            MeshShape::new(2, 4),
+            MeshShape::new(4, 8),
+        ] {
+            for mesh in candidate_submeshes(cluster) {
+                assert!(
+                    mesh.num_devices().is_power_of_two(),
+                    "{mesh:?} in {cluster:?} is not a power-of-two slice"
+                );
+                assert!(mesh.num_devices() <= cluster.num_devices());
+            }
+        }
+    }
+
+    #[test]
+    fn submeshes_prefer_within_node() {
+        // every multi-node sub-mesh spans whole nodes: partial-node
+        // slices exist only in single-node form
+        for cluster in [MeshShape::new(2, 4), MeshShape::new(4, 8)] {
+            for mesh in candidate_submeshes(cluster) {
+                if mesh.nodes > 1 {
+                    assert_eq!(
+                        mesh.gpus_per_node, cluster.gpus_per_node,
+                        "multi-node sub-mesh {mesh:?} slices within nodes"
+                    );
+                }
+            }
+        }
+        // and every within-node power-of-two width is present
+        let got = candidate_submeshes(MeshShape::new(2, 4));
+        for g in [1usize, 2, 4] {
+            assert!(got.contains(&MeshShape::new(1, g)), "missing (1,{g})");
+        }
+    }
+
+    #[test]
+    fn submeshes_include_whole_cluster() {
+        for cluster in [
+            MeshShape::new(1, 1),
+            MeshShape::new(1, 4),
+            MeshShape::new(2, 2),
+            MeshShape::new(4, 8),
+        ] {
+            assert!(
+                candidate_submeshes(cluster).contains(&cluster),
+                "whole cluster {cluster:?} missing from its own sub-mesh list"
+            );
+        }
+    }
+
+    // ---- enumerate_candidates / imbalance filter ------------------
+
+    #[test]
+    fn full_profiling_enumerates_every_candidate() {
+        let m = tiny_model();
+        let cluster = MeshShape::new(2, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let cands = enumerate_candidates(m, cluster, opts);
+        // closed form: ranges × configs summed over sub-meshes
+        let ranges = m.num_layers * (m.num_layers + 1) / 2;
+        let expected: usize = candidate_submeshes(cluster)
+            .into_iter()
+            .map(|mesh| ranges * table3_configs(mesh).len())
+            .sum();
+        assert_eq!(cands.len(), expected);
+        // and the search issues exactly that many queries
+        let r = optimize_pipeline(m, cluster, &SynthLat, opts);
+        assert_eq!(r.num_queries, expected);
+    }
+
+    #[test]
+    fn imbalance_filter_is_a_strict_predicate_subset() {
+        let m = tiny_model();
+        let cluster = MeshShape::new(2, 2);
+        let tol = 0.25;
+        let full = enumerate_candidates(
+            m,
+            cluster,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: None,
+            },
+        );
+        let filtered = enumerate_candidates(
+            m,
+            cluster,
+            InterStageOptions {
+                microbatches: 4,
+                imbalance_tolerance: Some(tol),
+            },
+        );
+        assert!(filtered.len() < full.len());
+        let total_dev = cluster.num_devices() as f64;
+        let layers = m.num_layers as f64;
+        // every survivor satisfies the predicate...
+        for (stage, mesh, _) in &filtered {
+            let size_frac = stage.num_layers() as f64 / layers;
+            let dev_frac = mesh.num_devices() as f64 / total_dev;
+            assert!(
+                (size_frac - dev_frac).abs() <= tol,
+                "candidate {stage:?} on {mesh:?} violates tolerance {tol}"
+            );
+        }
+        // ...and every full-list candidate satisfying it survives
+        let expected: Vec<_> = full
+            .iter()
+            .filter(|(stage, mesh, _)| {
+                let size_frac = stage.num_layers() as f64 / layers;
+                let dev_frac = mesh.num_devices() as f64 / total_dev;
+                (size_frac - dev_frac).abs() <= tol
+            })
+            .copied()
+            .collect();
+        assert_eq!(filtered, expected);
+    }
+
+    // ---- determinism across pool sizes ----------------------------
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let m = tiny_model();
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let base = optimize_pipeline_with_threads(m, MeshShape::new(2, 2), &SynthLat, opts, 1);
+        for threads in [2, 3, 8] {
+            let r =
+                optimize_pipeline_with_threads(m, MeshShape::new(2, 2), &SynthLat, opts, threads);
+            assert_eq!(r.latency.to_bits(), base.latency.to_bits());
+            assert_eq!(r.num_queries, base.num_queries);
+            assert_eq!(r.plan, base.plan);
+        }
+    }
+
+    // ---- DP vs exhaustive brute force -----------------------------
+
+    /// Deterministic pseudo-random latencies: a pure hash of the
+    /// candidate key and a seed, mapped into [0.5, 1.5).
+    struct HashLat {
+        seed: u64,
+    }
+
+    impl StageLatencyProvider for HashLat {
+        fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.seed.hash(&mut h);
+            (
+                stage.start,
+                stage.end,
+                mesh.nodes,
+                mesh.gpus_per_node,
+                config.dp,
+                config.mp,
+            )
+                .hash(&mut h);
+            0.5 + (h.finish() % 1024) as f64 / 1024.0
+        }
+    }
+
+    /// Exhaustive minimum of Eqn. 4 over every contiguous partition ×
+    /// per-stage (sub-mesh, config) assignment within the device budget.
+    struct BruteForce<'a, P> {
+        model: ModelSpec,
+        meshes: Vec<MeshShape>,
+        provider: &'a P,
+        microbatches: usize,
+        best: f64,
+    }
+
+    impl<P: StageLatencyProvider> BruteForce<'_, P> {
+        /// Extend a partial partition covering layers `0..start` that has
+        /// spent `sum`/`tmax` so far with every feasible next stage.
+        fn go(&mut self, start: usize, dev_left: usize, sum: f64, tmax: f64) {
+            let layers = self.model.num_layers;
+            if start == layers {
+                let total = sum + (self.microbatches as f64 - 1.0) * tmax;
+                if total < self.best {
+                    self.best = total;
+                }
+                return;
+            }
+            for end in start + 1..=layers {
+                let stage = StageSpec::new(self.model, start, end);
+                for mi in 0..self.meshes.len() {
+                    let mesh = self.meshes[mi];
+                    let dev = mesh.num_devices();
+                    if dev > dev_left {
+                        continue;
+                    }
+                    for config in table3_configs(mesh) {
+                        let t = self.provider.stage_latency(&stage, mesh, config);
+                        if !t.is_finite() {
+                            continue;
+                        }
+                        self.go(end, dev_left - dev, sum + t, tmax.max(t));
+                    }
+                }
+            }
+        }
+    }
+
+    fn brute_force_best<P: StageLatencyProvider>(
+        model: ModelSpec,
+        cluster: MeshShape,
+        microbatches: usize,
+        provider: &P,
+    ) -> f64 {
+        let mut bf = BruteForce {
+            model,
+            meshes: candidate_submeshes(cluster),
+            provider,
+            microbatches,
+            best: f64::INFINITY,
+        };
+        bf.go(0, cluster.num_devices(), 0.0, 0.0);
+        bf.best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The DP's optimum equals the exhaustive minimum over all
+        /// contiguous partitions × sub-meshes × configurations on small
+        /// instances — the core correctness property of the engine.
+        #[test]
+        fn dp_matches_exhaustive_brute_force(
+            layers in 1usize..=6,
+            cluster_idx in 0usize..4,
+            microbatches in 1usize..=8,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let clusters = [
+                MeshShape::new(1, 1),
+                MeshShape::new(1, 2),
+                MeshShape::new(1, 4),
+                MeshShape::new(2, 2),
+            ];
+            let cluster = clusters[cluster_idx];
+            let mut m = ModelSpec::gpt3_1p3b(2);
+            m.num_layers = layers;
+            let provider = HashLat { seed };
+            let opts = InterStageOptions {
+                microbatches,
+                imbalance_tolerance: None,
+            };
+
+            let dp = optimize_pipeline(m, cluster, &provider, opts);
+            dp.plan.validate(&m).map_err(|e| {
+                proptest::test_runner::TestCaseError::fail(format!("invalid plan: {e}"))
+            })?;
+            prop_assert!(dp.plan.devices_used() <= cluster.num_devices());
+
+            // the reported optimum is achieved by the reported plan
+            let recomputed = dp.plan.latency(&provider);
+            prop_assert!(
+                (recomputed - dp.latency).abs() <= 1e-9 * dp.latency.abs(),
+                "plan latency {recomputed} != reported optimum {}", dp.latency
+            );
+
+            // and it matches the exhaustive search
+            let brute = brute_force_best(m, cluster, microbatches, &provider);
+            prop_assert!(
+                (dp.latency - brute).abs() <= 1e-9 * brute.abs(),
+                "DP found {} but brute force found {brute} \
+                 (layers={layers}, cluster={cluster:?}, B={microbatches}, seed={seed})",
+                dp.latency
+            );
+        }
     }
 }

@@ -15,7 +15,10 @@
 //!   and lets tests drive the optimizer with synthetic costs).
 //! * [`interstage`] — Alpa's inter-operator pass: dynamic programming
 //!   over contiguous layer ranges × sub-mesh shapes minimizing the Eqn. 4
-//!   pipeline latency.
+//!   pipeline latency, with candidate evaluation fanned out across
+//!   worker threads (deterministically — see `predtop-runtime`).
+//! * [`cache`] — [`CachedProvider`], a sharded memoization layer any
+//!   latency provider can wear, with hit/miss accounting.
 //! * [`plan`] — end-to-end pipeline plans and the Eqn. 4 white-box
 //!   formula `T = Σ tᵢ + (B−1)·max tⱼ`.
 //!
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod interstage;
 pub mod intra;
@@ -34,8 +38,11 @@ pub mod plan;
 pub mod schedule;
 pub mod sharding;
 
+pub use cache::{CacheStats, CachedProvider};
 pub use config::{table3_configs, MeshShape, ParallelConfig};
-pub use interstage::{optimize_pipeline, InterStageOptions};
+pub use interstage::{
+    enumerate_candidates, optimize_pipeline, optimize_pipeline_with_threads, InterStageOptions,
+};
 pub use intra::{IntraPlan, OpCost};
 pub use plan::{pipeline_latency, PipelinePlan, PlannedStage};
 pub use schedule::{one_f_one_b, Schedule, Slot};
@@ -45,11 +52,21 @@ use predtop_models::StageSpec;
 /// Source of per-stage optimal latencies — the gray-box seam.
 ///
 /// Implementations: the ground-truth profiler (simulator), a trained
-/// black-box predictor, or a cached table. The inter-stage optimizer
-/// calls this for every (stage, sub-mesh, configuration) candidate.
-pub trait StageLatencyProvider {
+/// black-box predictor, or a [`CachedProvider`] wrapping either. The
+/// inter-stage optimizer calls this for every (stage, sub-mesh,
+/// configuration) candidate — from multiple worker threads at once,
+/// hence the `Sync` supertrait: a provider must tolerate concurrent
+/// `stage_latency` calls (all in-tree providers already memoize behind
+/// locks or are pure).
+pub trait StageLatencyProvider: Sync {
     /// Optimal execution latency (seconds, forward+backward for one
     /// micro-batch) of `stage` on a `mesh`-shaped sub-mesh under
     /// `config`.
     fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64;
+}
+
+impl<P: StageLatencyProvider + ?Sized> StageLatencyProvider for &P {
+    fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
+        (**self).stage_latency(stage, mesh, config)
+    }
 }

@@ -1,0 +1,197 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! Both the MRE experiment grids (hundreds of independent (scenario,
+//! fraction, architecture) training cells) and the inter-stage plan
+//! search (thousands of independent stage-latency evaluations)
+//! parallelize trivially on multi-core hosts. This is a small
+//! work-stealing `par_map` built on std's scoped threads and a shared
+//! atomic cursor: each worker claims the next unprocessed index, so
+//! results land at their input positions and the output order (and with
+//! per-item seeding, every number) is identical at any thread count.
+//!
+//! Thread count comes from `PREDTOP_THREADS` (default: available
+//! parallelism), clamped to the item count. An unparsable
+//! `PREDTOP_THREADS` value warns once on stderr and falls back to the
+//! default rather than silently ignoring the operator's intent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
+
+/// Parse a `PREDTOP_THREADS` value. Returns `None` when the string is
+/// not a base-10 unsigned integer (callers decide the fallback); `0`
+/// parses successfully and is floored to one thread by
+/// [`configured_threads`].
+pub fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
+
+static PARSE_WARNING: Once = Once::new();
+
+/// Resolve the worker count: `PREDTOP_THREADS` if set and parsable
+/// (floored at 1), else the machine's available parallelism.
+///
+/// A set-but-unparsable `PREDTOP_THREADS` logs a warning to stderr the
+/// first time it is seen instead of silently falling back.
+pub fn configured_threads() -> usize {
+    if let Some(v) = std::env::var_os("PREDTOP_THREADS") {
+        let raw = v.to_string_lossy();
+        match parse_threads(&raw) {
+            Some(n) => return n.max(1),
+            None => PARSE_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: PREDTOP_THREADS={raw:?} is not an unsigned integer; \
+                     falling back to available parallelism"
+                );
+            }),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers, preserving input
+/// order in the output. Panics in `f` propagate after all workers stop
+/// claiming new work.
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // wrap each item so workers can take them by index
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("slot lock never poisoned: f runs outside it")
+                        .take()
+                        .expect("each index claimed once");
+                    let r = f(item);
+                    *results[i]
+                        .lock()
+                        .expect("result lock never poisoned: f runs outside it") = Some(r);
+                })
+            })
+            .collect();
+        // join every handle (no short-circuit): a panic left unjoined
+        // would be re-propagated by `scope` itself with its own message
+        let mut any_panicked = false;
+        for h in handles {
+            any_panicked |= h.join().is_err();
+        }
+        any_panicked
+    });
+    if panicked {
+        panic!("worker panicked");
+    }
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock never poisoned")
+                .expect("every index produced a result")
+        })
+        .collect()
+}
+
+/// [`par_map_with`] at the configured thread count.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with(items, configured_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let out = par_map_with(items.clone(), threads, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_with(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_match_sequential_for_nontrivial_work() {
+        let items: Vec<u64> = (1..=20).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| (1..=x).product()).collect();
+        let par = par_map_with(items, 4, |x| (1..=x).product::<u64>());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parse_threads_accepts_integers_only() {
+        assert_eq!(parse_threads("3"), Some(3));
+        assert_eq!(parse_threads(" 12 "), Some(12), "whitespace is trimmed");
+        assert_eq!(parse_threads("0"), Some(0), "zero parses; floor applied later");
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("2.5"), None);
+    }
+
+    /// All the env-var cases live in one test: `std::env::set_var`
+    /// affects the whole process, and cargo runs a binary's tests on
+    /// concurrent threads.
+    #[test]
+    fn configured_threads_env_paths() {
+        std::env::set_var("PREDTOP_THREADS", "3");
+        assert_eq!(configured_threads(), 3);
+        std::env::set_var("PREDTOP_THREADS", "0");
+        assert_eq!(configured_threads(), 1, "floored at one");
+        // unparsable: warns (once) and falls back to the default
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        std::env::set_var("PREDTOP_THREADS", "not-a-number");
+        assert_eq!(configured_threads(), fallback);
+        std::env::set_var("PREDTOP_THREADS", "also!bad");
+        assert_eq!(configured_threads(), fallback, "stays on fallback");
+        std::env::remove_var("PREDTOP_THREADS");
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map_with(vec![1, 2, 3, 4], 2, |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

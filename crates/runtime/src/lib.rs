@@ -1,0 +1,18 @@
+//! # predtop-runtime
+//!
+//! Shared execution runtime for every crate that fans independent work
+//! out across cores: the deterministic work-stealing [`exec::par_map`]
+//! and the `PREDTOP_THREADS` thread-count resolution.
+//!
+//! Promoted out of the bench harness once the inter-stage plan-search
+//! engine started evaluating candidates in parallel too — both the MRE
+//! experiment grids and the optimizer now share one worker model with
+//! one determinism contract: results land at their input indices, so
+//! output order (and, with per-item seeding, every number) is identical
+//! at any thread count.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+
+pub use exec::{configured_threads, par_map, par_map_with};

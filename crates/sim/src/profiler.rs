@@ -10,6 +10,7 @@
 //! [`CostLedger`] so experiments can compare profiling bills.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -36,6 +37,7 @@ pub struct SimProfiler {
     latency_cache: Mutex<HashMap<Key, f64>>,
     graph_cache: Mutex<HashMap<StageSpec, Arc<predtop_ir::Graph>>>,
     memory_headroom: Option<f64>,
+    queries: AtomicUsize,
 }
 
 impl SimProfiler {
@@ -49,6 +51,7 @@ impl SimProfiler {
             latency_cache: Mutex::new(HashMap::new()),
             graph_cache: Mutex::new(HashMap::new()),
             memory_headroom: None,
+            queries: AtomicUsize::new(0),
         }
     }
 
@@ -101,9 +104,19 @@ impl SimProfiler {
         self.latency_cache.lock().len()
     }
 
-    /// Clear the memoization and ledger (fresh campaign).
+    /// Total `stage_latency` calls served (memoized hits included) since
+    /// construction or the last [`reset`](SimProfiler::reset). An atomic
+    /// counter, so the parallel search engine's worker threads can query
+    /// concurrently; compare with [`profiles_taken`](Self::profiles_taken)
+    /// to see how much the built-in memoization saved.
+    pub fn queries_issued(&self) -> usize {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Clear the memoization, query counter, and ledger (fresh campaign).
     pub fn reset(&self) {
         self.latency_cache.lock().clear();
+        self.queries.store(0, Ordering::Relaxed);
         self.ledger.reset();
     }
 }
@@ -111,6 +124,7 @@ impl SimProfiler {
 impl StageLatencyProvider for SimProfiler {
     fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
         let key = (*stage, mesh, config);
+        self.queries.fetch_add(1, Ordering::Relaxed);
         if let Some(&t) = self.latency_cache.lock().get(&key) {
             return t;
         }
@@ -197,6 +211,11 @@ mod tests {
         let bill2 = p.ledger().totals();
         assert_eq!(bill1, bill2, "cache hit must not re-bill");
         assert_eq!(p.profiles_taken(), 1);
+        // both calls count as queries even though only one profiled
+        assert_eq!(p.queries_issued(), 2);
+        p.reset();
+        assert_eq!(p.queries_issued(), 0);
+        assert_eq!(p.profiles_taken(), 0);
     }
 
     mod properties {

@@ -45,6 +45,11 @@ fn main() {
     let profiler = SimProfiler::new(platform.clone(), 7);
     let full = search_plan(model, cluster, &profiler, &profiler, opts);
     let full_bill: CostTotals = profiler.ledger().totals();
+    println!(
+        "search engine: {} worker thread(s) (set PREDTOP_THREADS to change), {:.2}s wall\n",
+        configured_threads(),
+        full.search_seconds
+    );
     println!("full profiling ({} stage profiles, {:.0} simulated s):", full_bill.stages_profiled, full_bill.profiling_s);
     println!("  plan: {}", describe(&full.plan));
     println!("  true iteration latency: {:.5} s\n", full.true_latency);

@@ -44,6 +44,7 @@
 //! | [`models`] | GPT-3 / MoE builders, stage slicing & sampling |
 //! | [`cluster`] | GPU/interconnect/mesh specs, collective cost models |
 //! | [`parallel`] | sharding strategies, intra-stage optimizer, inter-stage DP |
+//! | [`runtime`] | deterministic worker pool sized by `PREDTOP_THREADS` |
 //! | [`sim`] | roofline simulator, profiler, cost ledger, 1F1B event sim |
 //! | [`tensor`] | matrices, autodiff tape, Adam, schedules, losses |
 //! | [`gnn`] | GCN / GAT / DAG-Transformer predictors, training loop |
@@ -57,6 +58,7 @@ pub use predtop_gnn as gnn;
 pub use predtop_ir as ir;
 pub use predtop_models as models;
 pub use predtop_parallel as parallel;
+pub use predtop_runtime as runtime;
 pub use predtop_sim as sim;
 pub use predtop_tensor as tensor;
 
@@ -64,7 +66,8 @@ pub use predtop_tensor as tensor;
 pub mod prelude {
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
     pub use predtop_core::{
-        pipeline_latency, search_plan, ArchConfig, GrayBoxConfig, PredTop, SearchOutcome,
+        pipeline_latency, search_plan, search_plan_cached, ArchConfig, GrayBoxConfig, PredTop,
+        SearchOutcome,
     };
     pub use predtop_gnn::{
         mean_relative_error, train, Dataset, GraphSample, ModelKind, TrainConfig,
@@ -73,8 +76,9 @@ pub mod prelude {
     pub use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
     pub use predtop_models::{enumerate_stages, sample_stages, ModelSpec, StageSpec};
     pub use predtop_parallel::{
-        optimize_pipeline, table3_configs, InterStageOptions, MeshShape, ParallelConfig,
-        PipelinePlan, StageLatencyProvider,
+        optimize_pipeline, table3_configs, CacheStats, CachedProvider, InterStageOptions,
+        MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
     };
+    pub use predtop_runtime::configured_threads;
     pub use predtop_sim::{DeviceCostModel, SimProfiler};
 }

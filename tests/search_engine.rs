@@ -1,0 +1,121 @@
+//! Contract of the parallel, memoized plan-search engine: the worker
+//! pool size and the memoization layer are *performance* knobs — neither
+//! may change the plan a search chooses, its reported latencies, or its
+//! query accounting.
+
+use predtop::prelude::*;
+
+fn tiny_model() -> ModelSpec {
+    let mut m = ModelSpec::gpt3_1p3b(2);
+    m.seq_len = 32;
+    m.hidden = 32;
+    m.num_heads = 4;
+    m.vocab = 128;
+    m.num_layers = 6;
+    m
+}
+
+fn opts() -> InterStageOptions {
+    InterStageOptions {
+        microbatches: 4,
+        imbalance_tolerance: None,
+    }
+}
+
+#[test]
+fn search_is_bit_identical_across_thread_counts() {
+    let m = tiny_model();
+    let cluster = MeshShape::new(2, 2);
+    let run = |threads: usize| {
+        let profiler = SimProfiler::new(Platform::platform2(), 6);
+        predtop::core::search_plan_with_threads(m, cluster, &profiler, &profiler, opts(), threads)
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let out = run(threads);
+        assert_eq!(
+            out.estimated_latency.to_bits(),
+            base.estimated_latency.to_bits(),
+            "estimated latency drifted at {threads} threads"
+        );
+        assert_eq!(
+            out.true_latency.to_bits(),
+            base.true_latency.to_bits(),
+            "true latency drifted at {threads} threads"
+        );
+        assert_eq!(out.num_queries, base.num_queries);
+        assert_eq!(out.plan, base.plan, "plan drifted at {threads} threads");
+    }
+}
+
+#[test]
+fn cached_search_never_changes_the_plan() {
+    let m = tiny_model();
+    let cluster = MeshShape::new(2, 2);
+    for threads in [1, 4] {
+        let profiler = SimProfiler::new(Platform::platform2(), 6);
+        let plain = predtop::core::search_plan_with_threads(
+            m, cluster, &profiler, &profiler, opts(), threads,
+        );
+        let profiler2 = SimProfiler::new(Platform::platform2(), 6);
+        let cached = predtop::core::search_plan_cached_with_threads(
+            m, cluster, &profiler2, &profiler2, opts(), threads,
+        );
+        assert_eq!(cached.plan, plain.plan);
+        assert_eq!(
+            cached.estimated_latency.to_bits(),
+            plain.estimated_latency.to_bits()
+        );
+        assert_eq!(cached.true_latency.to_bits(), plain.true_latency.to_bits());
+        assert_eq!(cached.num_queries, plain.num_queries);
+        let stats = cached.cache.expect("cached search reports stats");
+        assert_eq!(stats.queries(), cached.num_queries);
+    }
+}
+
+#[test]
+fn cached_search_never_issues_more_underlying_queries() {
+    let m = tiny_model();
+    let cluster = MeshShape::new(2, 2);
+
+    let profiler = SimProfiler::new(Platform::platform2(), 6);
+    let _ = search_plan(m, cluster, &profiler, &profiler, opts());
+    let uncached_queries = profiler.queries_issued();
+
+    let profiler2 = SimProfiler::new(Platform::platform2(), 6);
+    let cached = search_plan_cached(m, cluster, &profiler2, &profiler2, opts());
+    assert!(
+        profiler2.queries_issued() <= uncached_queries,
+        "memoization increased the underlying query load: {} > {}",
+        profiler2.queries_issued(),
+        uncached_queries
+    );
+    // the cache's miss count is exactly the traffic that reached the
+    // profiler during the search phase
+    let stats = cached.cache.unwrap();
+    assert!(stats.misses <= cached.num_queries);
+}
+
+#[test]
+fn reusing_one_cache_across_searches_absorbs_repeat_traffic() {
+    let m = tiny_model();
+    let cluster = MeshShape::new(2, 2);
+    let profiler = SimProfiler::new(Platform::platform2(), 6);
+
+    // a campaign: the same full search twice through one shared cache
+    // (the blanket &P provider impl makes the wrapper non-consuming)
+    let shared = CachedProvider::new(&profiler);
+    let first = search_plan(m, cluster, &shared, &profiler, opts());
+    let after_first = shared.stats();
+    let second = search_plan(m, cluster, &shared, &profiler, opts());
+    let after_second = shared.stats();
+
+    assert_eq!(first.plan, second.plan);
+    // the second search's queries were all answered from the cache
+    assert_eq!(after_second.misses, after_first.misses);
+    assert_eq!(
+        after_second.hits - after_first.hits,
+        second.num_queries,
+        "second search should be a pure cache replay"
+    );
+}
