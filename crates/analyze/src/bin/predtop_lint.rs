@@ -1,0 +1,235 @@
+//! `predtop-lint` — run every static-analysis pass over the benchmark
+//! model graphs and/or persisted graph files.
+//!
+//! ```text
+//! predtop-lint [--format text|json] [--models both|gpt3|moe|none]
+//!              [--inject-fault] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the built-in benchmark models (GPT-3 1.3B
+//! and MoE 2.6B at batch 8) are linted, including the plan passes over
+//! each model's trivial single-device plan; `FILE` arguments are parsed
+//! as persisted `Graph` JSON and graph-passes linted. `--inject-fault`
+//! appends a deliberately broken graph so CI can verify the error path.
+//!
+//! Exit status: 0 clean (no `Error` findings), 1 at least one `Error`
+//! finding, 2 usage / IO / parse failure.
+
+use std::process::ExitCode;
+
+use predtop_analyze::{
+    analyze_graph, analyze_plan, has_errors, render_json, render_text, Diagnostic,
+    PlanCheckOptions, Severity,
+};
+use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
+use predtop_models::{ModelSpec, StageSpec};
+use predtop_parallel::{MeshShape, ParallelConfig, PipelinePlan, PlannedStage};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Models {
+    Both,
+    Gpt3,
+    Moe,
+    None,
+}
+
+struct Args {
+    format: Format,
+    models: Option<Models>,
+    inject_fault: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: predtop-lint [--format text|json] \
+                     [--models both|gpt3|moe|none] [--inject-fault] [FILE...]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        format: Format::Text,
+        models: None,
+        inject_fault: false,
+        files: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                args.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                }
+            }
+            "--models" => {
+                args.models = Some(match it.next().map(String::as_str) {
+                    Some("both") => Models::Both,
+                    Some("gpt3") => Models::Gpt3,
+                    Some("moe") => Models::Moe,
+                    Some("none") => Models::None,
+                    other => {
+                        return Err(format!(
+                            "--models expects both|gpt3|moe|none, got {other:?}"
+                        ))
+                    }
+                })
+            }
+            "--inject-fault" => args.inject_fault = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            f if f.starts_with('-') => return Err(format!("unknown flag {f}\n{USAGE}")),
+            f => args.files.push(f.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// The trivial single-stage, single-device plan for `model` — the
+/// smallest legal subject the plan passes accept, so linting a model
+/// exercises every pass kind.
+fn trivial_plan(model: ModelSpec) -> PipelinePlan {
+    PipelinePlan {
+        stages: vec![PlannedStage {
+            stage: StageSpec::new(model, 0, model.num_layers),
+            mesh: MeshShape::new(1, 1),
+            config: ParallelConfig::SERIAL,
+        }],
+        microbatches: 1,
+    }
+}
+
+/// A graph with a deliberate shape error (mismatched `add` operands) so
+/// CI can assert the non-zero exit path without a fixture file.
+fn faulty_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(Shape::from([4, 8]), DType::F32);
+    let y = b.input(Shape::from([4, 9]), DType::F32);
+    let bad = b.op(OpKind::Add, &[x, y], Shape::from([4, 8]), DType::F32);
+    b.finish(&[bad]).expect("fault graph has an output")
+}
+
+/// One linted subject: its display name and merged, sorted findings.
+struct Report {
+    subject: String,
+    diags: Vec<Diagnostic>,
+}
+
+fn lint_model(model: ModelSpec, name: &str) -> Report {
+    let graph = StageSpec::new(model, 0, model.num_layers).build_graph();
+    let mut diags = analyze_graph(&graph);
+    diags.extend(analyze_plan(
+        &trivial_plan(model),
+        &model,
+        &PlanCheckOptions::default(),
+    ));
+    Report {
+        subject: name.to_string(),
+        diags,
+    }
+}
+
+fn lint_file(path: &str) -> Result<Report, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let graph: Graph =
+        serde_json::from_str(&body).map_err(|e| format!("{path}: not a persisted graph: {e}"))?;
+    Ok(Report {
+        subject: path.to_string(),
+        diags: analyze_graph(&graph),
+    })
+}
+
+fn emit_text(reports: &[Report]) {
+    for r in reports {
+        let (e, w, i) = count(&r.diags);
+        println!("==> {} ({e} errors, {w} warnings, {i} infos)", r.subject);
+        print!("{}", render_text(&r.diags));
+    }
+}
+
+fn emit_json(reports: &[Report]) {
+    println!("[");
+    for (i, r) in reports.iter().enumerate() {
+        let body = render_json(&r.diags);
+        print!(
+            "{{\"subject\":\"{}\",\"diagnostics\":{}}}{}",
+            r.subject,
+            body.trim_end(),
+            if i + 1 < reports.len() { ",\n" } else { "\n" }
+        );
+    }
+    println!("]");
+}
+
+fn count(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut e = 0;
+    let mut w = 0;
+    let mut i = 0;
+    for d in diags {
+        match d.severity {
+            Severity::Error => e += 1,
+            Severity::Warn => w += 1,
+            Severity::Info => i += 1,
+        }
+    }
+    (e, w, i)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // default: lint the benchmark models, unless files were given
+    let models = args.models.unwrap_or(if args.files.is_empty() {
+        Models::Both
+    } else {
+        Models::None
+    });
+
+    let mut reports = Vec::new();
+    if matches!(models, Models::Both | Models::Gpt3) {
+        reports.push(lint_model(ModelSpec::gpt3_1p3b(8), "gpt3-1.3b"));
+    }
+    if matches!(models, Models::Both | Models::Moe) {
+        reports.push(lint_model(ModelSpec::moe_2p6b(8), "moe-2.6b"));
+    }
+    for f in &args.files {
+        match lint_file(f) {
+            Ok(r) => reports.push(r),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.inject_fault {
+        reports.push(Report {
+            subject: "fault-injection".to_string(),
+            diags: analyze_graph(&faulty_graph()),
+        });
+    }
+    if reports.is_empty() {
+        eprintln!("nothing to lint\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    match args.format {
+        Format::Text => emit_text(&reports),
+        Format::Json => emit_json(&reports),
+    }
+
+    if reports.iter().any(|r| has_errors(&r.diags)) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,162 @@
+//! Static candidate legality for the plan search.
+//!
+//! [`StaticLegality`] packages the plan-level divisibility and memory
+//! rules as a per-candidate predicate with the exact signature
+//! `optimize_pipeline_filtered_with_threads` expects, so the search
+//! engine rejects statically illegal `(stage, mesh, config)` candidates
+//! *before* they ever reach the latency provider.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use predtop_cluster::GpuSpec;
+use predtop_ir::Graph;
+use predtop_models::{ModelSpec, StageSpec};
+use predtop_parallel::{MeshShape, ParallelConfig};
+
+use crate::diag::{has_errors, sort_diagnostics, Diagnostic, Span};
+use crate::plan_passes::{divisibility_diags, memory_fit_diag};
+
+/// Per-candidate static legality checks for the plan search.
+///
+/// The divisibility rules (`P13xx`) are pure arithmetic; the optional
+/// memory rule (`P1401`) builds each candidate's stage graph once and
+/// caches it by layer range, so an `n²`-range enumeration pays `n²`
+/// graph builds at most (and typically far fewer, as ranges repeat
+/// across meshes and configs).
+pub struct StaticLegality {
+    model: ModelSpec,
+    microbatches: usize,
+    gpu: Option<GpuSpec>,
+    headroom_frac: f64,
+    graphs: Mutex<HashMap<(usize, usize), Arc<Graph>>>,
+}
+
+impl StaticLegality {
+    /// Divisibility-only legality for `model` split into `microbatches`.
+    pub fn new(model: ModelSpec, microbatches: usize) -> StaticLegality {
+        StaticLegality {
+            model,
+            microbatches,
+            gpu: None,
+            headroom_frac: 0.1,
+            graphs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Additionally reject candidates whose per-device memory lower
+    /// bound cannot fit `gpu` with `headroom_frac` kept free.
+    pub fn with_memory_check(mut self, gpu: GpuSpec, headroom_frac: f64) -> StaticLegality {
+        self.gpu = Some(gpu);
+        self.headroom_frac = headroom_frac;
+        self
+    }
+
+    fn stage_graph(&self, stage: &StageSpec) -> Arc<Graph> {
+        let key = (stage.start, stage.end);
+        let mut cache = self.graphs.lock();
+        if let Some(g) = cache.get(&key) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(stage.build_graph());
+        cache.insert(key, Arc::clone(&g));
+        g
+    }
+
+    /// Every `Error`-severity finding for one search candidate, in
+    /// canonical order. Empty means the candidate is statically legal.
+    pub fn candidate_diagnostics(
+        &self,
+        stage: &StageSpec,
+        _mesh: MeshShape,
+        config: ParallelConfig,
+    ) -> Vec<Diagnostic> {
+        let mut out = divisibility_diags(&self.model, self.microbatches, config, Span::Plan);
+        // only pay for a graph build when the cheap rules pass
+        if out.is_empty() {
+            if let Some(gpu) = &self.gpu {
+                let graph = self.stage_graph(stage);
+                if let Some(d) =
+                    memory_fit_diag(&graph, config, gpu, self.headroom_frac, Span::Plan)
+                {
+                    out.push(d);
+                }
+            }
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// The search-engine predicate: `true` iff the candidate has no
+    /// `Error`-severity finding.
+    ///
+    /// Note that if `model.batch` is not divisible by `microbatches`,
+    /// *every* candidate is illegal and a filtered search will panic
+    /// ("no covering partition survived the filter") — check `P1301`
+    /// up front when the micro-batch count is user-supplied.
+    pub fn is_legal(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> bool {
+        !has_errors(&self.candidate_diagnostics(stage, mesh, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisibility_rejects_oversharded_configs() {
+        // batch 4, 2 micro-batches -> per-microbatch 2; heads = 2
+        let mut m = ModelSpec::gpt3_1p3b(4);
+        m.num_heads = 2;
+        m.num_layers = 4;
+        let leg = StaticLegality::new(m, 2);
+        let s = StageSpec::new(m, 0, 2);
+        let mesh = MeshShape::new(2, 2);
+        assert!(leg.is_legal(&s, mesh, ParallelConfig::new(2, 2)));
+        assert!(leg.is_legal(&s, mesh, ParallelConfig::new(1, 2)));
+        // dp=4 needs per-microbatch % 4 == 0
+        assert!(!leg.is_legal(&s, mesh, ParallelConfig::new(4, 1)));
+        // mp=4 needs heads % 4 == 0
+        assert!(!leg.is_legal(&s, mesh, ParallelConfig::new(1, 4)));
+        let diags = leg.candidate_diagnostics(&s, mesh, ParallelConfig::new(4, 4));
+        let codes: Vec<u16> = diags.iter().map(|d| d.code.0).collect();
+        assert_eq!(codes, vec![1302, 1304]);
+    }
+
+    #[test]
+    fn indivisible_microbatch_count_rejects_everything() {
+        let m = ModelSpec::gpt3_1p3b(8);
+        let leg = StaticLegality::new(m, 3); // 8 % 3 != 0
+        let s = StageSpec::new(m, 0, 4);
+        let diags = leg.candidate_diagnostics(&s, MeshShape::new(1, 1), ParallelConfig::SERIAL);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code.0, 1301);
+    }
+
+    #[test]
+    fn memory_check_rejects_a_full_model_on_one_small_gpu() {
+        // mirrors sim's Table IV observation: GPT-3 1.3B training state
+        // cannot fit a single 24 GiB device
+        let m = ModelSpec::gpt3_1p3b(1);
+        let leg = StaticLegality::new(m, 1).with_memory_check(GpuSpec::a5500(), 0.1);
+        let s = StageSpec::new(m, 0, m.num_layers);
+        let diags = leg.candidate_diagnostics(&s, MeshShape::new(1, 1), ParallelConfig::SERIAL);
+        assert!(
+            diags.iter().any(|d| d.code.0 == 1401),
+            "expected a P1401 memory-fit error, got {diags:?}"
+        );
+        assert!(!leg.is_legal(&s, MeshShape::new(1, 1), ParallelConfig::SERIAL));
+    }
+
+    #[test]
+    fn stage_graphs_are_cached_by_layer_range() {
+        let m = ModelSpec::gpt3_1p3b(8);
+        let leg = StaticLegality::new(m, 1).with_memory_check(GpuSpec::a40(), 0.1);
+        let s = StageSpec::new(m, 0, 2);
+        for mp in [1, 2, 4] {
+            let _ = leg.is_legal(&s, MeshShape::new(1, 4), ParallelConfig::new(1, mp));
+        }
+        assert_eq!(leg.graphs.lock().len(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! The pass abstraction: uniform interfaces for graph-level and
+//! plan-level analyses.
+//!
+//! A pass is a pure function from an analysis subject to a list of
+//! [`Diagnostic`]s. Passes must be `Send + Sync` so the registry can fan
+//! independent passes out across `predtop-runtime`'s worker pool; the
+//! registry re-sorts the merged findings into the canonical order, so a
+//! pass never needs to care about scheduling.
+
+use predtop_cluster::GpuSpec;
+use predtop_ir::Graph;
+use predtop_models::ModelSpec;
+use predtop_parallel::{MeshShape, PipelinePlan};
+
+use crate::diag::Diagnostic;
+
+/// A static analysis over one operator graph.
+pub trait GraphPass: Send + Sync {
+    /// Short kebab-case identifier (`semantics`, `dead-code`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of what the pass checks.
+    fn description(&self) -> &'static str;
+
+    /// Run the pass; findings may be returned in any order.
+    fn run(&self, graph: &Graph) -> Vec<Diagnostic>;
+}
+
+/// Options shared by the plan-level passes.
+#[derive(Debug, Clone)]
+pub struct PlanCheckOptions {
+    /// Cluster the plan must fit into; `None` disables the device-budget
+    /// pass.
+    pub cluster: Option<MeshShape>,
+    /// Device the memory-fit pass sizes stages against; `None` disables
+    /// it.
+    pub gpu: Option<GpuSpec>,
+    /// Fraction of device memory the memory-fit pass keeps free for
+    /// workspace and fragmentation (0.1 = reject above 90% capacity).
+    pub headroom_frac: f64,
+}
+
+impl Default for PlanCheckOptions {
+    fn default() -> PlanCheckOptions {
+        PlanCheckOptions {
+            cluster: None,
+            gpu: None,
+            headroom_frac: 0.1,
+        }
+    }
+}
+
+/// Everything a plan-level pass can see.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// The plan under analysis.
+    pub plan: &'a PipelinePlan,
+    /// The model the plan claims to parallelize.
+    pub model: &'a ModelSpec,
+    /// Shared pass options.
+    pub options: &'a PlanCheckOptions,
+}
+
+/// A static analysis over one pipeline plan.
+pub trait PlanPass: Send + Sync {
+    /// Short kebab-case identifier (`plan-structure`, `memory-fit`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of what the pass checks.
+    fn description(&self) -> &'static str;
+
+    /// Run the pass; findings may be returned in any order.
+    fn run(&self, ctx: &PlanContext<'_>) -> Vec<Diagnostic>;
+}

@@ -1,0 +1,294 @@
+//! Plan-level passes: structural legality, device accounting, sharding
+//! divisibility, and memory fit.
+
+use predtop_cluster::GpuSpec;
+use predtop_ir::Graph;
+use predtop_models::ModelSpec;
+use predtop_parallel::intra::IntraPlan;
+use predtop_parallel::sharding::Sharding;
+use predtop_parallel::{ParallelConfig, PlanRule};
+use predtop_sim::memory::{estimate_stage_memory, fits_on, MemoryEstimate};
+
+use crate::diag::{Diagnostic, Severity, Span};
+use crate::pass::{PlanContext, PlanPass};
+
+/// Stable code for one [`PlanRule`] (the `P11xx` block).
+pub fn plan_rule_code(rule: PlanRule) -> u16 {
+    match rule {
+        PlanRule::NonEmpty => 1101,
+        PlanRule::ModelMatch => 1102,
+        PlanRule::Contiguous => 1103,
+        PlanRule::ConfigFillsMesh => 1104,
+        PlanRule::FullCoverage => 1105,
+    }
+}
+
+/// `plan-structure` — `PipelinePlan::check`'s contiguity/coverage rules
+/// lifted onto diagnostics, codes `P1101`–`P1105`.
+pub struct PlanStructurePass;
+
+impl PlanPass for PlanStructurePass {
+    fn name(&self) -> &'static str {
+        "plan-structure"
+    }
+
+    fn description(&self) -> &'static str {
+        "stages tile the model contiguously and fill their meshes"
+    }
+
+    fn run(&self, ctx: &PlanContext<'_>) -> Vec<Diagnostic> {
+        ctx.plan
+            .check(ctx.model)
+            .into_iter()
+            .map(|v| {
+                let span = match v.stage {
+                    Some(i) => Span::Stage(i),
+                    None => Span::Plan,
+                };
+                Diagnostic::new(plan_rule_code(v.rule), Severity::Error, span, v.message)
+            })
+            .collect()
+    }
+}
+
+/// `device-budget` — the plan's stages must fit inside the cluster
+/// (`P1201` total budget, `P1202` per-stage sub-mesh shape). Skipped
+/// when [`crate::PlanCheckOptions::cluster`] is `None`.
+pub struct DeviceBudgetPass;
+
+impl PlanPass for DeviceBudgetPass {
+    fn name(&self) -> &'static str {
+        "device-budget"
+    }
+
+    fn description(&self) -> &'static str {
+        "device accounting against the cluster's shape and budget"
+    }
+
+    fn run(&self, ctx: &PlanContext<'_>) -> Vec<Diagnostic> {
+        let Some(cluster) = ctx.options.cluster else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let used = ctx.plan.devices_used();
+        if used > cluster.num_devices() {
+            out.push(
+                Diagnostic::new(
+                    1201,
+                    Severity::Error,
+                    Span::Plan,
+                    format!(
+                        "plan occupies {used} devices, cluster {} has {}",
+                        cluster.label(),
+                        cluster.num_devices()
+                    ),
+                )
+                .with_suggestion("merge stages or shrink per-stage meshes"),
+            );
+        }
+        for (i, ps) in ctx.plan.stages.iter().enumerate() {
+            if ps.mesh.nodes > cluster.nodes || ps.mesh.gpus_per_node > cluster.gpus_per_node {
+                out.push(Diagnostic::new(
+                    1202,
+                    Severity::Error,
+                    Span::Stage(i),
+                    format!(
+                        "stage sub-mesh {} does not fit cluster {}",
+                        ps.mesh.label(),
+                        cluster.label()
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The sharding/microbatch divisibility rules for one candidate
+/// configuration, codes `P1301`–`P1304`. Shared by the
+/// [`DivisibilityPass`] (per planned stage) and the checked search's
+/// [`crate::StaticLegality`] filter (per enumerated candidate).
+pub fn divisibility_diags(
+    model: &ModelSpec,
+    microbatches: usize,
+    config: ParallelConfig,
+    span: Span,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if microbatches == 0 || !model.batch.is_multiple_of(microbatches) {
+        out.push(
+            Diagnostic::new(
+                1301,
+                Severity::Error,
+                span,
+                format!(
+                    "batch {} does not divide into {microbatches} micro-batches",
+                    model.batch
+                ),
+            )
+            .with_suggestion("pick a micro-batch count dividing the global batch"),
+        );
+        return out; // per-microbatch rules are meaningless without a split
+    }
+    let per_mb = model.batch / microbatches;
+    if config.dp > 1 && !per_mb.is_multiple_of(config.dp) {
+        out.push(
+            Diagnostic::new(
+                1302,
+                Severity::Error,
+                span,
+                format!(
+                    "micro-batch of {per_mb} does not shard {}-way data parallel",
+                    config.dp
+                ),
+            )
+            .with_suggestion("lower dp or the micro-batch count"),
+        );
+    }
+    if config.mp > 1 {
+        if !model.hidden.is_multiple_of(config.mp) {
+            out.push(Diagnostic::new(
+                1303,
+                Severity::Error,
+                span,
+                format!(
+                    "hidden size {} does not shard {}-way model parallel",
+                    model.hidden, config.mp
+                ),
+            ));
+        }
+        if !model.num_heads.is_multiple_of(config.mp) {
+            out.push(Diagnostic::new(
+                1304,
+                Severity::Error,
+                span,
+                format!(
+                    "{} attention heads do not shard {}-way model parallel",
+                    model.num_heads, config.mp
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `divisibility` — every planned stage's configuration must divide the
+/// batch, hidden size, and head count it shards.
+pub struct DivisibilityPass;
+
+impl PlanPass for DivisibilityPass {
+    fn name(&self) -> &'static str {
+        "divisibility"
+    }
+
+    fn description(&self) -> &'static str {
+        "sharded dims and micro-batches divide by the mesh axes"
+    }
+
+    fn run(&self, ctx: &PlanContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        // the plan-wide micro-batch rule once, on the plan span
+        if ctx.plan.microbatches == 0 || !ctx.model.batch.is_multiple_of(ctx.plan.microbatches) {
+            out.extend(divisibility_diags(
+                ctx.model,
+                ctx.plan.microbatches,
+                ParallelConfig::SERIAL,
+                Span::Plan,
+            ));
+            return out;
+        }
+        for (i, ps) in ctx.plan.stages.iter().enumerate() {
+            out.extend(divisibility_diags(
+                ctx.model,
+                ctx.plan.microbatches,
+                ps.config,
+                Span::Stage(i),
+            ));
+        }
+        out
+    }
+}
+
+/// The least per-device memory any intra-stage sharding assignment can
+/// reach for `graph` under `config`: every operator column-sharded
+/// (activations stored `1/(mp·dp)`) and every contraction's weights
+/// sharded `1/mp`. An assignment chosen by the real optimizer can only
+/// use **more** memory, so rejecting on this bound never rejects a
+/// feasible candidate.
+pub fn stage_memory_lower_bound(graph: &Graph, config: ParallelConfig) -> MemoryEstimate {
+    let all_sharded = IntraPlan {
+        config,
+        sharding: vec![Sharding::ColSharded; graph.len()],
+        compute_time: 0.0,
+        comm_time: 0.0,
+        grad_sync_time: 0.0,
+        total: 0.0,
+    };
+    estimate_stage_memory(graph, &all_sharded)
+}
+
+/// One memory-fit diagnostic (`P1401`) if even the lower-bound estimate
+/// overflows `gpu`, else `None`. Shared by the [`MemoryFitPass`] and the
+/// checked search's [`crate::StaticLegality`] filter.
+pub fn memory_fit_diag(
+    graph: &Graph,
+    config: ParallelConfig,
+    gpu: &GpuSpec,
+    headroom_frac: f64,
+    span: Span,
+) -> Option<Diagnostic> {
+    let est = stage_memory_lower_bound(graph, config);
+    if fits_on(gpu, &est, headroom_frac) {
+        return None;
+    }
+    Some(
+        Diagnostic::new(
+            1401,
+            Severity::Error,
+            span,
+            format!(
+                "stage needs at least {:.1} GiB per device, {} has {:.1} GiB \
+                 ({:.0}% headroom)",
+                est.total() as f64 / (1u64 << 30) as f64,
+                gpu.name,
+                gpu.memory_gib,
+                headroom_frac * 100.0
+            ),
+        )
+        .with_suggestion("shard wider (more mp/dp), split the stage, or use larger devices"),
+    )
+}
+
+/// `memory-fit` — each stage's memory lower bound must fit the target
+/// device. Skipped when [`crate::PlanCheckOptions::gpu`] is `None`.
+pub struct MemoryFitPass;
+
+impl PlanPass for MemoryFitPass {
+    fn name(&self) -> &'static str {
+        "memory-fit"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-stage memory lower bound vs device capacity (sim::memory)"
+    }
+
+    fn run(&self, ctx: &PlanContext<'_>) -> Vec<Diagnostic> {
+        let Some(gpu) = &ctx.options.gpu else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, ps) in ctx.plan.stages.iter().enumerate() {
+            let graph = ps.stage.build_graph();
+            if let Some(d) = memory_fit_diag(
+                &graph,
+                ps.config,
+                gpu,
+                ctx.options.headroom_frac,
+                Span::Stage(i),
+            ) {
+                out.push(d);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,189 @@
+//! Integration tests: builder-valid graphs lint clean (property), the
+//! JSON renderer's schema is frozen (golden file), the benchmark models
+//! are clean at every thread count, and the `predtop-lint` CLI's exit
+//! codes hold.
+
+use proptest::prelude::*;
+
+use predtop_analyze::{
+    analyze_graph, analyze_graph_with_threads, has_errors, render_json, sort_diagnostics, Severity,
+};
+use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
+use predtop_models::{ModelSpec, StageSpec};
+
+// ---- property: valid builder graphs have zero Error findings --------
+
+/// Random graphs assembled only from rule-respecting pieces: same-shape
+/// elementwise chains, `dot`s with a declared contracted size, and
+/// shape-shrinking reductions, all in one dtype. Dead nodes happen
+/// naturally (only the last value is an output) — they must surface as
+/// warnings, never errors.
+fn arb_clean_graph() -> impl Strategy<Value = Graph> {
+    (2usize..30, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let first = b.input(Shape::from([4, 4]), DType::F32);
+        // ids of nodes carrying the canonical [4, 4] shape
+        let mut ids = vec![first];
+        for _ in 1..n {
+            let a = ids[rng.gen_range(0..ids.len())];
+            let c = ids[rng.gen_range(0..ids.len())];
+            let id = match rng.gen_range(0..5) {
+                0 => b.input(Shape::from([4, 4]), DType::F32),
+                1 => b.binary(OpKind::Add, a, c),
+                2 => b.binary(OpKind::Mul, a, c),
+                3 => b.unary(OpKind::Tanh, a),
+                _ => b.dot(a, c, Shape::from([4, 4]), DType::F32, 4),
+            };
+            ids.push(id);
+        }
+        let last = *ids.last().unwrap();
+        b.finish(&[last]).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_builder_valid_graphs_have_no_errors(g in arb_clean_graph()) {
+        let diags = analyze_graph(&g);
+        for d in &diags {
+            prop_assert!(
+                d.severity != Severity::Error,
+                "false positive {} on a rule-respecting graph: {}",
+                d.code,
+                d.message
+            );
+        }
+    }
+
+    #[test]
+    fn prop_report_is_thread_count_invariant(g in arb_clean_graph()) {
+        let one = analyze_graph_with_threads(&g, 1);
+        let four = analyze_graph_with_threads(&g, 4);
+        prop_assert_eq!(one, four);
+    }
+}
+
+// ---- golden file: the JSON schema is a frozen contract --------------
+
+/// A graph hitting one pass of each family: a mismatched `add`
+/// (semantics, error), a dead `exp` (flow, warning), a literal-only
+/// `mul` (const-fold, info), and a same-dtype convert (dtype, info).
+fn kitchen_sink_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    let x = b.input(Shape::from([4, 8]), DType::F32);
+    let y = b.input(Shape::from([4, 9]), DType::F32);
+    let bad = b.op(OpKind::Add, &[x, y], Shape::from([4, 8]), DType::F32);
+    let lit = b.literal(Shape::from([4, 8]), DType::F32);
+    let fold = b.binary(OpKind::Mul, lit, lit);
+    let merged = b.binary(OpKind::Add, bad, fold);
+    let _dead = b.unary(OpKind::Exp, x);
+    let same = b.op(
+        OpKind::ConvertElementType,
+        &[merged],
+        Shape::from([4, 8]),
+        DType::F32,
+    );
+    b.finish(&[same]).unwrap()
+}
+
+#[test]
+fn golden_json_report_is_stable() {
+    let diags = analyze_graph(&kitchen_sink_graph());
+    assert!(has_errors(&diags));
+    let rendered = render_json(&diags);
+    // regenerate with: BLESS=1 cargo test -p predtop-analyze golden
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/golden/kitchen_sink.json"
+            ),
+            &rendered,
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        rendered,
+        include_str!("golden/kitchen_sink.json"),
+        "the JSON diagnostic schema changed; bless tests/golden/kitchen_sink.json \
+         only if the change is intentional"
+    );
+}
+
+// ---- benchmark models lint clean ------------------------------------
+
+#[test]
+fn benchmark_model_graphs_are_clean() {
+    for model in [ModelSpec::gpt3_1p3b(8), ModelSpec::moe_2p6b(8)] {
+        let graph = StageSpec::new(model, 0, model.num_layers).build_graph();
+        let diags = analyze_graph(&graph);
+        assert!(
+            diags.is_empty(),
+            "{:?} emitted graph has findings: {diags:?}",
+            model.kind
+        );
+    }
+}
+
+#[test]
+fn sorting_is_idempotent_on_reports() {
+    let mut diags = analyze_graph(&kitchen_sink_graph());
+    let before = diags.clone();
+    sort_diagnostics(&mut diags);
+    assert_eq!(diags, before, "analyze_graph must return sorted findings");
+}
+
+// ---- the predtop-lint CLI -------------------------------------------
+
+fn lint_cmd() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_predtop-lint"))
+}
+
+#[test]
+fn cli_benchmark_models_exit_zero() {
+    let out = lint_cmd().args(["--models", "both"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("gpt3-1.3b"));
+    assert!(stdout.contains("moe-2.6b"));
+}
+
+#[test]
+fn cli_injected_fault_exits_one() {
+    let out = lint_cmd()
+        .args(["--models", "none", "--inject-fault"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[P0107]"), "stdout: {stdout}");
+
+    let json = lint_cmd()
+        .args(["--models", "none", "--inject-fault", "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(json.status.code(), Some(1));
+    let stdout = String::from_utf8(json.stdout).unwrap();
+    assert!(stdout.contains(r#""code":"P0107""#), "stdout: {stdout}");
+}
+
+#[test]
+fn cli_bad_input_exits_two() {
+    let out = lint_cmd().args(["--format", "yaml"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = std::env::temp_dir();
+    let path = dir.join("predtop-lint-malformed-test.json");
+    std::fs::write(&path, "this is not a graph").unwrap();
+    let out = lint_cmd().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&path).ok();
+
+    let out = lint_cmd()
+        .arg(dir.join("predtop-lint-no-such-file"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

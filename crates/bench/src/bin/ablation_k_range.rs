@@ -39,8 +39,12 @@ fn main() {
         &["k", "mask density (%)", "MRE (%)", "epochs"],
     );
 
-    let settings: [(&str, Option<u32>); 4] =
-        [("1", Some(1)), ("2", Some(2)), ("4", Some(4)), ("inf (paper)", None)];
+    let settings: [(&str, Option<u32>); 4] = [
+        ("1", Some(1)),
+        ("2", Some(2)),
+        ("4", Some(4)),
+        ("inf (paper)", None),
+    ];
     for (label, k) in settings {
         let samples: Vec<GraphSample> = stages
             .iter()
@@ -58,12 +62,7 @@ fn main() {
             .iter()
             .map(|s| {
                 let n = s.num_nodes();
-                let allowed = s
-                    .dag_mask
-                    .data()
-                    .iter()
-                    .filter(|&&m| m == 0.0)
-                    .count();
+                let allowed = s.dag_mask.data().iter().filter(|&&m| m == 0.0).count();
                 allowed as f64 / (n * n) as f64
             })
             .sum::<f64>()
@@ -74,7 +73,10 @@ fn main() {
         let mut net = proto.arch(ModelKind::DagTransformer).build(proto.seed);
         let (scaler, report) = train(net.as_mut(), &ds, &split, &proto.train);
         let mre = eval_mre(net.as_ref(), &scaler, &ds, &split.test);
-        eprintln!("[ablation-k] k={label}: density {:.1}%, MRE {mre:.2}%", density * 100.0);
+        eprintln!(
+            "[ablation-k] k={label}: density {:.1}%, MRE {mre:.2}%",
+            density * 100.0
+        );
         table.add_row(vec![
             label.to_string(),
             format!("{:.1}", density * 100.0),

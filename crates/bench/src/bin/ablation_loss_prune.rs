@@ -60,7 +60,14 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Ablation — loss function and graph pruning (GPT-3, Platform 1 mesh 2 conf 1, 50% train)",
-        &["variant", "loss", "pruned", "avg nodes", "MRE (%)", "train (s)"],
+        &[
+            "variant",
+            "loss",
+            "pruned",
+            "avg nodes",
+            "MRE (%)",
+            "train (s)",
+        ],
     );
 
     let cases = [
@@ -81,12 +88,18 @@ fn main() {
         let mut net = proto.arch(ModelKind::DagTransformer).build(proto.seed);
         let (scaler, report) = train(net.as_mut(), &ds, &split, &train_cfg);
         let mre = eval_mre(net.as_ref(), &scaler, &ds, &split.test);
-        eprintln!("[ablation] {name}: MRE {mre:.2}% in {:.1}s", report.train_seconds);
+        eprintln!(
+            "[ablation] {name}: MRE {mre:.2}% in {:.1}s",
+            report.train_seconds
+        );
         table.add_row(vec![
             name.to_string(),
             format!("{loss:?}"),
             use_pruned.to_string(),
-            format!("{:.0}", avg_nodes(if use_pruned { &pruned } else { &unpruned })),
+            format!(
+                "{:.0}",
+                avg_nodes(if use_pruned { &pruned } else { &unpruned })
+            ),
             format!("{mre:.2}"),
             format!("{:.1}", report.train_seconds),
         ]);

@@ -39,7 +39,13 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Extension — white-box analytic baseline vs DAG Transformer (GPT-3, Platform 2)",
-        &["scenario", "analytic MRE (%)", "Tran MRE (%)", "Tran profiling+training", "analytic cost"],
+        &[
+            "scenario",
+            "analytic MRE (%)",
+            "Tran MRE (%)",
+            "Tran profiling+training",
+            "analytic cost",
+        ],
     );
 
     for sc in &scenarios {
@@ -79,7 +85,11 @@ fn main() {
             sc.id(),
             format!("{analytic_mre:.2}"),
             format!("{tran_mre:.2}"),
-            format!("{} stages + {:.0}s", split.train.len(), report.train_seconds),
+            format!(
+                "{} stages + {:.0}s",
+                split.train.len(),
+                report.train_seconds
+            ),
             "none".to_string(),
         ]);
     }

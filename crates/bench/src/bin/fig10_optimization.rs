@@ -16,9 +16,9 @@
 use predtop_bench::{Protocol, TableWriter};
 use predtop_cluster::Platform;
 use predtop_core::{search_plan, search_plan_cached, GrayBoxConfig, PredTop};
-use predtop_runtime::configured_threads;
 use predtop_gnn::ModelKind;
 use predtop_parallel::{InterStageOptions, MeshShape};
+use predtop_runtime::configured_threads;
 use predtop_sim::SimProfiler;
 
 fn main() {
@@ -36,11 +36,26 @@ fn main() {
 
     let mut cost_table = TableWriter::new(
         "Fig. 10a — optimization cost (seconds: simulated profiling + wall training/inference)",
-        &["benchmark", "method", "stages profiled", "profiling (s)", "train (s)", "infer (s)", "total (s)", "vs partial"],
+        &[
+            "benchmark",
+            "method",
+            "stages profiled",
+            "profiling (s)",
+            "train (s)",
+            "infer (s)",
+            "total (s)",
+            "vs partial",
+        ],
     );
     let mut latency_table = TableWriter::new(
         "Fig. 10b — iteration latency of the optimized plan (relative to full profiling)",
-        &["benchmark", "method", "plan latency (s)", "degradation (%)", "stages"],
+        &[
+            "benchmark",
+            "method",
+            "plan latency (s)",
+            "degradation (%)",
+            "stages",
+        ],
     );
 
     for mut model in [proto.gpt3(), proto.moe()] {
@@ -75,7 +90,13 @@ fn main() {
 
         // ---- partial profiling ----------------------------------------
         let profiler_partial = SimProfiler::new(platform.clone(), proto.seed);
-        let partial = search_plan(model, cluster, &profiler_partial, &profiler_partial, partial_opts);
+        let partial = search_plan(
+            model,
+            cluster,
+            &profiler_partial,
+            &profiler_partial,
+            partial_opts,
+        );
         let partial_cost = profiler_partial.ledger().totals();
         eprintln!(
             "[fig10/{bench_name}] partial profiling: {} queries, {:.0} sim-s, plan {:.4}s",

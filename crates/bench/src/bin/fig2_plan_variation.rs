@@ -21,7 +21,15 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Fig. 2 — iteration latency across random parallelization plans (Platform 2, 100 plans)",
-        &["benchmark", "min (s)", "p25 (s)", "median (s)", "p75 (s)", "max (s)", "max/min"],
+        &[
+            "benchmark",
+            "min (s)",
+            "p25 (s)",
+            "median (s)",
+            "p75 (s)",
+            "max (s)",
+            "max/min",
+        ],
     );
 
     for model in [proto.gpt3(), proto.moe()] {

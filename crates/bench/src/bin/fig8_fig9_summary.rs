@@ -28,9 +28,14 @@ fn load_or_run(
     }
     eprintln!("[fig8/9] {} missing; computing fresh", path.display());
     let scenarios = platform_scenarios(platform);
-    run_grid(platform, platform_label, model, &scenarios, proto, &mut |l| {
-        eprintln!("{l}")
-    })
+    run_grid(
+        platform,
+        platform_label,
+        model,
+        &scenarios,
+        proto,
+        &mut |l| eprintln!("{l}"),
+    )
 }
 
 fn main() {

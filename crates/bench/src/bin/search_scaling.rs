@@ -38,14 +38,16 @@ fn main() {
     // shared one would hand the second run a fully warmed cache and the
     // comparison would time hash lookups, not candidate evaluation.
     let serial_profiler = SimProfiler::new(platform.clone(), 7);
-    let serial = search_plan_with_threads(model, cluster, &serial_profiler, &serial_profiler, opts, 1);
+    let serial =
+        search_plan_with_threads(model, cluster, &serial_profiler, &serial_profiler, opts, 1);
     println!(
         "1 thread      : {:7.3}s wall, {} queries, plan latency {:.5}s",
         serial.search_seconds, serial.num_queries, serial.true_latency
     );
 
     let pool_profiler = SimProfiler::new(platform.clone(), 7);
-    let parallel = search_plan_with_threads(model, cluster, &pool_profiler, &pool_profiler, opts, pool);
+    let parallel =
+        search_plan_with_threads(model, cluster, &pool_profiler, &pool_profiler, opts, pool);
     println!(
         "{pool} thread(s)   : {:7.3}s wall, {} queries, plan latency {:.5}s  ({:.2}x speedup)",
         parallel.search_seconds,
@@ -60,11 +62,20 @@ fn main() {
         "thread count changed the search result"
     );
     assert_eq!(serial.num_queries, parallel.num_queries);
-    assert_eq!(serial.plan, parallel.plan, "thread count changed the chosen plan");
+    assert_eq!(
+        serial.plan, parallel.plan,
+        "thread count changed the chosen plan"
+    );
 
     let cached_profiler = SimProfiler::new(platform, 7);
-    let cached =
-        search_plan_cached_with_threads(model, cluster, &cached_profiler, &cached_profiler, opts, pool);
+    let cached = search_plan_cached_with_threads(
+        model,
+        cluster,
+        &cached_profiler,
+        &cached_profiler,
+        opts,
+        pool,
+    );
     let stats = cached.cache.expect("cached search reports stats");
     assert_eq!(
         cached.estimated_latency.to_bits(),

@@ -86,20 +86,40 @@ fn main() {
             format!("{:.2}B", gpt.approx_params() as f64 / 1e9),
             format!("{:.2}B", moe.approx_params() as f64 / 1e9),
         ),
-        ("sequence length", gpt.seq_len.to_string(), moe.seq_len.to_string()),
-        ("hidden size", gpt.hidden.to_string(), moe.hidden.to_string()),
-        ("# layers", gpt.num_layers.to_string(), moe.num_layers.to_string()),
-        ("# heads", gpt.num_heads.to_string(), moe.num_heads.to_string()),
+        (
+            "sequence length",
+            gpt.seq_len.to_string(),
+            moe.seq_len.to_string(),
+        ),
+        (
+            "hidden size",
+            gpt.hidden.to_string(),
+            moe.hidden.to_string(),
+        ),
+        (
+            "# layers",
+            gpt.num_layers.to_string(),
+            moe.num_layers.to_string(),
+        ),
+        (
+            "# heads",
+            gpt.num_heads.to_string(),
+            moe.num_heads.to_string(),
+        ),
         ("vocab size", gpt.vocab.to_string(), moe.vocab.to_string()),
         (
             "# experts",
             "-".into(),
-            moe.moe.map(|m| m.num_experts.to_string()).unwrap_or_default(),
+            moe.moe
+                .map(|m| m.num_experts.to_string())
+                .unwrap_or_default(),
         ),
         (
             "expert hidden",
             "-".into(),
-            moe.moe.map(|m| m.expert_hidden.to_string()).unwrap_or_default(),
+            moe.moe
+                .map(|m| m.expert_hidden.to_string())
+                .unwrap_or_default(),
         ),
     ];
     for (name, g, m) in rows {

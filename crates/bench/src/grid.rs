@@ -228,10 +228,20 @@ mod tests {
         let platform = Platform::platform1();
         let scenarios = platform_scenarios(&platform);
         let proto = micro_protocol();
-        let result = run_grid(&platform, "P1", micro_gpt(), &scenarios, &proto, &mut |_| {});
+        let result = run_grid(
+            &platform,
+            "P1",
+            micro_gpt(),
+            &scenarios,
+            &proto,
+            &mut |_| {},
+        );
         // 3 scenarios × 1 fraction × 3 architectures
         assert_eq!(result.cells.len(), 9);
-        assert!(result.cells.iter().all(|c| c.mre.is_finite() && c.mre >= 0.0));
+        assert!(result
+            .cells
+            .iter()
+            .all(|c| c.mre.is_finite() && c.mre >= 0.0));
         assert_eq!(result.mres_for("Tran").len(), 3);
     }
 
@@ -240,7 +250,14 @@ mod tests {
         let platform = Platform::platform1();
         let scenarios = platform_scenarios(&platform);
         let proto = micro_protocol();
-        let result = run_grid(&platform, "P1", micro_gpt(), &scenarios, &proto, &mut |_| {});
+        let result = run_grid(
+            &platform,
+            "P1",
+            micro_gpt(),
+            &scenarios,
+            &proto,
+            &mut |_| {},
+        );
         let table = render_table(&result, &scenarios);
         assert_eq!(table.headers.len(), 1 + 9);
         assert_eq!(table.rows.len(), 1);

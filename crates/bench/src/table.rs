@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        std::env::set_var("PREDTOP_RESULTS_DIR", std::env::temp_dir().join("predtop-test-results"));
+        std::env::set_var(
+            "PREDTOP_RESULTS_DIR",
+            std::env::temp_dir().join("predtop-test-results"),
+        );
         let mut t = TableWriter::new("json-demo", &["x"]);
         t.add_row(vec!["42".into()]);
         let p = t.save_json("unit_test_table");

@@ -66,12 +66,12 @@ impl StageLatencyProvider for AnalyticBaseline {
         // over all devices
         let mut compute = 0.0;
         for node in graph.nodes() {
-            let NodeKind::Operator(op) = node.kind else { continue };
+            let NodeKind::Operator(op) = node.kind else {
+                continue;
+            };
             let half = node.dtype.size_bytes() <= 2 && node.dtype.is_float();
             let t = match op.compute_class() {
-                ComputeClass::Contraction => {
-                    node_flops(node) / (gpu.peak_flops(half) * self.mfu)
-                }
+                ComputeClass::Contraction => node_flops(node) / (gpu.peak_flops(half) * self.mfu),
                 _ => node_bytes(node) / (gpu.mem_bandwidth_bps() * self.mem_eff),
             };
             compute += t / devices + self.launch_s;
@@ -160,8 +160,14 @@ mod tests {
             truth.push(profiler.stage_latency(s, mesh, ParallelConfig::SERIAL));
         }
         let mre = mean_relative_error(&est, &truth);
-        assert!(mre > 5.0, "an uncalibrated white-box cannot be this good: {mre:.1}%");
-        assert!(mre < 300.0, "but it must be in the right ballpark: {mre:.1}%");
+        assert!(
+            mre > 5.0,
+            "an uncalibrated white-box cannot be this good: {mre:.1}%"
+        );
+        assert!(
+            mre < 300.0,
+            "but it must be in the right ballpark: {mre:.1}%"
+        );
         // monotone agreement: bigger true latency -> bigger estimate
         let mut order_ok = 0;
         let mut total = 0;

@@ -122,10 +122,7 @@ impl PredTop {
                 profiler.ledger().add_training(secs);
 
                 reports.push((mesh, config, report));
-                predictors.insert(
-                    (mesh, config),
-                    TrainedPredictor { model: net, scaler },
-                );
+                predictors.insert((mesh, config), TrainedPredictor { model: net, scaler });
                 scenario_idx += 1;
             }
         }

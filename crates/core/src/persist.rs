@@ -57,7 +57,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Format(e) => write!(f, "format error: {e}"),
             PersistError::ShapeMismatch { expected, found } => {
-                write!(f, "snapshot has {found} params, architecture expects {expected}")
+                write!(
+                    f,
+                    "snapshot has {found} params, architecture expects {expected}"
+                )
             }
             PersistError::Version(v) => write!(f, "unsupported snapshot version {v}"),
         }
@@ -188,7 +191,10 @@ mod tests {
         let path = std::env::temp_dir().join("predtop_persist_test.json");
         save_to_file(&path, arch, &predictor).unwrap();
         let restored = load_from_file(&path).unwrap();
-        assert_eq!(predictor.predict(&ds.samples[0]), restored.predict(&ds.samples[0]));
+        assert_eq!(
+            predictor.predict(&ds.samples[0]),
+            restored.predict(&ds.samples[0])
+        );
         std::fs::remove_file(path).ok();
     }
 
@@ -220,7 +226,10 @@ mod tests {
     fn corrupt_json_rejected() {
         let path = std::env::temp_dir().join("predtop_persist_corrupt.json");
         std::fs::write(&path, "{not json").unwrap();
-        assert!(matches!(load_from_file(&path), Err(PersistError::Format(_))));
+        assert!(matches!(
+            load_from_file(&path),
+            Err(PersistError::Format(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 }

@@ -3,10 +3,11 @@
 
 use std::time::Instant;
 
+use predtop_analyze::StaticLegality;
 use predtop_models::ModelSpec;
 use predtop_parallel::{
-    optimize_pipeline_with_threads, CacheStats, CachedProvider, InterStageOptions, MeshShape,
-    PipelinePlan, StageLatencyProvider,
+    optimize_pipeline_filtered_with_threads, optimize_pipeline_with_threads, CacheStats,
+    CachedProvider, InterStageOptions, MeshShape, PipelinePlan, StageLatencyProvider,
 };
 use predtop_runtime::configured_threads;
 use predtop_sim::SimProfiler;
@@ -23,6 +24,9 @@ pub struct SearchOutcome {
     pub true_latency: f64,
     /// Number of stage-latency queries the search issued.
     pub num_queries: usize,
+    /// Number of enumerated candidates a static-legality filter rejected
+    /// *before* any latency evaluation (0 for unchecked searches).
+    pub num_rejected: usize,
     /// Wall-clock seconds the search itself took.
     pub search_seconds: f64,
     /// Hit/miss counters of the memoization layer, when the search ran
@@ -46,7 +50,14 @@ pub fn search_plan<P: StageLatencyProvider>(
     profiler: &SimProfiler,
     opts: InterStageOptions,
 ) -> SearchOutcome {
-    search_plan_with_threads(model, cluster, provider, profiler, opts, configured_threads())
+    search_plan_with_threads(
+        model,
+        cluster,
+        provider,
+        profiler,
+        opts,
+        configured_threads(),
+    )
 }
 
 /// [`search_plan`] with an explicit evaluation-pool size. The outcome is
@@ -68,6 +79,70 @@ pub fn search_plan_with_threads<P: StageLatencyProvider>(
         estimated_latency: result.latency,
         true_latency,
         num_queries: result.num_queries,
+        num_rejected: result.num_rejected,
+        search_seconds,
+        cache: None,
+    }
+}
+
+/// [`search_plan`] with the `predtop-analyze` static-legality filter in
+/// front of the latency provider: every enumerated candidate is checked
+/// against the sharding-divisibility rules (`P13xx`) and the per-device
+/// memory lower bound (`P1401`, sized for the profiler's platform GPU
+/// with 10% headroom), and statically illegal candidates are rejected
+/// *before* any latency evaluation — the provider never sees them.
+/// [`SearchOutcome::num_rejected`] reports how many were dropped.
+///
+/// # Panics
+/// Panics if no legal covering partition exists — in particular when
+/// `opts.microbatches` does not divide `model.batch` (`P1301` rejects
+/// every candidate).
+pub fn search_plan_checked<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+) -> SearchOutcome {
+    search_plan_checked_with_threads(
+        model,
+        cluster,
+        provider,
+        profiler,
+        opts,
+        configured_threads(),
+    )
+}
+
+/// [`search_plan_checked`] with an explicit evaluation-pool size. The
+/// outcome is bit-identical for every `threads ≥ 1`.
+pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    threads: usize,
+) -> SearchOutcome {
+    let legality = StaticLegality::new(model, opts.microbatches)
+        .with_memory_check(profiler.platform().gpu.clone(), 0.1);
+    let started = Instant::now();
+    let result = optimize_pipeline_filtered_with_threads(
+        model,
+        cluster,
+        provider,
+        opts,
+        threads,
+        &|stage, mesh, config| legality.is_legal(stage, mesh, config),
+    );
+    let search_seconds = started.elapsed().as_secs_f64();
+    let true_latency = result.plan.latency(profiler);
+    SearchOutcome {
+        plan: result.plan,
+        estimated_latency: result.latency,
+        true_latency,
+        num_queries: result.num_queries,
+        num_rejected: result.num_rejected,
         search_seconds,
         cache: None,
     }
@@ -92,7 +167,14 @@ pub fn search_plan_cached<P: StageLatencyProvider>(
     profiler: &SimProfiler,
     opts: InterStageOptions,
 ) -> SearchOutcome {
-    search_plan_cached_with_threads(model, cluster, provider, profiler, opts, configured_threads())
+    search_plan_cached_with_threads(
+        model,
+        cluster,
+        provider,
+        profiler,
+        opts,
+        configured_threads(),
+    )
 }
 
 /// [`search_plan_cached`] with an explicit evaluation-pool size.
@@ -178,6 +260,83 @@ mod tests {
         assert_eq!(stats.queries(), cached.num_queries);
         // never more work for the underlying provider than uncached
         assert!(profiler2.queries_issued() <= plain_underlying);
+    }
+
+    #[test]
+    fn checked_search_never_queries_illegal_candidates() {
+        use parking_lot::Mutex;
+        use predtop_models::StageSpec;
+        use predtop_parallel::ParallelConfig;
+
+        /// Synthetic provider recording every candidate it is asked about.
+        struct RecordingProvider {
+            seen: Mutex<Vec<(usize, usize, usize, usize)>>,
+        }
+        impl StageLatencyProvider for RecordingProvider {
+            fn stage_latency(
+                &self,
+                stage: &StageSpec,
+                mesh: MeshShape,
+                config: ParallelConfig,
+            ) -> f64 {
+                self.seen
+                    .lock()
+                    .push((stage.start, stage.end, config.dp, config.mp));
+                stage.num_layers() as f64 / (config.num_devices() as f64).sqrt()
+                    + 0.01 * mesh.num_devices() as f64
+            }
+        }
+
+        // batch 4 split into 2 micro-batches -> per-microbatch 2, so
+        // dp=4 is illegal (P1302); 2 heads, so mp=4 is illegal (P1304)
+        let mut model = tiny_model();
+        model.batch = 4;
+        model.num_heads = 2;
+        model.num_layers = 4;
+        let cluster = MeshShape::new(2, 2);
+        let opts = InterStageOptions {
+            microbatches: 2,
+            imbalance_tolerance: None,
+        };
+        // platform 2 physically has the 2x2 mesh (platform 1 is one node)
+        let profiler = SimProfiler::new(Platform::platform2(), 7);
+
+        let plain_provider = RecordingProvider {
+            seen: Mutex::new(Vec::new()),
+        };
+        let plain = search_plan(model, cluster, &plain_provider, &profiler, opts);
+        assert_eq!(plain.num_rejected, 0);
+        let plain_seen = plain_provider.seen.into_inner();
+        assert!(
+            plain_seen.iter().any(|&(.., dp, mp)| dp == 4 || mp == 4),
+            "unchecked search should evaluate the over-sharded candidates"
+        );
+
+        let checked_provider = RecordingProvider {
+            seen: Mutex::new(Vec::new()),
+        };
+        let checked = search_plan_checked(model, cluster, &checked_provider, &profiler, opts);
+        let checked_seen = checked_provider.seen.into_inner();
+
+        // the provider never saw a statically illegal candidate...
+        for &(start, end, dp, mp) in &checked_seen {
+            assert!(
+                dp != 4 && mp != 4,
+                "illegal candidate [{start}..{end}) dp={dp} mp={mp} was latency-evaluated"
+            );
+        }
+        // ...every skipped candidate is accounted for...
+        assert!(checked.num_rejected > 0);
+        assert_eq!(checked.num_queries, checked_seen.len());
+        assert_eq!(
+            checked.num_queries + checked.num_rejected,
+            plain.num_queries
+        );
+        // ...and the chosen plan is legal end to end
+        checked.plan.validate(&model).unwrap();
+        for ps in &checked.plan.stages {
+            assert!(ps.config.dp != 4 && ps.config.mp != 4);
+        }
     }
 
     #[test]

@@ -47,12 +47,7 @@ impl GraphSample {
     /// Like [`GraphSample::new`] but with eqn. 1's neighbourhood range
     /// restricted to `k` hops (`N_k(v)`) — the ablation knob around the
     /// paper's `k = ∞` default.
-    pub fn with_attention_range(
-        graph: &Graph,
-        latency: f64,
-        pe_dim: usize,
-        k: u32,
-    ) -> GraphSample {
+    pub fn with_attention_range(graph: &Graph, latency: f64, pe_dim: usize, k: u32) -> GraphSample {
         let (g, _) = prune(graph);
         let mut sample = Self::from_pruned(&g, latency, pe_dim);
         let reach = Reachability::compute_within(&g, k);
@@ -268,10 +263,7 @@ mod tests {
             for j in 0..n {
                 assert_eq!(s.adj_norm.get(i, j), s.adj_norm.get(j, i));
                 // mask agrees with adjacency support
-                assert_eq!(
-                    s.adj_mask.get(i, j) == 0.0,
-                    s.adj_norm.get(i, j) != 0.0
-                );
+                assert_eq!(s.adj_mask.get(i, j) == 0.0, s.adj_norm.get(i, j) != 0.0);
             }
             assert!(s.adj_norm.get(i, i) > 0.0, "self-loop present");
         }

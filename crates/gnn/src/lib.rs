@@ -32,8 +32,8 @@ pub mod model;
 pub mod train;
 
 pub use dag_transformer::DagTransformer;
-pub use ensemble::Ensemble;
 pub use dataset::{Dataset, GraphSample, Split, TargetScaler};
+pub use ensemble::Ensemble;
 pub use gat::Gat;
 pub use gcn::Gcn;
 pub use metrics::mean_relative_error;

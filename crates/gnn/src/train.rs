@@ -198,7 +198,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut x = b.input([4, 4], DType::F32);
         for i in 0..len {
-            x = b.unary(if i % 2 == 0 { OpKind::Exp } else { OpKind::Tanh }, x);
+            x = b.unary(
+                if i % 2 == 0 {
+                    OpKind::Exp
+                } else {
+                    OpKind::Tanh
+                },
+                x,
+            );
         }
         b.finish(&[x]).unwrap()
     }

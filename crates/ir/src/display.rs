@@ -22,8 +22,7 @@ pub fn to_jaxpr_text(g: &Graph) -> String {
                 let _ = write!(out, "output(%{})", node.inputs[0].0);
             }
             NodeKind::Operator(op) => {
-                let args: Vec<String> =
-                    node.inputs.iter().map(|p| format!("%{}", p.0)).collect();
+                let args: Vec<String> = node.inputs.iter().map(|p| format!("%{}", p.0)).collect();
                 let _ = write!(out, "{}({})", op.name(), args.join(", "));
                 if node.attrs.contracted > 0 {
                     let _ = write!(out, " {{contract={}}}", node.attrs.contracted);
@@ -38,7 +37,8 @@ pub fn to_jaxpr_text(g: &Graph) -> String {
 /// Render `g` as a Graphviz `digraph` (nodes labelled with op, dtype and
 /// shape; inputs/literals/outputs colour-coded).
 pub fn to_dot(g: &Graph) -> String {
-    let mut out = String::from("digraph stage {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    let mut out =
+        String::from("digraph stage {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
     for node in g.nodes() {
         let (label, color) = match node.kind {
             NodeKind::Input => ("input".to_string(), "lightblue"),

@@ -86,7 +86,9 @@ mod tests {
 
         let f = node_features(g.node(y));
         // exactly one op-type bit
-        let op_bits: Vec<usize> = (0..NUM_OP_KINDS).filter(|&i| f[OP_BLOCK + i] == 1.0).collect();
+        let op_bits: Vec<usize> = (0..NUM_OP_KINDS)
+            .filter(|&i| f[OP_BLOCK + i] == 1.0)
+            .collect();
         assert_eq!(op_bits, vec![OpKind::Exp.one_hot_index()]);
         // dims: ln(5), ln(9), then zeros
         assert!((f[DIM_BLOCK] - 5f32.ln()).abs() < 1e-6);

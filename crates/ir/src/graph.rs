@@ -331,7 +331,14 @@ impl GraphBuilder {
         self.nodes.is_empty()
     }
 
-    fn push(&mut self, kind: NodeKind, dtype: DType, shape: Shape, inputs: Vec<NodeId>, attrs: Attrs) -> NodeId {
+    fn push(
+        &mut self,
+        kind: NodeKind,
+        dtype: DType,
+        shape: Shape,
+        inputs: Vec<NodeId>,
+        attrs: Attrs,
+    ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         for &p in &inputs {
             assert!(
@@ -352,12 +359,24 @@ impl GraphBuilder {
 
     /// Add a graph input of the given type.
     pub fn input(&mut self, shape: impl Into<Shape>, dtype: DType) -> NodeId {
-        self.push(NodeKind::Input, dtype, shape.into(), Vec::new(), Attrs::default())
+        self.push(
+            NodeKind::Input,
+            dtype,
+            shape.into(),
+            Vec::new(),
+            Attrs::default(),
+        )
     }
 
     /// Add a literal constant of the given type.
     pub fn literal(&mut self, shape: impl Into<Shape>, dtype: DType) -> NodeId {
-        self.push(NodeKind::Literal, dtype, shape.into(), Vec::new(), Attrs::default())
+        self.push(
+            NodeKind::Literal,
+            dtype,
+            shape.into(),
+            Vec::new(),
+            Attrs::default(),
+        )
     }
 
     /// Add a generic operator node.

@@ -40,3 +40,4 @@ pub use error::IrError;
 pub use graph::{Graph, GraphBuilder, Node, NodeId, NodeKind};
 pub use op::OpKind;
 pub use shape::Shape;
+pub use verify::{SemanticRule, Violation};

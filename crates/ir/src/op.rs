@@ -157,8 +157,8 @@ impl OpKind {
         use OpKind::*;
         match self {
             DotGeneral => ComputeClass::Contraction,
-            Add | Sub | Mul | Div | Max | Min | Pow | Compare | Select | Neg | Exp | Log
-            | Tanh | Erf | Logistic | Sqrt | Rsqrt | OneHot => ComputeClass::Elementwise,
+            Add | Sub | Mul | Div | Max | Min | Pow | Compare | Select | Neg | Exp | Log | Tanh
+            | Erf | Logistic | Sqrt | Rsqrt | OneHot => ComputeClass::Elementwise,
             ReduceSum | ReduceMax | CumSum | ArgMax => ComputeClass::Reduction,
             Reshape | Transpose | BroadcastInDim | ConvertElementType | Concatenate | Slice
             | DynamicSlice | Pad | Copy | StopGradient | Iota => ComputeClass::DataMovement,

@@ -132,7 +132,11 @@ mod tests {
             .id;
         let preds = p.preds(dot_id);
         assert_eq!(p.node(preds[0]).kind, NodeKind::Input);
-        assert_eq!(p.node(preds[0]).dtype, DType::I32, "dtype change still visible");
+        assert_eq!(
+            p.node(preds[0]).dtype,
+            DType::I32,
+            "dtype change still visible"
+        );
         assert_eq!(p.node(dot_id).dtype, DType::F32);
     }
 

@@ -46,7 +46,9 @@ impl Emitter {
 
     /// Finish the graph, declaring `outputs`.
     pub fn finish(self, outputs: &[NodeId]) -> predtop_ir::Graph {
-        self.b.finish(outputs).expect("emitter produces valid graphs")
+        self.b
+            .finish(outputs)
+            .expect("emitter produces valid graphs")
     }
 
     // ---- small helpers -------------------------------------------------
@@ -205,9 +207,7 @@ impl Emitter {
         );
         let scaled = self.scale(scores, score_shape, ACT);
         let mask = self.b.literal([sl, sl], ACT);
-        let mask_b = self
-            .b
-            .op(OpKind::BroadcastInDim, &[mask], score_shape, ACT);
+        let mask_b = self.b.op(OpKind::BroadcastInDim, &[mask], score_shape, ACT);
         let masked = self.b.op(OpKind::Add, &[scaled, mask_b], score_shape, ACT);
         let probs = self.softmax(masked, score_shape, stat_shape);
         let probs = self.dropout(probs, score_shape);
@@ -275,12 +275,13 @@ impl Emitter {
         let onehot = self.b.op(OpKind::OneHot, &[idx], [t, 2, e], ACT);
         let position = self.b.op(OpKind::CumSum, &[onehot], [t, 2, e], ACT);
         let cap_lim = self.scalar_lit(Shape::new(&[t, 2, e]), ACT);
-        let in_cap = self
-            .b
-            .op(OpKind::Compare, &[position, cap_lim], [t, 2, e], DType::Bool);
-        let gate_b = self
-            .b
-            .op(OpKind::BroadcastInDim, &[topk], [t, 2, e], ACT);
+        let in_cap = self.b.op(
+            OpKind::Compare,
+            &[position, cap_lim],
+            [t, 2, e],
+            DType::Bool,
+        );
+        let gate_b = self.b.op(OpKind::BroadcastInDim, &[topk], [t, 2, e], ACT);
         let zero = self.scalar_lit(Shape::new(&[t, 2, e]), ACT);
         let gated = self
             .b
@@ -290,9 +291,12 @@ impl Emitter {
             .b
             .op(OpKind::Scatter, &[gated, position], [t, e, cap], ACT);
         let zero_cap = self.scalar_lit(Shape::new(&[t, e, cap]), ACT);
-        let dispatch = self
-            .b
-            .op(OpKind::Compare, &[combine, zero_cap], [t, e, cap], DType::Bool);
+        let dispatch = self.b.op(
+            OpKind::Compare,
+            &[combine, zero_cap],
+            [t, e, cap],
+            DType::Bool,
+        );
         let dispatch_f = self
             .b
             .op(OpKind::ConvertElementType, &[dispatch], [t, e, cap], ACT);
@@ -455,11 +459,17 @@ mod tests {
         let y = e.transformer_layer(x, 0);
         let g = e.finish(&[y]);
         let (p, stats) = prune(&g);
-        assert!(stats.removed >= 6, "expected converts+reshapes removed, got {stats:?}");
+        assert!(
+            stats.removed >= 6,
+            "expected converts+reshapes removed, got {stats:?}"
+        );
         assert_eq!(p.count_ops(OpKind::ConvertElementType), 0);
         assert_eq!(p.count_ops(OpKind::Reshape), 0);
         // pruning preserves the compute ops
-        assert_eq!(p.count_ops(OpKind::DotGeneral), g.count_ops(OpKind::DotGeneral));
+        assert_eq!(
+            p.count_ops(OpKind::DotGeneral),
+            g.count_ops(OpKind::DotGeneral)
+        );
     }
 
     #[test]
@@ -471,7 +481,7 @@ mod tests {
         let g = e.finish(&[loss]);
         g.validate().unwrap();
         assert_eq!(g.count_ops(OpKind::Gather), 2); // embed + label pick
-        // loss output is a scalar
+                                                    // loss output is a scalar
         let out = g.outputs().next().unwrap();
         assert_eq!(g.node(out).shape.num_elements(), 1);
     }
@@ -503,6 +513,9 @@ mod tests {
         let flops = g.total_flops();
         // qkv: 2*t*h*3h, out: 2*t*h*h => projections total 2*t*h*4h
         let proj = 2 * (t as u64) * (h as u64) * (4 * h as u64);
-        assert!(flops > proj, "flops {flops} must include projections {proj}");
+        assert!(
+            flops > proj,
+            "flops {flops} must include projections {proj}"
+        );
     }
 }

@@ -197,11 +197,21 @@ mod tests {
         for stage in enumerate_stages(gpt) {
             let g = stage.build_graph();
             let v = verify(&g);
-            assert!(v.is_empty(), "{}: {:?}", stage.label(), &v[..v.len().min(3)]);
+            assert!(
+                v.is_empty(),
+                "{}: {:?}",
+                stage.label(),
+                &v[..v.len().min(3)]
+            );
             // and stay clean after pruning
             let (p, _) = prune(&g);
             let vp = verify(&p);
-            assert!(vp.is_empty(), "{} pruned: {:?}", stage.label(), &vp[..vp.len().min(3)]);
+            assert!(
+                vp.is_empty(),
+                "{} pruned: {:?}",
+                stage.label(),
+                &vp[..vp.len().min(3)]
+            );
         }
         let mut moe = ModelSpec::moe_2p6b(2);
         moe.seq_len = 32;
@@ -213,7 +223,12 @@ mod tests {
         for stage in enumerate_stages(moe) {
             let g = stage.build_graph();
             let v = verify(&g);
-            assert!(v.is_empty(), "{}: {:?}", stage.label(), &v[..v.len().min(3)]);
+            assert!(
+                v.is_empty(),
+                "{}: {:?}",
+                stage.label(),
+                &v[..v.len().min(3)]
+            );
         }
     }
 

@@ -191,7 +191,13 @@ mod tests {
             }
         }
         let distinct = 4 * 5 / 2;
-        assert_eq!(cached.stats(), CacheStats { hits: 0, misses: distinct });
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: 0,
+                misses: distinct
+            }
+        );
         assert_eq!(cached.inner().0.load(Ordering::Relaxed), distinct);
         assert_eq!(cached.len(), distinct);
         // re-walk: all hits, inner untouched
@@ -201,7 +207,13 @@ mod tests {
                 let _ = cached.stage_latency(&stage, mesh, ParallelConfig::SERIAL);
             }
         }
-        assert_eq!(cached.stats(), CacheStats { hits: distinct, misses: distinct });
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: distinct,
+                misses: distinct
+            }
+        );
         assert_eq!(cached.inner().0.load(Ordering::Relaxed), distinct);
     }
 

@@ -91,7 +91,10 @@ impl ParallelConfig {
 /// `(1,4)`, exactly configurations 1–3 of mesh 3.
 pub fn table3_configs(shape: MeshShape) -> Vec<ParallelConfig> {
     let n = shape.num_devices();
-    assert!(n.is_power_of_two(), "meshes have power-of-two device counts");
+    assert!(
+        n.is_power_of_two(),
+        "meshes have power-of-two device counts"
+    );
     let mut out = Vec::new();
     let mut dp = n;
     while dp >= 1 {
@@ -141,7 +144,11 @@ mod tests {
 
     #[test]
     fn devices_consistent() {
-        for shape in [MeshShape::new(1, 1), MeshShape::new(1, 2), MeshShape::new(2, 2)] {
+        for shape in [
+            MeshShape::new(1, 1),
+            MeshShape::new(1, 2),
+            MeshShape::new(2, 2),
+        ] {
             for c in table3_configs(shape) {
                 assert_eq!(c.num_devices(), shape.num_devices());
             }

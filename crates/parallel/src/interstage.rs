@@ -127,6 +127,9 @@ pub struct InterStageResult {
     /// How many (stage, mesh, config) latency queries were issued —
     /// the profiling workload whose cost Fig. 10a measures.
     pub num_queries: usize,
+    /// How many enumerated candidates a static-legality filter rejected
+    /// *before* latency evaluation (0 for the unfiltered entry points).
+    pub num_rejected: usize,
 }
 
 /// Run the inter-stage DP for `model` on `cluster`, evaluating
@@ -158,12 +161,53 @@ pub fn optimize_pipeline_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> InterStageResult {
+    optimize_pipeline_filtered_with_threads(model, cluster, provider, opts, threads, &|_, _, _| {
+        true
+    })
+}
+
+/// [`optimize_pipeline_with_threads`] with a static candidate filter:
+/// every enumerated candidate is offered to `filter` *before* phase 2,
+/// and rejected candidates are never latency-evaluated — the provider
+/// does not see them, `num_queries` does not count them, and
+/// `num_rejected` reports how many were dropped.
+///
+/// This is the seam the `predtop-analyze` plan-legality passes plug into
+/// (`predtop-core`'s checked search): statically illegal candidates
+/// (sharding-divisibility or guaranteed-OOM violations) are *rejected*,
+/// not costed. The filter must be pure — it runs once per candidate in
+/// the deterministic enumeration order, so the search stays bit-identical
+/// at any thread count.
+///
+/// # Panics
+/// Panics if no covering partition survives the filter (the unfiltered
+/// search always has the single full-mesh stage as a fallback; a filter
+/// can remove it).
+pub fn optimize_pipeline_filtered_with_threads<P, F>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    opts: InterStageOptions,
+    threads: usize,
+    filter: &F,
+) -> InterStageResult
+where
+    P: StageLatencyProvider,
+    F: Fn(&StageSpec, MeshShape, ParallelConfig) -> bool + Sync,
+{
     let layers = model.num_layers;
     let total_dev = cluster.num_devices();
 
-    // Phase 1: enumerate the work-list (no provider queries yet).
-    let worklist = enumerate_candidates(model, cluster, opts);
+    // Phase 1: enumerate the work-list (no provider queries yet), then
+    // drop statically illegal candidates before any latency evaluation.
+    let full = enumerate_candidates(model, cluster, opts);
+    let enumerated = full.len();
+    let worklist: Vec<_> = full
+        .into_iter()
+        .filter(|(stage, mesh, config)| filter(stage, *mesh, *config))
+        .collect();
     let num_queries = worklist.len();
+    let num_rejected = enumerated - num_queries;
 
     // Phase 2: fan the provider queries out across the worker pool.
     // Each candidate's latency lands at its work-list index.
@@ -192,11 +236,13 @@ pub fn optimize_pipeline_with_threads<P: StageLatencyProvider>(
         }
     }
 
-    let (latency, plan) = best.expect("a single full-mesh stage is always feasible");
+    let (latency, plan) =
+        best.expect("no covering partition survived the filter (unfiltered searches always have the single full-mesh stage)");
     InterStageResult {
         plan,
         latency,
         num_queries,
+        num_rejected,
     }
 }
 
@@ -574,6 +620,78 @@ mod tests {
                 optimize_pipeline_with_threads(m, MeshShape::new(2, 2), &SynthLat, opts, threads);
             assert_eq!(r.latency.to_bits(), base.latency.to_bits());
             assert_eq!(r.num_queries, base.num_queries);
+            assert_eq!(r.plan, base.plan);
+        }
+    }
+
+    // ---- static candidate filter ----------------------------------
+
+    #[test]
+    fn filtered_search_never_evaluates_rejected_candidates() {
+        let m = tiny_model();
+        let cluster = MeshShape::new(2, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let full = optimize_pipeline_with_threads(m, cluster, &SynthLat, opts, 2);
+        assert_eq!(full.num_rejected, 0);
+
+        // reject every pure-model-parallel candidate and count the offers
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let offered = AtomicUsize::new(0);
+        let filter = |_stage: &StageSpec, _mesh: MeshShape, config: ParallelConfig| {
+            offered.fetch_add(1, Ordering::Relaxed);
+            config.mp == 1
+        };
+        let filtered =
+            optimize_pipeline_filtered_with_threads(m, cluster, &SynthLat, opts, 2, &filter);
+
+        // every enumerated candidate was offered exactly once...
+        assert_eq!(offered.load(Ordering::Relaxed), full.num_queries);
+        // ...the queries + rejections account for the full enumeration...
+        assert!(filtered.num_rejected > 0);
+        assert_eq!(
+            filtered.num_queries + filtered.num_rejected,
+            full.num_queries
+        );
+        // ...and the chosen plan uses surviving candidates only
+        filtered.plan.validate(&m).unwrap();
+        for ps in &filtered.plan.stages {
+            assert_eq!(ps.config.mp, 1, "filtered-out candidate chosen: {ps:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_search_is_deterministic_across_threads() {
+        let m = tiny_model();
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let filter = |stage: &StageSpec, _mesh: MeshShape, config: ParallelConfig| {
+            config.dp <= 2 && stage.num_layers() <= 6
+        };
+        let base = optimize_pipeline_filtered_with_threads(
+            m,
+            MeshShape::new(2, 2),
+            &SynthLat,
+            opts,
+            1,
+            &filter,
+        );
+        for threads in [2, 8] {
+            let r = optimize_pipeline_filtered_with_threads(
+                m,
+                MeshShape::new(2, 2),
+                &SynthLat,
+                opts,
+                threads,
+                &filter,
+            );
+            assert_eq!(r.latency.to_bits(), base.latency.to_bits());
+            assert_eq!(r.num_queries, base.num_queries);
+            assert_eq!(r.num_rejected, base.num_rejected);
             assert_eq!(r.plan, base.plan);
         }
     }

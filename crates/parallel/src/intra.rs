@@ -36,13 +36,7 @@ pub trait OpCost {
 
     /// Time (seconds) for a collective moving `bytes` within a
     /// `group`-device group; `cross_node` selects the inter-node fabric.
-    fn collective_time(
-        &self,
-        coll: Collective,
-        bytes: u64,
-        group: usize,
-        cross_node: bool,
-    ) -> f64;
+    fn collective_time(&self, coll: Collective, bytes: u64, group: usize, cross_node: bool) -> f64;
 
     /// Multiplier converting forward-pass time into one full training
     /// iteration (forward + backward + parameter update). The classic
@@ -107,8 +101,8 @@ fn strategies(node: &Node, mp: usize) -> Vec<(Sharding, usize)> {
         // free mp-way speedup with no gradient all-reduce.
         NodeKind::Operator(OpKind::DotGeneral) => vec![
             (Sharding::Replicated, 1),
-            (Sharding::ColSharded, mp),  // column-parallel weights
-            (Sharding::PartialSum, mp),  // row-parallel weights
+            (Sharding::ColSharded, mp), // column-parallel weights
+            (Sharding::PartialSum, mp), // row-parallel weights
         ],
         // everything else is elementwise-like: it can run replicated or
         // follow either sharded layout
@@ -119,7 +113,6 @@ fn strategies(node: &Node, mp: usize) -> Vec<(Sharding, usize)> {
         ],
     }
 }
-
 
 /// The layout a node requires on its *data inputs* given its own output
 /// strategy. For contractions this encodes real tensor parallelism:
@@ -338,7 +331,9 @@ mod tests {
     #[test]
     fn serial_config_has_no_comm() {
         let g = mlp_chain(3);
-        let cost = FakeCost { comm_per_byte: 1e-9 };
+        let cost = FakeCost {
+            comm_per_byte: 1e-9,
+        };
         let plan = optimize(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL, &cost);
         assert_eq!(plan.comm_time, 0.0);
         assert_eq!(plan.grad_sync_time, 0.0);
@@ -349,7 +344,9 @@ mod tests {
     #[test]
     fn cheap_comm_makes_mp_shard_everything() {
         let g = mlp_chain(3);
-        let cost = FakeCost { comm_per_byte: 1e-15 };
+        let cost = FakeCost {
+            comm_per_byte: 1e-15,
+        };
         let serial = optimize(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL, &cost);
         let mp2 = optimize(&g, MeshShape::new(1, 2), ParallelConfig::new(1, 2), &cost);
         assert!(
@@ -372,7 +369,9 @@ mod tests {
     #[test]
     fn dp_pays_gradient_sync() {
         let g = mlp_chain(2);
-        let cost = FakeCost { comm_per_byte: 1e-9 };
+        let cost = FakeCost {
+            comm_per_byte: 1e-9,
+        };
         let dp2 = optimize(&g, MeshShape::new(1, 2), ParallelConfig::new(2, 1), &cost);
         assert!(dp2.grad_sync_time > 0.0);
         // dp halves per-replica compute
@@ -383,7 +382,9 @@ mod tests {
     #[test]
     fn cross_node_dp_pays_more() {
         let g = mlp_chain(2);
-        let cost = FakeCost { comm_per_byte: 1e-9 };
+        let cost = FakeCost {
+            comm_per_byte: 1e-9,
+        };
         // dp=2 within one node vs dp=2 spanning two 1-GPU nodes
         let within = optimize(&g, MeshShape::new(1, 2), ParallelConfig::new(2, 1), &cost);
         let across = optimize(&g, MeshShape::new(2, 1), ParallelConfig::new(2, 1), &cost);
@@ -401,7 +402,9 @@ mod tests {
     #[should_panic(expected = "needs more devices")]
     fn oversubscribed_config_panics() {
         let g = mlp_chain(1);
-        let cost = FakeCost { comm_per_byte: 1e-9 };
+        let cost = FakeCost {
+            comm_per_byte: 1e-9,
+        };
         let _ = optimize(&g, MeshShape::new(1, 1), ParallelConfig::new(2, 2), &cost);
     }
 }

@@ -41,10 +41,11 @@ pub mod sharding;
 pub use cache::{CacheStats, CachedProvider};
 pub use config::{table3_configs, MeshShape, ParallelConfig};
 pub use interstage::{
-    enumerate_candidates, optimize_pipeline, optimize_pipeline_with_threads, InterStageOptions,
+    enumerate_candidates, optimize_pipeline, optimize_pipeline_filtered_with_threads,
+    optimize_pipeline_with_threads, InterStageOptions, InterStageResult,
 };
 pub use intra::{IntraPlan, OpCost};
-pub use plan::{pipeline_latency, PipelinePlan, PlannedStage};
+pub use plan::{pipeline_latency, PipelinePlan, PlanError, PlanRule, PlanViolation, PlannedStage};
 pub use schedule::{one_f_one_b, Schedule, Slot};
 
 use predtop_models::StageSpec;

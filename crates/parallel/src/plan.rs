@@ -49,44 +49,143 @@ pub struct PipelinePlan {
     pub microbatches: usize,
 }
 
+/// The structural rule a [`PlanViolation`] breaks. Stable identifiers
+/// for the `predtop-analyze` diagnostics layer; messages are for humans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanRule {
+    /// The plan has at least one stage.
+    NonEmpty,
+    /// Every stage was built for the plan's model.
+    ModelMatch,
+    /// Stages tile the model's layers contiguously from layer 0.
+    Contiguous,
+    /// Each stage's configuration exactly fills its sub-mesh.
+    ConfigFillsMesh,
+    /// The last stage ends at the model's final layer.
+    FullCoverage,
+}
+
+/// One structural violation found by [`PipelinePlan::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanViolation {
+    /// The rule broken.
+    pub rule: PlanRule,
+    /// Index of the offending stage, when the rule is per-stage.
+    pub stage: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Error adapter over a non-empty violation list, so call sites written
+/// against the old `Result<(), String>` surface keep a `Display`-able
+/// error (`{e}` renders every violation, `;`-joined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// The violations, in stage order.
+    pub violations: Vec<PlanViolation>,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 impl PipelinePlan {
     /// Total devices occupied by all stages.
     pub fn devices_used(&self) -> usize {
         self.stages.iter().map(|s| s.mesh.num_devices()).sum()
     }
 
-    /// Validate that stages tile the model's layers contiguously and
-    /// agree on the model.
-    pub fn validate(&self, model: &ModelSpec) -> Result<(), String> {
+    /// Check that stages tile the model's layers contiguously and agree
+    /// on the model, returning *every* violation found (empty = clean).
+    ///
+    /// This is the structured rule engine behind [`PipelinePlan::validate`]
+    /// and the `predtop-analyze` plan-structure pass; the legality rules
+    /// beyond structure (divisibility, memory fit, device budgets) live
+    /// in `predtop-analyze`, which layers them on top with diagnostic
+    /// codes and severities.
+    pub fn check(&self, model: &ModelSpec) -> Vec<PlanViolation> {
+        let mut out = Vec::new();
         if self.stages.is_empty() {
-            return Err("plan has no stages".into());
+            out.push(PlanViolation {
+                rule: PlanRule::NonEmpty,
+                stage: None,
+                message: "plan has no stages".into(),
+            });
+            return out;
         }
         let mut cursor = 0;
         for (i, ps) in self.stages.iter().enumerate() {
             if ps.stage.model != *model {
-                return Err(format!("stage {i} built for a different model"));
+                out.push(PlanViolation {
+                    rule: PlanRule::ModelMatch,
+                    stage: Some(i),
+                    message: format!("stage {i} built for a different model"),
+                });
             }
             if ps.stage.start != cursor {
-                return Err(format!(
-                    "stage {i} starts at layer {} but layer {cursor} is next",
-                    ps.stage.start
-                ));
+                out.push(PlanViolation {
+                    rule: PlanRule::Contiguous,
+                    stage: Some(i),
+                    message: format!(
+                        "stage {i} starts at layer {} but layer {cursor} is next",
+                        ps.stage.start
+                    ),
+                });
             }
             if ps.config.num_devices() != ps.mesh.num_devices() {
-                return Err(format!(
-                    "stage {i}: config {:?} does not fill mesh {:?}",
-                    ps.config, ps.mesh
-                ));
+                out.push(PlanViolation {
+                    rule: PlanRule::ConfigFillsMesh,
+                    stage: Some(i),
+                    message: format!(
+                        "stage {i}: config {:?} does not fill mesh {:?}",
+                        ps.config, ps.mesh
+                    ),
+                });
             }
             cursor = ps.stage.end;
         }
         if cursor != model.num_layers {
-            return Err(format!(
-                "plan covers layers up to {cursor}, model has {}",
-                model.num_layers
-            ));
+            out.push(PlanViolation {
+                rule: PlanRule::FullCoverage,
+                stage: None,
+                message: format!(
+                    "plan covers layers up to {cursor}, model has {}",
+                    model.num_layers
+                ),
+            });
         }
-        Ok(())
+        out
+    }
+
+    /// Validate that stages tile the model's layers contiguously and
+    /// agree on the model.
+    ///
+    /// Compatibility adapter over [`PipelinePlan::check`]: the error's
+    /// `Display` renders the violations, so call sites that formatted the
+    /// old `String` error keep working.
+    pub fn validate(&self, model: &ModelSpec) -> Result<(), PlanError> {
+        let violations = self.check(model);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(PlanError { violations })
+        }
     }
 
     /// Evaluate the plan's end-to-end iteration latency by querying
@@ -200,7 +299,8 @@ mod tests {
         let cluster = MeshShape::new(2, 2);
         for seed in 0..50 {
             let p = random_plan(m, cluster, 4, seed);
-            p.validate(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            p.validate(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(p.devices_used() <= cluster.num_devices() * p.stages.len());
         }
     }
@@ -229,7 +329,9 @@ mod tests {
             microbatches: 2,
         };
         let err = plan.validate(&m).unwrap_err();
-        assert!(err.contains("covers layers up to 4"), "{err}");
+        assert!(err.to_string().contains("covers layers up to 4"), "{err}");
+        assert_eq!(err.violations.len(), 1);
+        assert_eq!(err.violations[0].rule, PlanRule::FullCoverage);
     }
 
     #[test]
@@ -243,7 +345,10 @@ mod tests {
             }],
             microbatches: 2,
         };
-        assert!(plan.validate(&m).unwrap_err().contains("does not fill"));
+        let err = plan.validate(&m).unwrap_err();
+        assert!(err.to_string().contains("does not fill"), "{err}");
+        assert_eq!(err.violations[0].rule, PlanRule::ConfigFillsMesh);
+        assert_eq!(err.violations[0].stage, Some(0));
     }
 
     proptest! {

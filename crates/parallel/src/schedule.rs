@@ -109,7 +109,11 @@ impl Schedule {
         let b = self.microbatches;
         for (s, slots) in self.timeline.iter().enumerate() {
             if slots.len() != 2 * b {
-                return Err(format!("stage {s}: {} slots, expected {}", slots.len(), 2 * b));
+                return Err(format!(
+                    "stage {s}: {} slots, expected {}",
+                    slots.len(),
+                    2 * b
+                ));
             }
             let mut fwd_seen = vec![usize::MAX; b];
             let mut bwd_seen = vec![usize::MAX; b];
@@ -205,16 +209,28 @@ impl Schedule {
                                 Some(0.0)
                             } else {
                                 let t = fwd_done[s - 1][i];
-                                if t.is_nan() { None } else { Some(t) }
+                                if t.is_nan() {
+                                    None
+                                } else {
+                                    Some(t)
+                                }
                             }
                         }
                         Slot::Backward(i) => {
                             if s == s_count - 1 {
                                 let t = fwd_done[s][i];
-                                if t.is_nan() { None } else { Some(t) }
+                                if t.is_nan() {
+                                    None
+                                } else {
+                                    Some(t)
+                                }
                             } else {
                                 let t = bwd_done[s + 1][i];
-                                if t.is_nan() { None } else { Some(t) }
+                                if t.is_nan() {
+                                    None
+                                } else {
+                                    Some(t)
+                                }
                             }
                         }
                     };
@@ -306,10 +322,7 @@ mod tests {
         let bwd = vec![2.0; s];
         let mk = sched.makespan(&fwd, &bwd);
         let eqn4 = pipeline_latency(&vec![3.0; s], b);
-        assert!(
-            (mk - eqn4).abs() < 1e-9,
-            "1F1B {mk} vs Eqn.4 {eqn4}"
-        );
+        assert!((mk - eqn4).abs() < 1e-9, "1F1B {mk} vs Eqn.4 {eqn4}");
     }
 
     #[test]
@@ -327,10 +340,7 @@ mod tests {
         let fb = one_f_one_b(s, b);
         for st in 0..s {
             assert_eq!(gp.peak_in_flight(st), b, "GPipe holds all B");
-            assert!(
-                fb.peak_in_flight(st) <= s,
-                "1F1B bounded by pipeline depth"
-            );
+            assert!(fb.peak_in_flight(st) <= s, "1F1B bounded by pipeline depth");
         }
     }
 

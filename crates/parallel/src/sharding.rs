@@ -105,8 +105,12 @@ mod tests {
 
     #[test]
     fn replicated_feeds_shards_for_free() {
-        assert!(Sharding::Replicated.reshard_to(Sharding::BatchSharded).is_none());
-        assert!(Sharding::Replicated.reshard_to(Sharding::ColSharded).is_none());
+        assert!(Sharding::Replicated
+            .reshard_to(Sharding::BatchSharded)
+            .is_none());
+        assert!(Sharding::Replicated
+            .reshard_to(Sharding::ColSharded)
+            .is_none());
     }
 
     #[test]

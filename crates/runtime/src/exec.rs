@@ -156,7 +156,11 @@ mod tests {
     fn parse_threads_accepts_integers_only() {
         assert_eq!(parse_threads("3"), Some(3));
         assert_eq!(parse_threads(" 12 "), Some(12), "whitespace is trimmed");
-        assert_eq!(parse_threads("0"), Some(0), "zero parses; floor applied later");
+        assert_eq!(
+            parse_threads("0"),
+            Some(0),
+            "zero parses; floor applied later"
+        );
         assert_eq!(parse_threads(""), None);
         assert_eq!(parse_threads("four"), None);
         assert_eq!(parse_threads("-2"), None);

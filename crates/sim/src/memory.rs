@@ -150,8 +150,14 @@ mod tests {
     #[test]
     fn dp_shrinks_activations_not_params() {
         let g = stage_graph(2);
-        let serial = estimate_stage_memory(&g, &plan_for(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL));
-        let dp2 = estimate_stage_memory(&g, &plan_for(&g, MeshShape::new(1, 2), ParallelConfig::new(2, 1)));
+        let serial = estimate_stage_memory(
+            &g,
+            &plan_for(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL),
+        );
+        let dp2 = estimate_stage_memory(
+            &g,
+            &plan_for(&g, MeshShape::new(1, 2), ParallelConfig::new(2, 1)),
+        );
         assert_eq!(dp2.params, serial.params, "DP replicates weights");
         assert!(dp2.activations < serial.activations, "DP splits the batch");
     }
@@ -159,7 +165,10 @@ mod tests {
     #[test]
     fn mp_shrinks_params_when_dots_shard() {
         let g = stage_graph(2);
-        let serial = estimate_stage_memory(&g, &plan_for(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL));
+        let serial = estimate_stage_memory(
+            &g,
+            &plan_for(&g, MeshShape::new(1, 1), ParallelConfig::SERIAL),
+        );
         let mp2_plan = plan_for(&g, MeshShape::new(1, 2), ParallelConfig::new(1, 2));
         let sharded_dots = g
             .nodes()

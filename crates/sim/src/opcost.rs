@@ -73,7 +73,8 @@ impl DeviceCostModel {
     fn perturbation(&self, node: &Node, ways: usize) -> f64 {
         let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         let mut mix = |v: u64| {
-            h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15)
+            h ^= v
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(h << 6)
                 .wrapping_add(h >> 2);
             h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -117,7 +118,10 @@ impl DeviceCostModel {
 impl OpCost for DeviceCostModel {
     fn op_time(&self, node: &Node, ways: usize) -> f64 {
         let ways_f = ways.max(1) as f64;
-        if matches!(node.kind, NodeKind::Input | NodeKind::Literal | NodeKind::Output) {
+        if matches!(
+            node.kind,
+            NodeKind::Input | NodeKind::Literal | NodeKind::Output
+        ) {
             return 0.0;
         }
         let kind = match node.kind {
@@ -155,13 +159,7 @@ impl OpCost for DeviceCostModel {
         (compute_t.max(mem_t) + self.gpu.kernel_launch_s()) * self.perturbation(node, ways)
     }
 
-    fn collective_time(
-        &self,
-        coll: Collective,
-        bytes: u64,
-        group: usize,
-        cross_node: bool,
-    ) -> f64 {
+    fn collective_time(&self, coll: Collective, bytes: u64, group: usize, cross_node: bool) -> f64 {
         if group <= 1 {
             return 0.0;
         }
@@ -240,7 +238,10 @@ mod tests {
         let t1 = c.op_time(dot, 1);
         let t4 = c.op_time(dot, 4);
         assert!(t4 < t1, "sharding must help large ops");
-        assert!(t4 > t1 / 8.0, "launch overhead + efficiency prevent ideal scaling");
+        assert!(
+            t4 > t1 / 8.0,
+            "launch overhead + efficiency prevent ideal scaling"
+        );
     }
 
     #[test]
@@ -250,8 +251,16 @@ mod tests {
         let c2 = DeviceCostModel::new(&Platform::platform1().mesh(1, 2), 7);
         let c3 = DeviceCostModel::new(&Platform::platform1().mesh(1, 2), 8);
         let dot = &g.nodes()[2];
-        assert_eq!(c1.op_time(dot, 1), c2.op_time(dot, 1), "same seed, same time");
-        assert_ne!(c1.op_time(dot, 1), c3.op_time(dot, 1), "different seed differs");
+        assert_eq!(
+            c1.op_time(dot, 1),
+            c2.op_time(dot, 1),
+            "same seed, same time"
+        );
+        assert_ne!(
+            c1.op_time(dot, 1),
+            c3.op_time(dot, 1),
+            "different seed differs"
+        );
         let p = c1.perturbation(dot, 1);
         assert!((0.92..1.12).contains(&p));
     }

@@ -71,10 +71,7 @@ pub fn simulate_pipeline(stage_times: &[Vec<f64>], comm: &[f64]) -> PipelineSim 
 /// Convenience: simulate with one constant time per stage (the Eqn. 4
 /// setting).
 pub fn simulate_uniform(stage_times: &[f64], microbatches: usize, comm: &[f64]) -> PipelineSim {
-    let rows: Vec<Vec<f64>> = stage_times
-        .iter()
-        .map(|&t| vec![t; microbatches])
-        .collect();
+    let rows: Vec<Vec<f64>> = stage_times.iter().map(|&t| vec![t; microbatches]).collect();
     simulate_pipeline(&rows, comm)
 }
 

@@ -66,7 +66,13 @@ pub fn pipeline_trace(sim: &PipelineSim, stage_times: &[Vec<f64>]) -> Vec<TraceE
     let mut out = Vec::new();
     for (stage, (finishes, times)) in sim.finish.iter().zip(stage_times).enumerate() {
         for (mb, (&finish, &dur)) in finishes.iter().zip(times).enumerate() {
-            out.push(event(format!("mb{mb}"), "microbatch", finish - dur, finish, stage));
+            out.push(event(
+                format!("mb{mb}"),
+                "microbatch",
+                finish - dur,
+                finish,
+                stage,
+            ));
         }
     }
     out
@@ -90,7 +96,9 @@ mod tests {
         let events = schedule_trace(&sched, &spans);
         assert_eq!(events.len(), 3 * 2 * 4);
         // lanes 0..3, categories split evenly
-        assert!(events.iter().all(|e| e.tid < 3 && e.pid == 1 && e.ph == "X"));
+        assert!(events
+            .iter()
+            .all(|e| e.tid < 3 && e.pid == 1 && e.ph == "X"));
         assert_eq!(events.iter().filter(|e| e.cat == "forward").count(), 12);
         // nothing extends past the makespan
         let end_us = (makespan * 1e6).round() as u64;
@@ -114,7 +122,10 @@ mod tests {
         let events = pipeline_trace(&sim, &times);
         assert_eq!(events.len(), 4);
         // stage 0 mb0 starts at 0
-        let first = events.iter().find(|e| e.tid == 0 && e.name == "mb0").unwrap();
+        let first = events
+            .iter()
+            .find(|e| e.tid == 0 && e.name == "mb0")
+            .unwrap();
         assert_eq!(first.ts, 0);
         assert_eq!(first.dur, 1_000_000);
     }

@@ -385,8 +385,7 @@ impl Tape {
                         let yrow = y.row(r);
                         let grow = g.row(r);
                         let gmean = grow.iter().sum::<f32>() / cols;
-                        let gy_mean =
-                            grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f32>() / cols;
+                        let gy_mean = grow.iter().zip(yrow).map(|(a, b)| a * b).sum::<f32>() / cols;
                         for ((d, &gv), &yv) in da.row_mut(r).iter_mut().zip(grow).zip(yrow) {
                             *d = inv * (gv - gmean - yv * gy_mean);
                         }
@@ -404,8 +403,7 @@ impl Tape {
                     }
                     let mut ds = Matrix::zeros(1, g.cols());
                     for r in 0..g.rows() {
-                        for ((o, &gv), &xv) in
-                            ds.row_mut(0).iter_mut().zip(g.row(r)).zip(av.row(r))
+                        for ((o, &gv), &xv) in ds.row_mut(0).iter_mut().zip(g.row(r)).zip(av.row(r))
                         {
                             *o += gv * xv;
                         }
@@ -444,7 +442,11 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn rand_matrix(rng: &mut StdRng, r: usize, c: usize) -> Matrix {
-        Matrix::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        Matrix::from_vec(
+            r,
+            c,
+            (0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        )
     }
 
     /// Generic finite-difference check: `f` builds a scalar-producing
@@ -550,7 +552,11 @@ mod tests {
 
     fn rand_det(n: usize) -> Matrix {
         let mut rng = StdRng::seed_from_u64(99);
-        Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen_range(0.1f32..1.0)).collect())
+        Matrix::from_vec(
+            n,
+            n,
+            (0..n * n).map(|_| rng.gen_range(0.1f32..1.0)).collect(),
+        )
     }
 
     #[test]
@@ -614,12 +620,21 @@ mod tests {
     #[test]
     fn normalize_rows_standardizes() {
         let mut tape = Tape::new();
-        let x = tape.constant(Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 0.0]));
+        let x = tape.constant(Matrix::from_vec(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 0.0],
+        ));
         let y = tape.normalize_rows(x);
         let v = tape.value(y);
         for r in 0..2 {
             let mean: f32 = v.row(r).iter().sum::<f32>() / 4.0;
-            let var: f32 = v.row(r).iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / 4.0;
+            let var: f32 = v
+                .row(r)
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
         }

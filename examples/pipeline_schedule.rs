@@ -77,12 +77,17 @@ fn main() {
     let trace = to_json(&schedule_trace(&schedules[0].1, &spans));
     let path = std::env::temp_dir().join("predtop_1f1b_trace.json");
     std::fs::write(&path, trace).expect("write trace");
-    println!("Perfetto trace written to {} (open in ui.perfetto.dev)", path.display());
+    println!(
+        "Perfetto trace written to {} (open in ui.perfetto.dev)",
+        path.display()
+    );
 
     let total: Vec<f64> = fwd.iter().zip(&bwd).map(|(f, b)| f + b).collect();
     println!(
         "Eqn. 4 on t = fwd+bwd: {:.4} s (B = {microbatches})",
         pipeline_latency(&total, microbatches)
     );
-    println!("1F1B matches Eqn. 4; GPipe matches too but holds all {microbatches} microbatches live.");
+    println!(
+        "1F1B matches Eqn. 4; GPipe matches too but holds all {microbatches} microbatches live."
+    );
 }

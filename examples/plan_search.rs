@@ -50,7 +50,10 @@ fn main() {
         configured_threads(),
         full.search_seconds
     );
-    println!("full profiling ({} stage profiles, {:.0} simulated s):", full_bill.stages_profiled, full_bill.profiling_s);
+    println!(
+        "full profiling ({} stage profiles, {:.0} simulated s):",
+        full_bill.stages_profiled, full_bill.profiling_s
+    );
     println!("  plan: {}", describe(&full.plan));
     println!("  true iteration latency: {:.5} s\n", full.true_latency);
 
@@ -86,7 +89,10 @@ fn main() {
         train: TrainConfig::quick(60),
         seed: 7,
     };
-    println!("PredTOP: profiling a {}-stage sample + training...", cfg.num_profile_stages);
+    println!(
+        "PredTOP: profiling a {}-stage sample + training...",
+        cfg.num_profile_stages
+    );
     let predtop = PredTop::fit(model, cluster, &profiler_pt, &cfg);
     let pt_bill = profiler_pt.ledger().totals();
     let truth = SimProfiler::new(platform.clone(), 7);

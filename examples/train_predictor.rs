@@ -56,7 +56,10 @@ fn main() {
     );
 
     let cfg = TrainConfig::quick(30);
-    println!("{:<6} {:>9} {:>8} {:>10}", "model", "MRE (%)", "epochs", "train (s)");
+    println!(
+        "{:<6} {:>9} {:>8} {:>10}",
+        "model", "MRE (%)", "epochs", "train (s)"
+    );
     for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::DagTransformer] {
         let mut net = ArchConfig::scaled(kind).build(11);
         let (scaler, report) = train(net.as_mut(), &ds, &split, &cfg);

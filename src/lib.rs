@@ -66,12 +66,11 @@ pub use predtop_tensor as tensor;
 pub mod prelude {
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
     pub use predtop_core::{
-        pipeline_latency, search_plan, search_plan_cached, ArchConfig, GrayBoxConfig, PredTop,
-        SearchOutcome,
+        pipeline_latency, search_plan, search_plan_cached, search_plan_checked, ArchConfig,
+        GrayBoxConfig, PredTop, SearchOutcome,
     };
     pub use predtop_gnn::{
-        mean_relative_error, train, Dataset, GraphSample, ModelKind, TrainConfig,
-        TrainedPredictor,
+        mean_relative_error, train, Dataset, GraphSample, ModelKind, TrainConfig, TrainedPredictor,
     };
     pub use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
     pub use predtop_models::{enumerate_stages, sample_stages, ModelSpec, StageSpec};

@@ -193,10 +193,7 @@ fn cmd_info() {
         );
         for mesh in platform.table2_meshes() {
             let shape = MeshShape::new(mesh.num_nodes, mesh.gpus_per_node);
-            let configs: Vec<String> = table3_configs(shape)
-                .iter()
-                .map(|c| c.remark())
-                .collect();
+            let configs: Vec<String> = table3_configs(shape).iter().map(|c| c.remark()).collect();
             println!(
                 "  mesh {} ({}): {}",
                 mesh.table2_index().unwrap(),
@@ -244,7 +241,11 @@ fn cmd_profile(args: &Args) {
         mesh.label(),
         config.remark()
     );
-    println!("  graph: {} nodes, {} edges", graph.len(), graph.num_edges());
+    println!(
+        "  graph: {} nodes, {} edges",
+        graph.len(),
+        graph.num_edges()
+    );
     println!("  training-iteration latency: {:.6} s (one micro-batch)", t);
 }
 
@@ -317,7 +318,10 @@ fn cmd_fit(args: &Args) {
     let ds = Dataset::new(samples);
     let split = ds.split(0.8, args.seed());
     let mut net = arch.build(args.seed());
-    eprintln!("training DAG Transformer ({} layers x {})...", arch.layers, arch.hidden);
+    eprintln!(
+        "training DAG Transformer ({} layers x {})...",
+        arch.layers, arch.hidden
+    );
     let (scaler, report) = predtop::gnn::train::train(
         net.as_mut(),
         &ds,

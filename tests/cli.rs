@@ -26,7 +26,11 @@ fn profile_reports_latency() {
         ])
         .output()
         .expect("run predtop profile");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("GPT-3[2..4)"));
     assert!(text.contains("2 way Model parallel"));
@@ -69,7 +73,11 @@ fn fit_then_predict_roundtrip() {
         ])
         .output()
         .expect("run predtop fit");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model_path.exists(), "model file written");
 
     let out = predtop()
@@ -83,7 +91,11 @@ fn fit_then_predict_roundtrip() {
         ])
         .output()
         .expect("run predtop predict");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("predicted latency"), "{text}");
     std::fs::remove_file(model_path).ok();
@@ -92,10 +104,21 @@ fn fit_then_predict_roundtrip() {
 #[test]
 fn search_finds_a_plan() {
     let out = predtop()
-        .args(["search", "--scaled", "--platform", "1", "--microbatches", "4"])
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+        ])
         .output()
         .expect("run predtop search");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("optimal plan"));
     assert!(text.contains("iteration latency"));

@@ -157,9 +157,13 @@ fn memory_aware_search_avoids_oom_plans() {
         "search must find a memory-feasible plan"
     );
     // the chosen plan cannot be the single-device single stage
-    let single_device_single_stage = out.plan.stages.len() == 1
-        && out.plan.stages[0].mesh.num_devices() == 1;
-    assert!(!single_device_single_stage, "OOM plan chosen: {:?}", out.plan);
+    let single_device_single_stage =
+        out.plan.stages.len() == 1 && out.plan.stages[0].mesh.num_devices() == 1;
+    assert!(
+        !single_device_single_stage,
+        "OOM plan chosen: {:?}",
+        out.plan
+    );
 }
 
 #[test]

@@ -92,10 +92,7 @@ fn fig2_premise_plans_vary_widely() {
     let profiler = SimProfiler::new(Platform::platform2(), 5);
     let cluster = MeshShape::new(2, 2);
     let lats: Vec<f64> = (0..25)
-        .map(|s| {
-            predtop::parallel::plan::random_plan(model, cluster, 8, s)
-                .latency(&profiler)
-        })
+        .map(|s| predtop::parallel::plan::random_plan(model, cluster, 8, s).latency(&profiler))
         .collect();
     let min = lats.iter().cloned().fold(f64::MAX, f64::min);
     let max = lats.iter().cloned().fold(f64::MIN, f64::max);
@@ -124,7 +121,10 @@ fn pruning_shrinks_benchmark_graphs_markedly() {
     assert_eq!(p.count_ops(OpKind::Reshape), 0);
     assert_eq!(p.count_ops(OpKind::ConvertElementType), 0);
     // compute content is untouched
-    assert_eq!(p.count_ops(OpKind::DotGeneral), g.count_ops(OpKind::DotGeneral));
+    assert_eq!(
+        p.count_ops(OpKind::DotGeneral),
+        g.count_ops(OpKind::DotGeneral)
+    );
     assert_eq!(p.total_flops(), g.total_flops());
 }
 
@@ -140,16 +140,10 @@ fn cross_node_parallelism_is_penalized() {
     model.num_layers = 4;
     let profiler = SimProfiler::new(Platform::platform2(), 5);
     let stage = StageSpec::new(model, 0, 4);
-    let mp2_within = profiler.stage_latency(
-        &stage,
-        MeshShape::new(1, 2),
-        ParallelConfig::new(1, 2),
-    );
-    let mp4_across = profiler.stage_latency(
-        &stage,
-        MeshShape::new(2, 2),
-        ParallelConfig::new(1, 4),
-    );
+    let mp2_within =
+        profiler.stage_latency(&stage, MeshShape::new(1, 2), ParallelConfig::new(1, 2));
+    let mp4_across =
+        profiler.stage_latency(&stage, MeshShape::new(2, 2), ParallelConfig::new(1, 4));
     // 4-way MP has more devices but pays 10 GbE for every collective;
     // within-node 2-way MP must win on this communication-bound size
     assert!(
@@ -229,7 +223,10 @@ fn dag_transformer_beats_baselines_on_one_scenario() {
         }
         let mut net = arch.build(5);
         let (scaler, _) = train(net.as_mut(), &ds, &split, &TrainConfig::quick(30));
-        mres.insert(kind.label(), eval_mre(net.as_ref(), &scaler, &ds, &split.test));
+        mres.insert(
+            kind.label(),
+            eval_mre(net.as_ref(), &scaler, &ds, &split.test),
+        );
     }
     let tran = mres["Tran"];
     assert!(tran < 40.0, "Tran MRE {tran:.1}% too high");

@@ -55,11 +55,21 @@ fn cached_search_never_changes_the_plan() {
     for threads in [1, 4] {
         let profiler = SimProfiler::new(Platform::platform2(), 6);
         let plain = predtop::core::search_plan_with_threads(
-            m, cluster, &profiler, &profiler, opts(), threads,
+            m,
+            cluster,
+            &profiler,
+            &profiler,
+            opts(),
+            threads,
         );
         let profiler2 = SimProfiler::new(Platform::platform2(), 6);
         let cached = predtop::core::search_plan_cached_with_threads(
-            m, cluster, &profiler2, &profiler2, opts(), threads,
+            m,
+            cluster,
+            &profiler2,
+            &profiler2,
+            opts(),
+            threads,
         );
         assert_eq!(cached.plan, plain.plan);
         assert_eq!(
