@@ -122,9 +122,27 @@ fn bench_matmul(c: &mut Criterion) {
     for n in [64usize, 256] {
         let a = Matrix::full(n, n, 1.5);
         let b_m = Matrix::full(n, n, 0.5);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(a.matmul(&b_m)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("blocked_{n}")),
+            &n,
+            |b, _| b.iter(|| black_box(a.matmul(&b_m))),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("reference_{n}")),
+            &n,
+            |b, _| b.iter(|| black_box(a.matmul_ref(&b_m))),
+        );
+        // attention's Q·Kᵀ: the kernel the blocking fixes most
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("nt_blocked_{n}")),
+            &n,
+            |b, _| b.iter(|| black_box(a.matmul_nt(&b_m))),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("nt_reference_{n}")),
+            &n,
+            |b, _| b.iter(|| black_box(a.matmul_nt_ref(&b_m))),
+        );
     }
     g.finish();
 }

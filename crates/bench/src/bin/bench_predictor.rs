@@ -1,0 +1,277 @@
+//! Performance benchmark of the predictor stack: kernel throughput,
+//! data-parallel training wall-clock, and per-query inference latency —
+//! with the determinism contract checked on every run.
+//!
+//! Emits stable-schema JSON (see `jsonout`) so CI and dashboards can
+//! track regressions by field name:
+//!
+//! * `kernels[]` — GFLOP/s of the cache-blocked matmul kernels vs their
+//!   naive references, plus a bit-exactness check of each pair.
+//! * `training` — epoch wall-clock of the GPT-3 sample-set training at
+//!   1 thread vs the parallel worker count, with the FNV-1a weight
+//!   fingerprints of both runs (`checksums_match` must be `true`: the
+//!   fixed-order gradient-reduction tree makes trained weights
+//!   bit-identical at any thread count).
+//! * `inference` — mean per-query latency of the trained predictor and
+//!   the serve-tape buffer-pool hit rate.
+//!
+//! ```sh
+//! cargo run --release --bin bench_predictor              # full protocol
+//! cargo run --release --bin bench_predictor -- --smoke   # CI-sized
+//! cargo run --release --bin bench_predictor -- --out results/BENCH_predictor.json
+//! ```
+//!
+//! Exits non-zero when any determinism check fails.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use predtop_bench::jsonout::{hex_u64, write_json_file, Json};
+use predtop_bench::Protocol;
+use predtop_cluster::Platform;
+use predtop_gnn::train::train_with_threads;
+use predtop_gnn::{with_serve_tape, Dataset, GraphSample, ModelKind, TrainedPredictor};
+use predtop_models::sample_stages;
+use predtop_parallel::{MeshShape, ParallelConfig, StageLatencyProvider};
+use predtop_runtime::configured_threads;
+use predtop_sim::SimProfiler;
+use predtop_tensor::Matrix;
+
+struct Args {
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: PathBuf::from("BENCH_predictor.json"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => {
+                i += 1;
+                args.out = PathBuf::from(argv.get(i).expect("--out PATH"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Deterministic pseudo-random matrix (no RNG dependency: an LCG over
+/// the flat index keeps the benchmark input identical across runs).
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // top bits → [-1, 1)
+            ((state >> 40) as f64 / (1u64 << 23) as f64 - 1.0) as f32
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Best-of-`reps` wall-clock seconds of `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn kernel_section(sizes: &[usize], reps: usize, failures: &mut Vec<String>) -> Json {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let a = lcg_matrix(n, n, 11);
+        let b = lcg_matrix(n, n, 23);
+        let flops = 2.0 * (n as f64).powi(3);
+        type Pair = (
+            &'static str,
+            fn(&Matrix, &Matrix) -> Matrix,
+            fn(&Matrix, &Matrix) -> Matrix,
+        );
+        let ops: [Pair; 3] = [
+            ("matmul", Matrix::matmul, Matrix::matmul_ref),
+            ("matmul_nt", Matrix::matmul_nt, Matrix::matmul_nt_ref),
+            ("matmul_tn", Matrix::matmul_tn, Matrix::matmul_tn_ref),
+        ];
+        for (name, blocked, reference) in ops {
+            let got = blocked(&a, &b);
+            let want = reference(&a, &b);
+            let exact = got == want;
+            if !exact {
+                failures.push(format!("kernel {name} at n={n} diverged from reference"));
+            }
+            let t_blocked = time_best(reps, || {
+                std::hint::black_box(blocked(&a, &b));
+            });
+            let t_ref = time_best(reps, || {
+                std::hint::black_box(reference(&a, &b));
+            });
+            eprintln!(
+                "[kernels] {name:<10} n={n:<4} blocked {:7.2} GFLOP/s  reference {:7.2} GFLOP/s  ({:.2}x)",
+                flops / t_blocked / 1e9,
+                flops / t_ref / 1e9,
+                t_ref / t_blocked
+            );
+            rows.push(
+                Json::obj()
+                    .field("op", name)
+                    .field("size", n)
+                    .field("blocked_gflops", flops / t_blocked / 1e9)
+                    .field("reference_gflops", flops / t_ref / 1e9)
+                    .field("speedup", t_ref / t_blocked)
+                    .field("exact_match", exact),
+            );
+        }
+    }
+    Json::Arr(rows)
+}
+
+fn main() {
+    let args = parse_args();
+    let parallel_threads = configured_threads().max(4);
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- kernels ---------------------------------------------------
+    let (sizes, reps): (&[usize], usize) = if args.smoke {
+        (&[48, 96], 2)
+    } else {
+        (&[64, 128, 256], 3)
+    };
+    let kernels = kernel_section(sizes, reps, &mut failures);
+
+    // --- training: GPT-3 sample set, 1 thread vs N ------------------
+    let mut proto = Protocol::default_scaled();
+    if args.smoke {
+        proto.stages_gpt = 16;
+        proto.train = predtop_gnn::TrainConfig::quick(6);
+    }
+    let model = proto.gpt3();
+    let profiler = SimProfiler::new(Platform::platform1(), proto.seed);
+    let stages = sample_stages(
+        model,
+        proto.stage_budget(&model),
+        proto.max_stage_layers.min(model.num_layers),
+        proto.seed,
+    );
+    let mesh = MeshShape::new(1, 1);
+    let config = ParallelConfig::SERIAL;
+    eprintln!("[training] profiling {} GPT-3 stages", stages.len());
+    let samples: Vec<GraphSample> = stages
+        .iter()
+        .map(|s| {
+            let mut gs = GraphSample::new(&profiler.stage_graph(s), 1.0, proto.pe_dim());
+            gs.latency = profiler.stage_latency(s, mesh, config);
+            gs
+        })
+        .collect();
+    let ds = Dataset::new(samples);
+    let split = ds.split(0.8, proto.seed);
+    let arch = proto.arch(ModelKind::DagTransformer);
+
+    let run = |threads: usize| {
+        let mut net = arch.build(proto.seed);
+        let (scaler, report) = train_with_threads(net.as_mut(), &ds, &split, &proto.train, threads);
+        let fp = net.store().fingerprint();
+        let epoch_secs = report.train_seconds / report.epochs_run.max(1) as f64;
+        eprintln!(
+            "[training] {threads} thread(s): {} epochs in {:.3}s ({:.4}s/epoch), weights {}",
+            report.epochs_run,
+            report.train_seconds,
+            epoch_secs,
+            hex_u64(fp)
+        );
+        (
+            TrainedPredictor { model: net, scaler },
+            report,
+            fp,
+            epoch_secs,
+        )
+    };
+    let (_, serial_report, serial_fp, serial_epoch) = run(1);
+    let (predictor, parallel_report, parallel_fp, parallel_epoch) = run(parallel_threads);
+    let checksums_match = serial_fp == parallel_fp;
+    if !checksums_match {
+        failures.push(format!(
+            "trained weights diverged: 1 thread {} vs {} threads {}",
+            hex_u64(serial_fp),
+            parallel_threads,
+            hex_u64(parallel_fp)
+        ));
+    }
+    let training = Json::obj()
+        .field("dataset", "gpt3-scaled")
+        .field("samples", ds.len())
+        .field("batch_size", proto.train.batch_size)
+        .field("serial_epochs_run", serial_report.epochs_run)
+        .field("serial_epoch_seconds", serial_epoch)
+        .field("parallel_threads", parallel_threads)
+        .field("parallel_epochs_run", parallel_report.epochs_run)
+        .field("parallel_epoch_seconds", parallel_epoch)
+        .field("epoch_speedup", serial_epoch / parallel_epoch)
+        .field("serial_weight_fingerprint", hex_u64(serial_fp))
+        .field("parallel_weight_fingerprint", hex_u64(parallel_fp))
+        .field("checksums_match", checksums_match);
+
+    // --- inference: per-query latency on the trained predictor ------
+    let passes = if args.smoke { 2 } else { 10 };
+    // warm pass so the serve tape's buffer pool reaches steady state
+    for s in &ds.samples {
+        std::hint::black_box(predictor.predict(s));
+    }
+    let t = Instant::now();
+    let mut queries = 0u64;
+    for _ in 0..passes {
+        for s in &ds.samples {
+            std::hint::black_box(predictor.predict(s));
+            queries += 1;
+        }
+    }
+    let per_query_us = t.elapsed().as_secs_f64() / queries as f64 * 1e6;
+    let pool = with_serve_tape(|tape| tape.pool_stats());
+    let hit_rate = pool.hits as f64 / (pool.hits + pool.misses).max(1) as f64;
+    eprintln!(
+        "[inference] {queries} queries, {per_query_us:.1} µs/query, pool hit rate {:.1}%",
+        100.0 * hit_rate
+    );
+    let inference = Json::obj()
+        .field("queries", queries)
+        .field("mean_microseconds_per_query", per_query_us)
+        .field("pool_hits", pool.hits)
+        .field("pool_misses", pool.misses)
+        .field("pool_hit_rate", hit_rate);
+
+    // --- artifact ---------------------------------------------------
+    let doc = Json::obj()
+        .field("schema_version", 1u64)
+        .field("benchmark", "bench_predictor")
+        .field("smoke", args.smoke)
+        .field("kernels", kernels)
+        .field("training", training)
+        .field("inference", inference);
+    write_json_file(&args.out, &doc);
+    println!("saved {}", args.out.display());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("determinism checks passed: kernels exact, weight checksums match");
+}

@@ -4,13 +4,20 @@
 //! and at the configured pool size (see `PREDTOP_THREADS`), verifies the
 //! outcomes are bit-identical, and prints both wall clocks — the
 //! engine's determinism contract made visible. A final cached pass shows
-//! the memoization layer's hit/miss accounting.
+//! the memoization layer's hit/miss accounting. End-to-end wall-clock
+//! results are also written as stable-schema JSON (default
+//! `BENCH_search.json`; override with `--out PATH`) so scaling can be
+//! tracked across commits alongside `bench_predictor`'s artifact.
 //!
 //! ```sh
 //! cargo run --release --bin search_scaling
 //! PREDTOP_THREADS=8 cargo run --release --bin search_scaling
+//! cargo run --release --bin search_scaling -- --out results/BENCH_search.json
 //! ```
 
+use std::path::PathBuf;
+
+use predtop_bench::jsonout::{write_json_file, Json};
 use predtop_cluster::Platform;
 use predtop_core::{search_plan_cached_with_threads, search_plan_with_threads};
 use predtop_models::ModelSpec;
@@ -18,7 +25,28 @@ use predtop_parallel::{InterStageOptions, MeshShape};
 use predtop_runtime::configured_threads;
 use predtop_sim::SimProfiler;
 
+fn parse_out() -> PathBuf {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_search.json");
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(argv.get(i).expect("--out PATH"));
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\nusage: [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn main() {
+    let out_path = parse_out();
     let mut model = ModelSpec::gpt3_1p3b(2);
     model.seq_len = 128;
     model.hidden = 128;
@@ -90,4 +118,21 @@ fn main() {
         100.0 * stats.hit_rate()
     );
     println!("all runs chose bit-identical plans — determinism holds");
+
+    let doc = Json::obj()
+        .field("schema_version", 1u64)
+        .field("benchmark", "search_scaling")
+        .field("parallel_threads", pool)
+        .field("num_queries", serial.num_queries)
+        .field("serial_seconds", serial.search_seconds)
+        .field("parallel_seconds", parallel.search_seconds)
+        .field("speedup", serial.search_seconds / parallel.search_seconds)
+        .field("cached_seconds", cached.search_seconds)
+        .field("cache_hits", stats.hits)
+        .field("cache_misses", stats.misses)
+        .field("cache_hit_rate", stats.hit_rate())
+        .field("plan_latency_seconds", serial.true_latency)
+        .field("plans_bit_identical", true);
+    write_json_file(&out_path, &doc);
+    println!("saved {}", out_path.display());
 }

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod jsonout;
 pub mod protocol;
 pub mod scenario;
 pub mod table;

@@ -6,11 +6,12 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use predtop_gnn::train::{train, TrainConfig, TrainReport};
+use predtop_gnn::train::{train_with_threads, TrainConfig, TrainReport};
 use predtop_gnn::{Dataset, GraphSample, Split, TrainedPredictor};
 use predtop_models::{sample_stages, ModelSpec, StageSpec};
 use predtop_parallel::interstage::candidate_submeshes;
 use predtop_parallel::{table3_configs, MeshShape, ParallelConfig, StageLatencyProvider};
+use predtop_runtime::par_map;
 use predtop_sim::SimProfiler;
 
 use crate::predictor::ArchConfig;
@@ -95,36 +96,48 @@ impl PredTop {
             })
             .collect();
 
+        // Scenario-level parallelism: every (sub-mesh, configuration)
+        // cell is an independent training run, so the fleet fans out
+        // over scenarios while each cell trains serially inside (no
+        // thread oversubscription, and each cell's weights stay
+        // bit-identical to a fully serial fit because its init seed and
+        // data order depend only on its enumeration index).
+        let scenarios: Vec<(u64, MeshShape, ParallelConfig)> = candidate_submeshes(cluster)
+            .into_iter()
+            .flat_map(|mesh| table3_configs(mesh).into_iter().map(move |c| (mesh, c)))
+            .enumerate()
+            .map(|(i, (mesh, config))| (i as u64, mesh, config))
+            .collect();
+        let fitted = par_map(scenarios, |(scenario_idx, mesh, config)| {
+            // profiling phase for this scenario
+            let samples: Vec<GraphSample> = base_samples
+                .iter()
+                .map(|(spec, base)| {
+                    let mut s = base.clone();
+                    s.latency = profiler.stage_latency(spec, mesh, config);
+                    s
+                })
+                .collect();
+            let ds = Dataset::new(samples);
+            let split = fit_split(ds.len());
+
+            // training phase
+            let started = Instant::now();
+            let mut net = cfg.arch.build(cfg.seed.wrapping_add(scenario_idx));
+            let (scaler, report) = train_with_threads(net.as_mut(), &ds, &split, &cfg.train, 1);
+            let secs = started.elapsed().as_secs_f64();
+            profiler.ledger().add_training(secs);
+            let predictor = TrainedPredictor { model: net, scaler };
+            (mesh, config, predictor, report, secs)
+        });
+
         let mut predictors = HashMap::new();
         let mut reports = Vec::new();
         let mut training_seconds = 0.0;
-        let mut scenario_idx = 0u64;
-        for mesh in candidate_submeshes(cluster) {
-            for config in table3_configs(mesh) {
-                // profiling phase for this scenario
-                let samples: Vec<GraphSample> = base_samples
-                    .iter()
-                    .map(|(spec, base)| {
-                        let mut s = base.clone();
-                        s.latency = profiler.stage_latency(spec, mesh, config);
-                        s
-                    })
-                    .collect();
-                let ds = Dataset::new(samples);
-                let split = fit_split(ds.len());
-
-                // training phase
-                let started = Instant::now();
-                let mut net = cfg.arch.build(cfg.seed.wrapping_add(scenario_idx));
-                let (scaler, report) = train(net.as_mut(), &ds, &split, &cfg.train);
-                let secs = started.elapsed().as_secs_f64();
-                training_seconds += secs;
-                profiler.ledger().add_training(secs);
-
-                reports.push((mesh, config, report));
-                predictors.insert((mesh, config), TrainedPredictor { model: net, scaler });
-                scenario_idx += 1;
-            }
+        for (mesh, config, predictor, report, secs) in fitted {
+            training_seconds += secs;
+            reports.push((mesh, config, report));
+            predictors.insert((mesh, config), predictor);
         }
 
         PredTop {

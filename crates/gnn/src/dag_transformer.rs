@@ -13,7 +13,7 @@
 //! 4. global add pool (eqn. 2) and the shared regression head.
 
 use predtop_ir::features::FEATURE_DIM;
-use predtop_tensor::{Matrix, ParamStore, Tape, Var};
+use predtop_tensor::{ParamStore, Tape, Var};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::dataset::GraphSample;
@@ -132,13 +132,13 @@ impl GnnModel for DagTransformer {
         let scale = 1.0 / (dh as f32).sqrt();
 
         let mask = if self.config.use_dagra {
-            tape.constant(sample.dag_mask.clone())
+            tape.constant_ref(&sample.dag_mask)
         } else {
-            tape.constant(Matrix::zeros(n, n))
+            tape.constant_full(n, n, 0.0)
         };
 
         // input projection + DAGPE
-        let feats = tape.constant(sample.features.clone());
+        let feats = tape.constant_ref(&sample.features);
         let mut h = self.input.forward(tape, &self.store, feats);
         if self.config.use_dagpe {
             assert_eq!(
@@ -146,7 +146,7 @@ impl GnnModel for DagTransformer {
                 dim,
                 "sample built with pe_dim != transformer dim"
             );
-            let pe = tape.constant(sample.dagpe.clone());
+            let pe = tape.constant_ref(&sample.dagpe);
             h = tape.add(h, pe);
         }
 
@@ -202,6 +202,7 @@ impl GnnModel for DagTransformer {
 mod tests {
     use super::*;
     use predtop_ir::{DType, Graph, GraphBuilder, OpKind};
+    use predtop_tensor::Matrix;
 
     fn graph() -> Graph {
         let mut b = GraphBuilder::new();

@@ -9,7 +9,7 @@
 use predtop_ir::features::{graph_features, FEATURE_DIM};
 use predtop_ir::prune::prune;
 use predtop_ir::reach::{depths, Reachability};
-use predtop_ir::Graph;
+use predtop_ir::{Graph, NodeId};
 use predtop_tensor::Matrix;
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
@@ -46,17 +46,24 @@ impl GraphSample {
 
     /// Like [`GraphSample::new`] but with eqn. 1's neighbourhood range
     /// restricted to `k` hops (`N_k(v)`) — the ablation knob around the
-    /// paper's `k = ∞` default.
+    /// paper's `k = ∞` default. Computes only the `k`-bounded
+    /// reachability, never the full closure.
     pub fn with_attention_range(graph: &Graph, latency: f64, pe_dim: usize, k: u32) -> GraphSample {
         let (g, _) = prune(graph);
-        let mut sample = Self::from_pruned(&g, latency, pe_dim);
         let reach = Reachability::compute_within(&g, k);
-        sample.dag_mask = Matrix::from_vec(g.len(), g.len(), reach.attention_mask());
-        sample
+        Self::build(&g, latency, pe_dim, &reach)
     }
 
     /// Build a sample from an already-pruned graph (ablation use).
     pub fn from_pruned(g: &Graph, latency: f64, pe_dim: usize) -> GraphSample {
+        let reach = Reachability::compute(g);
+        Self::build(g, latency, pe_dim, &reach)
+    }
+
+    /// The single construction path shared by every public constructor:
+    /// only the reachability relation (full closure vs `k`-bounded)
+    /// differs between them.
+    fn build(g: &Graph, latency: f64, pe_dim: usize, reach: &Reachability) -> GraphSample {
         let n = g.len();
         let features = Matrix::from_vec(n, FEATURE_DIM, graph_features(g));
 
@@ -72,18 +79,20 @@ impl GraphSample {
         // D^{-1/2} A D^{-1/2}
         let deg: Vec<f32> = (0..n).map(|i| adj.row(i).iter().sum::<f32>()).collect();
         let mut adj_norm = Matrix::zeros(n, n);
-        let mut adj_mask = Matrix::full(n, n, f32::NEG_INFINITY);
         for i in 0..n {
+            let support = adj.row(i);
+            let out = adj_norm.row_mut(i);
             for j in 0..n {
-                if adj.get(i, j) != 0.0 {
-                    adj_norm.set(i, j, 1.0 / (deg[i] * deg[j]).sqrt());
-                    adj_mask.set(i, j, 0.0);
+                if support[j] != 0.0 {
+                    out[j] = 1.0 / (deg[i] * deg[j]).sqrt();
                 }
             }
         }
 
-        let reach = Reachability::compute(g);
-        let dag_mask = Matrix::from_vec(n, n, reach.attention_mask());
+        let adj_mask = attention_mask_matrix(n, |i, j| adj.get(i, j) != 0.0);
+        let dag_mask = attention_mask_matrix(n, |i, j| {
+            reach.connected(NodeId(i as u32), NodeId(j as u32))
+        });
 
         let d = depths(g);
         let dagpe = sinusoidal_pe(&d, pe_dim);
@@ -102,6 +111,23 @@ impl GraphSample {
     pub fn num_nodes(&self) -> usize {
         self.features.rows()
     }
+}
+
+/// `n × n` attention mask (0 allowed / −inf masked) built row-wise from
+/// an `allowed(i, j)` predicate — the one constructor behind both the
+/// GAT neighbourhood mask and the DAGRA reachability mask.
+fn attention_mask_matrix(n: usize, allowed: impl Fn(usize, usize) -> bool) -> Matrix {
+    let mut mask = Matrix::zeros(n, n);
+    for i in 0..n {
+        for (j, slot) in mask.row_mut(i).iter_mut().enumerate() {
+            *slot = if allowed(i, j) {
+                0.0
+            } else {
+                f32::NEG_INFINITY
+            };
+        }
+    }
+    mask
 }
 
 /// Standard sinusoidal positional encoding evaluated at each node's DAG

@@ -7,10 +7,8 @@
 //! shuffle seeds, predict with the median. The median (rather than the
 //! mean) keeps one diverged replica from dragging the ensemble with it.
 
-use predtop_tensor::Tape;
-
 use crate::dataset::{Dataset, GraphSample, Split, TargetScaler};
-use crate::model::GnnModel;
+use crate::model::{with_serve_tape, GnnModel};
 use crate::train::{train, TrainConfig, TrainReport};
 
 /// A median-vote ensemble of independently-seeded predictors.
@@ -66,9 +64,10 @@ impl Ensemble {
             .members
             .iter()
             .map(|(net, scaler)| {
-                let mut tape = Tape::new();
-                let out = net.forward(&mut tape, sample);
-                scaler.inverse(tape.value(out).get(0, 0))
+                with_serve_tape(|tape| {
+                    let out = net.forward(tape, sample);
+                    scaler.inverse(tape.value(out).get(0, 0))
+                })
             })
             .collect();
         preds.sort_by(f64::total_cmp);

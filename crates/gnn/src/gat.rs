@@ -74,10 +74,10 @@ impl GnnModel for Gat {
 
     fn forward(&self, tape: &mut Tape, sample: &GraphSample) -> Var {
         let n = sample.num_nodes();
-        let mask = tape.constant(sample.adj_mask.clone());
-        let ones_row = tape.constant(Matrix::full(1, n, 1.0));
-        let ones_col = tape.constant(Matrix::full(n, 1, 1.0));
-        let mut h = tape.constant(sample.features.clone());
+        let mask = tape.constant_ref(&sample.adj_mask);
+        let ones_row = tape.constant_full(1, n, 1.0);
+        let ones_col = tape.constant_full(n, 1, 1.0);
+        let mut h = tape.constant_ref(&sample.features);
         for layer in &self.layers {
             let w = tape.param(&self.store, layer.w);
             let z = tape.matmul(h, w); // N × d

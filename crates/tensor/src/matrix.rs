@@ -1,7 +1,38 @@
 //! Dense row-major f32 matrices with the handful of kernels GNN training
 //! needs.
+//!
+//! # Kernel design
+//!
+//! The three matmul variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) are cache-blocked
+//! and written so LLVM's autovectorizer sees contiguous unit-stride inner
+//! loops, but every optimization preserves the *per-output-element
+//! accumulation order* of the naive reference kernels
+//! ([`Matrix::matmul_ref`] et al.): blocking only reorders the `i`/`j`
+//! (output) loops, never splits the reduction over `p` into partial sums,
+//! and keeps the reference kernels' skip-zero behaviour. f32 addition
+//! rounds identically regardless of where the operands live, and Rust
+//! never contracts `a*b + c` into an FMA, so the blocked kernels are
+//! **bit-identical** to the references (proptested below) — which is what
+//! lets the training loop parallelize without losing reproducibility.
+//!
+//! Above [`PAR_MIN_MULADDS`] multiply-adds the kernels split the output
+//! into contiguous row panels and fan them out over
+//! `predtop_runtime::par_map_with`; each panel is computed by the same
+//! serial kernel, so results stay bit-identical at any thread count.
 
 use serde::{Deserialize, Serialize};
+
+/// Output-row panel height: how many rows of `out` (and `A`) are swept
+/// per reduction panel, sized so a panel of output rows stays L1-hot.
+const MC: usize = 32;
+/// Reduction panel length: rows of `B` kept hot while a row panel of the
+/// output is updated (`KC · n · 4` bytes of `B` per panel).
+const KC: usize = 256;
+/// `matmul_nt` keeps this many rows of `B` hot while sweeping all of `A`.
+const NT_JB: usize = 32;
+/// Minimum multiply-add count (`m·k·n`) before a kernel fans row panels
+/// out over worker threads; below this the spawn cost dominates.
+const PAR_MIN_MULADDS: usize = 1 << 20;
 
 /// A dense row-major `rows × cols` matrix of f32.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +94,13 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consume the matrix, returning its backing allocation (buffer-pool
+    /// recycling).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -89,9 +127,26 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` (ikj loop order; the inner loop runs over
-    /// contiguous rows of both the output and `other`, which LLVM
-    /// vectorizes well).
+    /// Reshape to `rows × cols` and zero-fill, reusing the backing
+    /// allocation when it is large enough (destination-reuse for the
+    /// `*_into` kernels and the tape buffer pool).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copy `src`'s shape and contents into `self`, reusing the backing
+    /// allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// `self · other` into a fresh matrix. See [`Matrix::matmul_into`].
     ///
     /// ```
     /// use predtop_tensor::Matrix;
@@ -100,6 +155,118 @@ impl Matrix {
     /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
     /// ```
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self · other` written into `out` (reshaped + zeroed in place).
+    ///
+    /// Cache-blocked over output row panels ([`MC`]) and reduction
+    /// panels ([`KC`]); bit-identical to [`Matrix::matmul_ref`].
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.reset(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let threads = par_threads(m, k, n);
+        if threads > 1 {
+            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
+                let rows = panel.len() / n;
+                mm_kernel(
+                    &self.data[start * k..(start + rows) * k],
+                    &other.data,
+                    panel,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            mm_kernel(&self.data, &other.data, &mut out.data, k, n);
+        }
+    }
+
+    /// `self · otherᵀ` into a fresh matrix (attention `Q·Kᵀ`). See
+    /// [`Matrix::matmul_nt_into`].
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out`, without materializing the
+    /// transpose.
+    ///
+    /// Blocks over [`NT_JB`] rows of `other` so they stay cache-hot
+    /// while every row of `self` is swept (the naive j-then-p loop
+    /// re-streamed all of `other` per output row), and computes four
+    /// output columns per pass with independent accumulators for
+    /// instruction-level parallelism. Each output element is still one
+    /// sequential dot product over `p`, so the result is bit-identical
+    /// to [`Matrix::matmul_nt_ref`].
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        out.reset(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let threads = par_threads(m, k, n);
+        if threads > 1 {
+            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
+                let rows = panel.len() / n;
+                mm_nt_kernel(
+                    &self.data[start * k..(start + rows) * k],
+                    &other.data,
+                    panel,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            mm_nt_kernel(&self.data, &other.data, &mut out.data, k, n);
+        }
+    }
+
+    /// `selfᵀ · other` into a fresh matrix (matmul backward). See
+    /// [`Matrix::matmul_tn_into`].
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ · other` written into `out`, without materializing the
+    /// transpose.
+    ///
+    /// Blocks over [`MC`] output rows so the updated panel stays hot
+    /// while `self` and `other` stream past once per panel; the `p`
+    /// reduction stays ascending with the reference's skip-zero
+    /// behaviour, so the result is bit-identical to
+    /// [`Matrix::matmul_tn_ref`].
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        out.reset(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let threads = par_threads(m, k, n);
+        if threads > 1 {
+            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
+                mm_tn_kernel(&self.data, &other.data, panel, start, m, n);
+            });
+        } else {
+            mm_tn_kernel(&self.data, &other.data, &mut out.data, 0, m, n);
+        }
+    }
+
+    /// Reference `self · other`: the naive ikj kernel the blocked
+    /// [`Matrix::matmul`] must match bit-for-bit (kept for the
+    /// determinism proptests and kernel benchmarks).
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
@@ -119,9 +286,9 @@ impl Matrix {
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose (dot products
-    /// of rows; used by attention `Q·Kᵀ`).
-    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+    /// Reference `self · otherᵀ`: one sequential dot product per output
+    /// element (see [`Matrix::matmul_ref`] for why it is kept).
+    pub fn matmul_nt_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
@@ -139,9 +306,9 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · other` without materializing the transpose (used by
-    /// backward passes of matmul).
-    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+    /// Reference `selfᵀ · other` (see [`Matrix::matmul_ref`] for why it
+    /// is kept).
+    pub fn matmul_tn_ref(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = Matrix::zeros(m, n);
@@ -220,12 +387,27 @@ impl Matrix {
         }
     }
 
+    /// In-place `self *= other` (Hadamard).
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
     /// Scaled copy `s * self`.
     pub fn scale(&self, s: f32) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
         }
     }
 
@@ -242,6 +424,135 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+}
+
+/// Worker count for an `m·k·n` multiply-add kernel: 1 below the
+/// parallelism threshold, else the configured thread count capped at the
+/// output row count.
+fn par_threads(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_MULADDS || m < 2 {
+        return 1;
+    }
+    predtop_runtime::configured_threads().min(m)
+}
+
+/// Split `out` (flat `m × n`) into one contiguous row panel per worker
+/// and run `body(first_row, panel)` on each. Panels are disjoint output
+/// rows computed by the same serial kernels, so the result is
+/// bit-identical to a single-threaded run.
+fn par_row_panels<F>(out: &mut [f32], m: usize, n: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows_per = m.div_ceil(threads);
+    let items: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(c, panel)| (c * rows_per, panel))
+        .collect();
+    predtop_runtime::par_map_with(items, threads, |(start, panel)| body(start, panel));
+}
+
+/// `o_row += a · b_row` over contiguous slices (the autovectorized axpy
+/// all three blocked kernels bottom out in).
+#[inline]
+fn axpy(o_row: &mut [f32], b_row: &[f32], a: f32) {
+    for (o, &b) in o_row.iter_mut().zip(b_row) {
+        *o += a * b;
+    }
+}
+
+/// Blocked `A·B` over a row panel: `a` holds the panel's rows of `A`
+/// (`rows × k`), `b` all of `B` (`k × n`), `out` the panel's zeroed
+/// output rows. For every output element the reduction runs over `p`
+/// ascending with the reference's skip-zero rule, so blocking changes
+/// only the cache schedule, not one bit of the result.
+fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for i0 in (0..rows).step_by(MC) {
+        let i1 = (i0 + MC).min(rows);
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            for i in i0..i1 {
+                let a_row = &a[i * k..(i + 1) * k];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate().take(p1).skip(p0) {
+                    if av == 0.0 {
+                        continue; // adjacency/mask matrices are sparse in 0s
+                    }
+                    axpy(o_row, &b[p * n..(p + 1) * n], av);
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `A·Bᵀ` over a row panel: `a` holds the panel's rows of `A`,
+/// `b` all of `B` (`n × k`). [`NT_JB`] rows of `B` stay hot per block;
+/// four independent dot products run per pass for ILP. Each element is
+/// one sequential `p`-ascending dot product — bit-identical to the
+/// reference.
+fn mm_nt_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let rows = out.len() / n;
+    for j0 in (0..n).step_by(NT_JB) {
+        let j1 = (j0 + NT_JB).min(n);
+        for i in 0..rows {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            let mut j = j0;
+            while j + 4 <= j1 {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (p, &av) in a_row.iter().enumerate() {
+                    s0 += av * b0[p];
+                    s1 += av * b1[p];
+                    s2 += av * b2[p];
+                    s3 += av * b3[p];
+                }
+                o_row[j] = s0;
+                o_row[j + 1] = s1;
+                o_row[j + 2] = s2;
+                o_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < j1 {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (p, &av) in a_row.iter().enumerate() {
+                    acc += av * b_row[p];
+                }
+                o_row[j] = acc;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Blocked `Aᵀ·B` over a row panel of the output: `a` is all of `A`
+/// (`k × a_cols`), `b` all of `B` (`k × n`), `out` covers output rows
+/// `start..start + rows` (= columns of `A`). The [`MC`]-row output
+/// panel stays hot while `A`/`B` stream past; `p` ascends with the
+/// reference's skip-zero rule — bit-identical to the reference.
+fn mm_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], start: usize, a_cols: usize, n: usize) {
+    let rows = out.len() / n;
+    let k = b.len() / n;
+    for i0 in (0..rows).step_by(MC) {
+        let i1 = (i0 + MC).min(rows);
+        for p in 0..k {
+            let a_row = &a[p * a_cols..(p + 1) * a_cols];
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in i0..i1 {
+                let av = a_row[start + i];
+                if av == 0.0 {
+                    continue;
+                }
+                axpy(&mut out[i * n..(i + 1) * n], b_row, av);
+            }
+        }
     }
 }
 
@@ -279,6 +590,29 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_reuses_and_reshapes() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let mut out = Matrix::full(5, 7, 9.9); // stale shape + contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!((out.rows(), out.cols()), (2, 2));
+        assert_eq!(out, a.matmul_ref(&b));
+        // second reuse with a different shape
+        let c = m(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        b.matmul_into(&c, &mut out);
+        assert_eq!((out.rows(), out.cols()), (3, 2));
+        assert_eq!(out, b.matmul_ref(&c));
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeros() {
+        let mut a = Matrix::full(3, 3, 7.0);
+        a.reset(2, 4);
+        assert_eq!((a.rows(), a.cols()), (2, 4));
+        assert!(a.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
     fn transpose_roundtrip() {
         let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(a.transpose().transpose(), a);
@@ -295,21 +629,72 @@ mod tests {
         let mut c = a.clone();
         c.add_scaled(&b, 0.5);
         assert_eq!(c.data(), &[3.0, 4.5, 6.0]);
+        let mut h = a.clone();
+        h.hadamard_assign(&b);
+        assert_eq!(h.data(), &[4.0, 10.0, 18.0]);
+        let mut s = a.clone();
+        s.scale_assign(2.0);
+        assert_eq!(s.data(), &[2.0, 4.0, 6.0]);
         assert_eq!(a.sum(), 6.0);
     }
 
-    fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    /// Random matrix with explicit zeros mixed in (small magnitudes are
+    /// flushed to 0) so the skip-zero paths of `matmul`/`matmul_tn` are
+    /// exercised.
+    fn arb_matrix_zeros(max_dim: usize) -> impl Strategy<Value = Matrix> {
         (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-4.0f32..4.0, r * c)
-                .prop_map(move |v| Matrix::from_vec(r, c, v))
+            proptest::collection::vec(-4.0f32..4.0, r * c).prop_map(move |v| {
+                let v = v
+                    .into_iter()
+                    .map(|x| if x.abs() < 1.0 { 0.0 } else { x })
+                    .collect();
+                Matrix::from_vec(r, c, v)
+            })
         })
+    }
+
+    fn pair_matrix(rng_seed: u64, rows: usize, cols: usize) -> Matrix {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0f32..2.0)
+                    }
+                })
+                .collect(),
+        )
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Blocked kernels are bit-identical to the naive references on
+        /// random shapes spanning the MC/KC/NT_JB block boundaries.
+        #[test]
+        fn prop_blocked_kernels_match_reference_exactly(
+            a in arb_matrix_zeros(40),
+            seed in any::<u64>(),
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..40);
+            let b_mm = pair_matrix(seed ^ 1, a.cols(), n);
+            prop_assert_eq!(a.matmul(&b_mm), a.matmul_ref(&b_mm));
+            let b_nt = pair_matrix(seed ^ 2, n, a.cols());
+            prop_assert_eq!(a.matmul_nt(&b_nt), a.matmul_nt_ref(&b_nt));
+            let b_tn = pair_matrix(seed ^ 3, a.rows(), n);
+            prop_assert_eq!(a.matmul_tn(&b_tn), a.matmul_tn_ref(&b_tn));
+        }
+
         #[test]
         fn prop_matmul_nt_matches_explicit_transpose(
-            a in arb_matrix(8),
+            a in arb_matrix_zeros(8),
             seed in any::<u64>(),
         ) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -325,7 +710,7 @@ mod tests {
 
         #[test]
         fn prop_matmul_tn_matches_explicit_transpose(
-            a in arb_matrix(8),
+            a in arb_matrix_zeros(8),
             seed in any::<u64>(),
         ) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -340,7 +725,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_matmul_identity(a in arb_matrix(8)) {
+        fn prop_matmul_identity(a in arb_matrix_zeros(8)) {
             let mut eye = Matrix::zeros(a.cols(), a.cols());
             for i in 0..a.cols() {
                 eye.set(i, i, 1.0);
@@ -350,12 +735,64 @@ mod tests {
         }
 
         #[test]
-        fn prop_add_commutes(a in arb_matrix(6), seed in any::<u64>()) {
+        fn prop_add_commutes(a in arb_matrix_zeros(6), seed in any::<u64>()) {
             use rand::{rngs::StdRng, Rng, SeedableRng};
             let mut rng = StdRng::seed_from_u64(seed);
             let b = Matrix::from_vec(a.rows(), a.cols(),
                 (0..a.rows() * a.cols()).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
             prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+    }
+
+    /// Parallel row panels produce the same bits as the serial kernel.
+    /// Sizes here are tiny, so this drives `par_row_panels` directly.
+    #[test]
+    fn parallel_panels_match_serial_kernels() {
+        let a = pair_matrix(7, 37, 19);
+        let b = pair_matrix(8, 19, 23);
+        let serial = a.matmul_ref(&b);
+        for threads in [2, 3, 5] {
+            let mut out = Matrix::zeros(37, 23);
+            par_row_panels(out.data_mut(), 37, 23, threads, |start, panel| {
+                let rows = panel.len() / 23;
+                mm_kernel(
+                    &a.data()[start * 19..(start + rows) * 19],
+                    b.data(),
+                    panel,
+                    19,
+                    23,
+                );
+            });
+            assert_eq!(out, serial, "matmul panels diverged at {threads} threads");
+
+            let bt = pair_matrix(9, 23, 19);
+            let serial_nt = a.matmul_nt_ref(&bt);
+            let mut out = Matrix::zeros(37, 23);
+            par_row_panels(out.data_mut(), 37, 23, threads, |start, panel| {
+                let rows = panel.len() / 23;
+                mm_nt_kernel(
+                    &a.data()[start * 19..(start + rows) * 19],
+                    bt.data(),
+                    panel,
+                    19,
+                    23,
+                );
+            });
+            assert_eq!(
+                out, serial_nt,
+                "matmul_nt panels diverged at {threads} threads"
+            );
+
+            let b2 = pair_matrix(10, 37, 23);
+            let serial_tn = a.matmul_tn_ref(&b2);
+            let mut out = Matrix::zeros(19, 23);
+            par_row_panels(out.data_mut(), 19, 23, threads, |start, panel| {
+                mm_tn_kernel(a.data(), b2.data(), panel, start, 19, 23);
+            });
+            assert_eq!(
+                out, serial_tn,
+                "matmul_tn panels diverged at {threads} threads"
+            );
         }
     }
 }

@@ -94,6 +94,96 @@ impl ParamStore {
         assert_eq!(snap.len(), self.values.len(), "snapshot shape mismatch");
         self.values.clone_from_slice(snap);
     }
+
+    /// Overwrite this store's gradients with the contents of `set`
+    /// (the hand-off from a data-parallel gradient reduction to the
+    /// optimizer step).
+    pub fn load_grads(&mut self, set: &GradSet) {
+        assert_eq!(set.grads.len(), self.grads.len(), "grad set shape mismatch");
+        for (dst, src) in self.grads.iter_mut().zip(&set.grads) {
+            dst.copy_from(src);
+        }
+    }
+
+    /// Order-sensitive FNV-1a fingerprint over every parameter's shape
+    /// and exact f32 bit pattern. Two stores fingerprint equal iff their
+    /// trained weights are byte-identical — this is the checksum
+    /// `bench_predictor` emits to prove parallel training changed
+    /// nothing.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for m in &self.values {
+            mix(m.rows() as u64);
+            mix(m.cols() as u64);
+            for &x in m.data() {
+                mix(x.to_bits() as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Destination for the gradients a `Tape::backward` pass produces —
+/// either the live [`ParamStore`] (serial training) or a detached
+/// [`GradSet`] (one per sample in data-parallel training, merged in a
+/// fixed order afterwards).
+pub trait GradSink {
+    /// Mutable gradient buffer for parameter slot `pid`.
+    fn grad_mut(&mut self, pid: usize) -> &mut Matrix;
+}
+
+impl GradSink for ParamStore {
+    fn grad_mut(&mut self, pid: usize) -> &mut Matrix {
+        &mut self.grads[pid]
+    }
+}
+
+/// A detached set of per-parameter gradients, shaped like a
+/// [`ParamStore`]'s gradient buffers. The data-parallel training loop
+/// gives every sample its own `GradSet` and merges them pairwise in a
+/// fixed tree order, so the reduced gradient is bit-identical at any
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct GradSet {
+    grads: Vec<Matrix>,
+}
+
+impl GradSet {
+    /// Zeroed gradients shaped like `store`'s parameters.
+    pub fn zeros_like(store: &ParamStore) -> GradSet {
+        GradSet {
+            grads: store
+                .values
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
+        }
+    }
+
+    /// Elementwise `self += other` across every parameter slot.
+    pub fn merge(&mut self, other: &GradSet) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grad set mismatch");
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Gradient matrices by slot.
+    pub fn grads(&self) -> &[Matrix] {
+        &self.grads
+    }
+}
+
+impl GradSink for GradSet {
+    fn grad_mut(&mut self, pid: usize) -> &mut Matrix {
+        &mut self.grads[pid]
+    }
 }
 
 /// Adam optimizer state.
@@ -191,6 +281,34 @@ mod tests {
         }
         let wv = s.value(w).get(0, 0);
         assert!((wv - 3.0).abs() < 0.05, "w = {wv}");
+    }
+
+    #[test]
+    fn grad_set_merges_and_loads() {
+        let mut s = ParamStore::new();
+        let a = s.add(Matrix::full(2, 2, 1.0));
+        let mut left = GradSet::zeros_like(&s);
+        let mut right = GradSet::zeros_like(&s);
+        left.grad_mut(a).set(0, 0, 1.5);
+        right.grad_mut(a).set(0, 0, 2.0);
+        right.grad_mut(a).set(1, 1, -3.0);
+        left.merge(&right);
+        assert_eq!(left.grads()[a].get(0, 0), 3.5);
+        assert_eq!(left.grads()[a].get(1, 1), -3.0);
+        s.load_grads(&left);
+        assert_eq!(s.grad(a).get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn fingerprint_tracks_exact_bits() {
+        let mut s = ParamStore::new();
+        let w = s.add(Matrix::full(2, 3, 0.25));
+        let base = s.fingerprint();
+        assert_eq!(base, s.fingerprint(), "fingerprint is deterministic");
+        // the smallest possible perturbation changes the fingerprint
+        let bits = s.value(w).get(1, 2).to_bits();
+        s.value_mut(w).set(1, 2, f32::from_bits(bits ^ 1));
+        assert_ne!(base, s.fingerprint());
     }
 
     #[test]

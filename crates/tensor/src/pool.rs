@@ -1,0 +1,176 @@
+//! A size-bucketed buffer pool for [`Matrix`] allocations.
+//!
+//! Training a GNN runs the same forward/backward graph thousands of
+//! times (every sample × every epoch), so the set of matrix shapes the
+//! tape allocates is small and perfectly repetitive. The pool keeps
+//! retired backing `Vec<f32>`s bucketed by capacity and hands them back
+//! on the next request of the same size — after the first forward pass
+//! through a sample, a reused [`crate::Tape`] performs no heap
+//! allocation for its values or adjoints.
+//!
+//! The pool is purely a memory recycler: callers receive either a
+//! zero-filled matrix ([`BufferPool::alloc`]), an exact copy
+//! ([`BufferPool::copy_of`]), or an empty scratch vector
+//! ([`BufferPool::scratch`]) — the arithmetic performed on them is
+//! unchanged, so pooling cannot affect any computed bit.
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+
+/// Cap on floats parked in the pool (64 MiB of f32) — a backstop so a
+/// one-off giant temporary cannot pin memory forever.
+const MAX_POOLED_FLOATS: usize = 16 << 20;
+
+/// Hit/miss counters for observability (surfaced by `bench_predictor`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a recycled buffer.
+    pub hits: u64,
+    /// Requests that fell through to a fresh heap allocation.
+    pub misses: u64,
+}
+
+/// Size-bucketed recycler of matrix backing buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// Retired buffers keyed by capacity.
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    /// Total floats currently parked across all buckets.
+    parked: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Fresh, empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Pop a retired buffer of exactly `len` capacity, cleared to
+    /// length 0; `None` on a miss. Counters updated either way.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let popped = self.buckets.get_mut(&len).and_then(Vec::pop);
+        match popped {
+            Some(mut v) => {
+                self.parked -= len;
+                self.stats.hits += 1;
+                v.clear();
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// An empty `0 × 0` matrix whose backing buffer has capacity for
+    /// `len` floats when the pool has one — the natural destination for
+    /// the `*_into` kernels, which reshape it themselves.
+    pub fn scratch(&mut self, len: usize) -> Matrix {
+        let data = self.take(len).unwrap_or_else(|| Vec::with_capacity(len));
+        Matrix::from_vec(0, 0, data)
+    }
+
+    /// A zero-filled `rows × cols` matrix, recycled when possible.
+    pub fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        match self.take(len) {
+            Some(mut v) => {
+                v.resize(len, 0.0);
+                Matrix::from_vec(rows, cols, v)
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// An exact copy of `src`, recycled when possible.
+    pub fn copy_of(&mut self, src: &Matrix) -> Matrix {
+        let len = src.data().len();
+        match self.take(len) {
+            Some(mut v) => {
+                v.extend_from_slice(src.data());
+                Matrix::from_vec(src.rows(), src.cols(), v)
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Return a matrix's backing buffer to the pool. Buffers beyond the
+    /// [`MAX_POOLED_FLOATS`] budget (and zero-capacity ones) are simply
+    /// dropped.
+    pub fn recycle(&mut self, m: Matrix) {
+        let data = m.into_data();
+        let cap = data.capacity();
+        if cap == 0 || self.parked + cap > MAX_POOLED_FLOATS {
+            return;
+        }
+        self.parked += cap;
+        self.buckets.entry(cap).or_default().push(data);
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_same_size_buffers() {
+        let mut pool = BufferPool::new();
+        let a = pool.alloc(4, 8);
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1 });
+        pool.recycle(a);
+        let b = pool.alloc(4, 8);
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1 });
+        assert!(b.data().iter().all(|&x| x == 0.0));
+        // a different shape with the same element count also hits
+        pool.recycle(b);
+        let c = pool.alloc(8, 4);
+        assert_eq!((c.rows(), c.cols()), (8, 4));
+        assert_eq!(pool.stats().hits, 2);
+    }
+
+    #[test]
+    fn copy_of_matches_source() {
+        let mut pool = BufferPool::new();
+        let src = Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.0, 4.0, -5.0, 6.0]);
+        let warm = pool_scratch(&mut pool, 6);
+        pool.recycle(warm);
+        let copy = pool.copy_of(&src);
+        assert_eq!(copy, src);
+    }
+
+    fn pool_scratch(pool: &mut BufferPool, len: usize) -> Matrix {
+        let mut m = pool.scratch(len);
+        m.reset(1, len);
+        m
+    }
+
+    #[test]
+    fn scratch_reuses_capacity() {
+        let mut pool = BufferPool::new();
+        let mut m = pool.scratch(12);
+        m.reset(3, 4);
+        pool.recycle(m);
+        let again = pool.scratch(12);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!((again.rows(), again.cols()), (0, 0));
+    }
+
+    #[test]
+    fn oversized_recycle_is_dropped() {
+        let mut pool = BufferPool::new();
+        pool.recycle(Matrix::zeros(0, 0)); // zero-capacity: dropped
+        let huge = Matrix::zeros(1, super::MAX_POOLED_FLOATS + 1);
+        pool.recycle(huge);
+        let m = pool.alloc(1, super::MAX_POOLED_FLOATS + 1);
+        assert_eq!(pool.stats().hits, 0, "over-budget buffer was not parked");
+        drop(m);
+    }
+}

@@ -3,16 +3,25 @@
 //! A [`Tape`] records the forward computation as a flat list of operator
 //! nodes over [`Matrix`] values; [`Tape::backward`] walks the list in
 //! reverse, propagating adjoints and accumulating parameter gradients
-//! into a [`ParamStore`]. The operator set is exactly what the three
-//! predictors need — dense affine maps, (masked) row softmax for
-//! attention, (leaky-)ReLU, column slicing/concatenation for multi-head
-//! attention, and the global-add-pool row sum.
+//! into any [`GradSink`] (a [`ParamStore`] in the serial loop, a
+//! per-sample `GradSet` in the data-parallel one). The operator set is
+//! exactly what the three predictors need — dense affine maps, (masked)
+//! row softmax for attention, (leaky-)ReLU, column slicing/concatenation
+//! for multi-head attention, and the global-add-pool row sum.
+//!
+//! Every value and adjoint the tape materializes comes from an internal
+//! [`BufferPool`]: calling [`Tape::reset`] between samples retires all
+//! buffers for reuse, so steady-state training performs no heap
+//! allocation in the hot loop. Pooling only recycles memory — each op
+//! computes the same arithmetic in the same order, so results are
+//! bit-identical to the unpooled implementation.
 //!
 //! Every backward rule is validated against central finite differences in
 //! the tests at the bottom of this file.
 
 use crate::matrix::Matrix;
-use crate::optim::ParamStore;
+use crate::optim::{GradSink, ParamStore};
+use crate::pool::{BufferPool, PoolStats};
 
 /// Handle to a value on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +70,7 @@ enum Op {
 pub struct Tape {
     ops: Vec<Op>,
     values: Vec<Matrix>,
+    pool: BufferPool,
 }
 
 impl Tape {
@@ -84,6 +94,24 @@ impl Tape {
         &self.values[v.0]
     }
 
+    /// Clear the recorded graph, retiring every value buffer into the
+    /// internal pool. The next forward pass on this tape reuses them —
+    /// this is what makes per-sample tapes allocation-free in
+    /// steady-state training.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        let Tape { values, pool, .. } = self;
+        for v in values.drain(..) {
+            pool.recycle(v);
+        }
+    }
+
+    /// Buffer-pool hit/miss counters (observability; see
+    /// `bench_predictor`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     fn push(&mut self, op: Op, value: Matrix) -> Var {
         self.ops.push(op);
         self.values.push(value);
@@ -95,35 +123,63 @@ impl Tape {
         self.push(Op::Const, m)
     }
 
+    /// Record a constant leaf by copying `m` into a pooled buffer —
+    /// the allocation-free variant of [`Tape::constant`] for per-sample
+    /// inputs that outlive the tape (features, masks, encodings).
+    pub fn constant_ref(&mut self, m: &Matrix) -> Var {
+        let copy = self.pool.copy_of(m);
+        self.push(Op::Const, copy)
+    }
+
+    /// Record a constant leaf filled with `value`, drawing its buffer
+    /// from the pool (broadcast helpers like all-ones rows/columns).
+    pub fn constant_full(&mut self, rows: usize, cols: usize, value: f32) -> Var {
+        let mut m = self.pool.alloc(rows, cols);
+        if value != 0.0 {
+            m.data_mut().fill(value);
+        }
+        self.push(Op::Const, m)
+    }
+
     /// Record a parameter leaf reading slot `pid` of `store`.
     pub fn param(&mut self, store: &ParamStore, pid: usize) -> Var {
-        self.push(Op::Param(pid), store.value(pid).clone())
+        let copy = self.pool.copy_of(store.value(pid));
+        self.push(Op::Param(pid), copy)
     }
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].matmul(&self.values[b.0]);
-        self.push(Op::MatMul(a, b), v)
+        let Tape { values, pool, .. } = self;
+        let (av, bv) = (&values[a.0], &values[b.0]);
+        let mut out = pool.scratch(av.rows() * bv.cols());
+        av.matmul_into(bv, &mut out);
+        self.push(Op::MatMul(a, b), out)
     }
 
     /// `a · bᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].matmul_nt(&self.values[b.0]);
-        self.push(Op::MatMulNT(a, b), v)
+        let Tape { values, pool, .. } = self;
+        let (av, bv) = (&values[a.0], &values[b.0]);
+        let mut out = pool.scratch(av.rows() * bv.rows());
+        av.matmul_nt_into(bv, &mut out);
+        self.push(Op::MatMulNT(a, b), out)
     }
 
     /// `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].add(&self.values[b.0]);
-        self.push(Op::Add(a, b), v)
+        let Tape { values, pool, .. } = self;
+        let mut out = pool.copy_of(&values[a.0]);
+        out.add_assign(&values[b.0]);
+        self.push(Op::Add(a, b), out)
     }
 
     /// `a + broadcast(bias)` where `bias` is `1 × cols(a)`.
     pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
-        let (av, bv) = (&self.values[a.0], &self.values[bias.0]);
+        let Tape { values, pool, .. } = self;
+        let (av, bv) = (&values[a.0], &values[bias.0]);
         assert_eq!(bv.rows(), 1, "bias must be a row vector");
         assert_eq!(bv.cols(), av.cols());
-        let mut out = av.clone();
+        let mut out = pool.copy_of(av);
         for r in 0..out.rows() {
             for (o, &b) in out.row_mut(r).iter_mut().zip(bv.row(0)) {
                 *o += b;
@@ -134,19 +190,24 @@ impl Tape {
 
     /// Elementwise product.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].hadamard(&self.values[b.0]);
-        self.push(Op::Hadamard(a, b), v)
+        let Tape { values, pool, .. } = self;
+        let mut out = pool.copy_of(&values[a.0]);
+        out.hadamard_assign(&values[b.0]);
+        self.push(Op::Hadamard(a, b), out)
     }
 
     /// `c · a`.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let v = self.values[a.0].scale(c);
-        self.push(Op::Scale(a, c), v)
+        let Tape { values, pool, .. } = self;
+        let mut out = pool.copy_of(&values[a.0]);
+        out.scale_assign(c);
+        self.push(Op::Scale(a, c), out)
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let mut v = self.values[a.0].clone();
+        let Tape { values, pool, .. } = self;
+        let mut v = pool.copy_of(&values[a.0]);
         for x in v.data_mut() {
             if *x < 0.0 {
                 *x = 0.0;
@@ -157,7 +218,8 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        let mut v = self.values[a.0].clone();
+        let Tape { values, pool, .. } = self;
+        let mut v = pool.copy_of(&values[a.0]);
         for x in v.data_mut() {
             if *x < 0.0 {
                 *x *= alpha;
@@ -172,9 +234,10 @@ impl Tape {
     /// zero row (not NaN), matching the convention that an isolated node
     /// attends to nothing.
     pub fn masked_softmax_rows(&mut self, a: Var, mask: Var) -> Var {
-        let (av, mv) = (&self.values[a.0], &self.values[mask.0]);
+        let Tape { values, pool, .. } = self;
+        let (av, mv) = (&values[a.0], &values[mask.0]);
         assert_eq!((av.rows(), av.cols()), (mv.rows(), mv.cols()));
-        let mut out = Matrix::zeros(av.rows(), av.cols());
+        let mut out = pool.alloc(av.rows(), av.cols());
         for r in 0..av.rows() {
             let arow = av.row(r);
             let mrow = mv.row(r);
@@ -204,8 +267,9 @@ impl Tape {
 
     /// Global add pool: sum all rows into a `1 × d` row.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let av = &self.values[a.0];
-        let mut out = Matrix::zeros(1, av.cols());
+        let Tape { values, pool, .. } = self;
+        let av = &values[a.0];
+        let mut out = pool.alloc(1, av.cols());
         for r in 0..av.rows() {
             for (o, &x) in out.row_mut(0).iter_mut().zip(av.row(r)) {
                 *o += x;
@@ -216,9 +280,10 @@ impl Tape {
 
     /// Columns `[c0, c1)` of `a`.
     pub fn col_slice(&mut self, a: Var, c0: usize, c1: usize) -> Var {
-        let av = &self.values[a.0];
+        let Tape { values, pool, .. } = self;
+        let av = &values[a.0];
         assert!(c0 < c1 && c1 <= av.cols(), "bad column range {c0}..{c1}");
-        let mut out = Matrix::zeros(av.rows(), c1 - c0);
+        let mut out = pool.alloc(av.rows(), c1 - c0);
         for r in 0..av.rows() {
             out.row_mut(r).copy_from_slice(&av.row(r)[c0..c1]);
         }
@@ -228,12 +293,13 @@ impl Tape {
     /// Horizontal concatenation of equal-row-count matrices.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty());
-        let rows = self.values[parts[0].0].rows();
-        let total: usize = parts.iter().map(|p| self.values[p.0].cols()).sum();
-        let mut out = Matrix::zeros(rows, total);
+        let Tape { values, pool, .. } = self;
+        let rows = values[parts[0].0].rows();
+        let total: usize = parts.iter().map(|p| values[p.0].cols()).sum();
+        let mut out = pool.alloc(rows, total);
         let mut off = 0;
         for &p in parts {
-            let pv = &self.values[p.0];
+            let pv = &values[p.0];
             assert_eq!(pv.rows(), rows, "row mismatch in concat");
             for r in 0..rows {
                 out.row_mut(r)[off..off + pv.cols()].copy_from_slice(pv.row(r));
@@ -247,9 +313,10 @@ impl Tape {
     /// `σ = sqrt(var + 1e-5)` — the core of layer normalization (compose
     /// with [`Tape::mul_row`] and [`Tape::add_row`] for γ/β).
     pub fn normalize_rows(&mut self, a: Var) -> Var {
-        let av = &self.values[a.0];
+        let Tape { values, pool, .. } = self;
+        let av = &values[a.0];
         let (rows, cols) = (av.rows(), av.cols());
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = pool.alloc(rows, cols);
         let mut inv_sigma = Vec::with_capacity(rows);
         for r in 0..rows {
             let row = av.row(r);
@@ -266,10 +333,11 @@ impl Tape {
 
     /// `a ∘ broadcast(scale)` where `scale` is `1 × cols(a)`.
     pub fn mul_row(&mut self, a: Var, scale: Var) -> Var {
-        let (av, sv) = (&self.values[a.0], &self.values[scale.0]);
+        let Tape { values, pool, .. } = self;
+        let (av, sv) = (&values[a.0], &values[scale.0]);
         assert_eq!(sv.rows(), 1, "scale must be a row vector");
         assert_eq!(sv.cols(), av.cols());
-        let mut out = av.clone();
+        let mut out = pool.copy_of(av);
         for r in 0..out.rows() {
             for (o, &s) in out.row_mut(r).iter_mut().zip(sv.row(0)) {
                 *o *= s;
@@ -279,77 +347,97 @@ impl Tape {
     }
 
     /// Reverse pass: seed the adjoint of `out` with `seed` and accumulate
-    /// parameter gradients into `store.grads`.
+    /// parameter gradients into `sink` (a [`ParamStore`] or any other
+    /// [`GradSink`]). Adjoint buffers come from — and return to — the
+    /// tape's pool.
     ///
     /// # Panics
     /// Panics if `seed`'s shape differs from `out`'s value.
-    pub fn backward(&self, out: Var, seed: Matrix, store: &mut ParamStore) {
-        let ov = &self.values[out.0];
+    pub fn backward<S: GradSink>(&mut self, out: Var, seed: Matrix, sink: &mut S) {
+        let Tape { ops, values, pool } = self;
+        let ov = &values[out.0];
         assert_eq!((seed.rows(), seed.cols()), (ov.rows(), ov.cols()));
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.values.len()];
+        let mut grads: Vec<Option<Matrix>> = Vec::new();
+        grads.resize_with(values.len(), || None);
         grads[out.0] = Some(seed);
 
         for idx in (0..=out.0).rev() {
             let Some(g) = grads[idx].take() else { continue };
-            match &self.ops[idx] {
-                Op::Const => {}
-                Op::Param(pid) => store.grad_mut(*pid).add_assign(&g),
+            match &ops[idx] {
+                Op::Const => pool.recycle(g),
+                Op::Param(pid) => {
+                    sink.grad_mut(*pid).add_assign(&g);
+                    pool.recycle(g);
+                }
                 Op::MatMul(a, b) => {
-                    let da = g.matmul_nt(&self.values[b.0]);
-                    let db = self.values[a.0].matmul_tn(&g);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = pool.scratch(values[a.0].data().len());
+                    g.matmul_nt_into(&values[b.0], &mut da);
+                    let mut db = pool.scratch(values[b.0].data().len());
+                    values[a.0].matmul_tn_into(&g, &mut db);
+                    accumulate(&mut grads, *a, da, pool);
+                    accumulate(&mut grads, *b, db, pool);
+                    pool.recycle(g);
                 }
                 Op::MatMulNT(a, b) => {
                     // y = A Bᵀ : dA = G B ; dB = Gᵀ A
-                    let da = g.matmul(&self.values[b.0]);
-                    let db = g.matmul_tn(&self.values[a.0]);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = pool.scratch(values[a.0].data().len());
+                    g.matmul_into(&values[b.0], &mut da);
+                    let mut db = pool.scratch(values[b.0].data().len());
+                    g.matmul_tn_into(&values[a.0], &mut db);
+                    accumulate(&mut grads, *a, da, pool);
+                    accumulate(&mut grads, *b, db, pool);
+                    pool.recycle(g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    let da = pool.copy_of(&g);
+                    accumulate(&mut grads, *a, da, pool);
+                    accumulate(&mut grads, *b, g, pool);
                 }
                 Op::AddRow(a, bias) => {
-                    let mut db = Matrix::zeros(1, g.cols());
+                    let mut db = pool.alloc(1, g.cols());
                     for r in 0..g.rows() {
                         for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r)) {
                             *o += x;
                         }
                     }
-                    accumulate(&mut grads, *bias, db);
-                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *bias, db, pool);
+                    accumulate(&mut grads, *a, g, pool);
                 }
                 Op::Hadamard(a, b) => {
-                    let da = g.hadamard(&self.values[b.0]);
-                    let db = g.hadamard(&self.values[a.0]);
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *b, db);
+                    let mut da = pool.copy_of(&g);
+                    da.hadamard_assign(&values[b.0]);
+                    let mut db = g;
+                    db.hadamard_assign(&values[a.0]);
+                    accumulate(&mut grads, *a, da, pool);
+                    accumulate(&mut grads, *b, db, pool);
                 }
-                Op::Scale(a, c) => accumulate(&mut grads, *a, g.scale(*c)),
+                Op::Scale(a, c) => {
+                    let mut da = g;
+                    da.scale_assign(*c);
+                    accumulate(&mut grads, *a, da, pool);
+                }
                 Op::Relu(a) => {
                     let mut da = g;
-                    for (d, &x) in da.data_mut().iter_mut().zip(self.values[a.0].data()) {
+                    for (d, &x) in da.data_mut().iter_mut().zip(values[a.0].data()) {
                         if x <= 0.0 {
                             *d = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
                 }
                 Op::LeakyRelu(a, alpha) => {
                     let mut da = g;
-                    for (d, &x) in da.data_mut().iter_mut().zip(self.values[a.0].data()) {
+                    for (d, &x) in da.data_mut().iter_mut().zip(values[a.0].data()) {
                         if x < 0.0 {
                             *d *= alpha;
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
                 }
                 Op::MaskedSoftmaxRows(a, _mask) => {
                     // dA_rc = y_rc * (g_rc - Σ_k g_rk y_rk)
-                    let y = &self.values[idx];
-                    let mut da = Matrix::zeros(y.rows(), y.cols());
+                    let y = &values[idx];
+                    let mut da = pool.alloc(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let yrow = y.row(r);
                         let grow = g.row(r);
@@ -358,29 +446,32 @@ impl Tape {
                             *d = yv * (gv - dot);
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
+                    pool.recycle(g);
                 }
                 Op::SumRows(a) => {
-                    let av = &self.values[a.0];
-                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    let av = &values[a.0];
+                    let mut da = pool.alloc(av.rows(), av.cols());
                     for r in 0..av.rows() {
                         da.row_mut(r).copy_from_slice(g.row(0));
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
+                    pool.recycle(g);
                 }
                 Op::ColSlice(a, c0, _c1) => {
-                    let av = &self.values[a.0];
-                    let mut da = Matrix::zeros(av.rows(), av.cols());
+                    let av = &values[a.0];
+                    let mut da = pool.alloc(av.rows(), av.cols());
                     for r in 0..g.rows() {
                         da.row_mut(r)[*c0..*c0 + g.cols()].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
+                    pool.recycle(g);
                 }
                 Op::NormalizeRows(a, inv_sigma) => {
                     // y = (x − μ)/σ ; dx = (1/σ)(g − mean(g) − y · mean(g∘y))
-                    let y = &self.values[idx];
+                    let y = &values[idx];
                     let cols = y.cols() as f32;
-                    let mut da = Matrix::zeros(y.rows(), y.cols());
+                    let mut da = pool.alloc(y.rows(), y.cols());
                     for (r, &inv) in inv_sigma.iter().enumerate() {
                         let yrow = y.row(r);
                         let grow = g.row(r);
@@ -390,48 +481,56 @@ impl Tape {
                             *d = inv * (gv - gmean - yv * gy_mean);
                         }
                     }
-                    accumulate(&mut grads, *a, da);
+                    accumulate(&mut grads, *a, da, pool);
+                    pool.recycle(g);
                 }
                 Op::MulRow(a, scale) => {
-                    let sv = &self.values[scale.0];
-                    let av = &self.values[a.0];
-                    let mut da = g.clone();
+                    let sv = &values[scale.0];
+                    let av = &values[a.0];
+                    let mut da = pool.copy_of(&g);
                     for r in 0..da.rows() {
                         for (d, &s) in da.row_mut(r).iter_mut().zip(sv.row(0)) {
                             *d *= s;
                         }
                     }
-                    let mut ds = Matrix::zeros(1, g.cols());
+                    let mut ds = pool.alloc(1, g.cols());
                     for r in 0..g.rows() {
                         for ((o, &gv), &xv) in ds.row_mut(0).iter_mut().zip(g.row(r)).zip(av.row(r))
                         {
                             *o += gv * xv;
                         }
                     }
-                    accumulate(&mut grads, *a, da);
-                    accumulate(&mut grads, *scale, ds);
+                    accumulate(&mut grads, *a, da, pool);
+                    accumulate(&mut grads, *scale, ds, pool);
+                    pool.recycle(g);
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for &p in parts {
-                        let pc = self.values[p.0].cols();
+                        let pc = values[p.0].cols();
                         let rows = g.rows();
-                        let mut dp = Matrix::zeros(rows, pc);
+                        let mut dp = pool.alloc(rows, pc);
                         for r in 0..rows {
                             dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + pc]);
                         }
-                        accumulate(&mut grads, p, dp);
+                        accumulate(&mut grads, p, dp, pool);
                         off += pc;
                     }
+                    pool.recycle(g);
                 }
             }
         }
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+/// Merge adjoint `g` into slot `v`, retiring `g`'s buffer when the slot
+/// already holds an adjoint.
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix, pool: &mut BufferPool) {
     match &mut grads[v.0] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            pool.recycle(g);
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -673,5 +772,48 @@ mod tests {
 
     fn tape_const(t: &mut Tape, m: Matrix) -> Var {
         t.constant(m)
+    }
+
+    /// A reused (reset) tape computes bit-identical forwards/backwards
+    /// and stops allocating once the pool is warm.
+    #[test]
+    fn reset_tape_reuses_buffers_and_matches_fresh() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let w = store.add(rand_matrix(&mut rng, 4, 4));
+        let b = store.add(rand_matrix(&mut rng, 1, 4));
+        let x = rand_matrix(&mut rng, 3, 4);
+
+        let run = |tape: &mut Tape, store: &mut ParamStore| {
+            store.zero_grads();
+            let xv = tape.constant_ref(&x);
+            let wv = tape.param(store, w);
+            let bv = tape.param(store, b);
+            let h = tape.matmul(xv, wv);
+            let h = tape.add_row(h, bv);
+            let h = tape.relu(h);
+            let pooled = tape.sum_rows(h);
+            let ones = tape.constant_ref(&Matrix::full(1, 4, 1.0));
+            let out = tape.matmul_nt(pooled, ones);
+            let val = tape.value(out).get(0, 0);
+            tape.backward(out, Matrix::full(1, 1, 1.0), store);
+            (val, store.grad(w).clone(), store.grad(b).clone())
+        };
+
+        let mut fresh = Tape::new();
+        let want = run(&mut fresh, &mut store);
+
+        let mut reused = Tape::new();
+        let mut last = None;
+        for _ in 0..3 {
+            reused.reset();
+            last = Some(run(&mut reused, &mut store));
+        }
+        assert_eq!(last.unwrap(), want, "reused tape diverged from fresh");
+        let stats = reused.pool_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "pool should serve most requests after warmup: {stats:?}"
+        );
     }
 }
