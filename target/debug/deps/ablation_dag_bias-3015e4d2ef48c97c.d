@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dag_bias-3015e4d2ef48c97c.d: crates/bench/src/bin/ablation_dag_bias.rs
+
+/root/repo/target/debug/deps/ablation_dag_bias-3015e4d2ef48c97c: crates/bench/src/bin/ablation_dag_bias.rs
+
+crates/bench/src/bin/ablation_dag_bias.rs:

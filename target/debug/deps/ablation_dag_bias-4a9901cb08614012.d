@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/ablation_dag_bias-4a9901cb08614012.d: crates/bench/src/bin/ablation_dag_bias.rs
+
+/tmp/check/target/debug/deps/ablation_dag_bias-4a9901cb08614012: crates/bench/src/bin/ablation_dag_bias.rs
+
+crates/bench/src/bin/ablation_dag_bias.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dag_bias-4d28a869a5846179.d: crates/bench/src/bin/ablation_dag_bias.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dag_bias-4d28a869a5846179.rmeta: crates/bench/src/bin/ablation_dag_bias.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dag_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

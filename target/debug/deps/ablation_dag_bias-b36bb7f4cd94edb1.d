@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/ablation_dag_bias-b36bb7f4cd94edb1.d: crates/bench/src/bin/ablation_dag_bias.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libablation_dag_bias-b36bb7f4cd94edb1.rmeta: crates/bench/src/bin/ablation_dag_bias.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dag_bias.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

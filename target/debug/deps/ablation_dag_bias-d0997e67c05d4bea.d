@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dag_bias-d0997e67c05d4bea.d: crates/bench/src/bin/ablation_dag_bias.rs
+
+/root/repo/target/debug/deps/ablation_dag_bias-d0997e67c05d4bea: crates/bench/src/bin/ablation_dag_bias.rs
+
+crates/bench/src/bin/ablation_dag_bias.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/ablation_early_stop-09adf4b7b63fd6ec.d: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libablation_early_stop-09adf4b7b63fd6ec.rmeta: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+crates/bench/src/bin/ablation_early_stop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/ablation_early_stop-3ea66c3976c754c2.d: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libablation_early_stop-3ea66c3976c754c2.rmeta: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+crates/bench/src/bin/ablation_early_stop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

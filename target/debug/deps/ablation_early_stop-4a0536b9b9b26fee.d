@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_early_stop-4a0536b9b9b26fee.d: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_early_stop-4a0536b9b9b26fee.rmeta: crates/bench/src/bin/ablation_early_stop.rs Cargo.toml
+
+crates/bench/src/bin/ablation_early_stop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

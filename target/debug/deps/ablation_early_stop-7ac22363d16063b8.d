@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_early_stop-7ac22363d16063b8.d: crates/bench/src/bin/ablation_early_stop.rs
+
+/root/repo/target/debug/deps/ablation_early_stop-7ac22363d16063b8: crates/bench/src/bin/ablation_early_stop.rs
+
+crates/bench/src/bin/ablation_early_stop.rs:

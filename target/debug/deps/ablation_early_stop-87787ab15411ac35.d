@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/ablation_early_stop-87787ab15411ac35.d: crates/bench/src/bin/ablation_early_stop.rs
+
+/tmp/check/target/debug/deps/ablation_early_stop-87787ab15411ac35: crates/bench/src/bin/ablation_early_stop.rs
+
+crates/bench/src/bin/ablation_early_stop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_early_stop-d761861faba96de2.d: crates/bench/src/bin/ablation_early_stop.rs
+
+/root/repo/target/debug/deps/ablation_early_stop-d761861faba96de2: crates/bench/src/bin/ablation_early_stop.rs
+
+crates/bench/src/bin/ablation_early_stop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_k_range-0fe7735639d128ca.d: crates/bench/src/bin/ablation_k_range.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_k_range-0fe7735639d128ca.rmeta: crates/bench/src/bin/ablation_k_range.rs Cargo.toml
+
+crates/bench/src/bin/ablation_k_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/ablation_k_range-10e1623ce397f1d4.d: crates/bench/src/bin/ablation_k_range.rs
+
+/tmp/check/target/debug/deps/ablation_k_range-10e1623ce397f1d4: crates/bench/src/bin/ablation_k_range.rs
+
+crates/bench/src/bin/ablation_k_range.rs:

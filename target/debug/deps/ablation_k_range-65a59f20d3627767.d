@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/ablation_k_range-65a59f20d3627767.d: crates/bench/src/bin/ablation_k_range.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libablation_k_range-65a59f20d3627767.rmeta: crates/bench/src/bin/ablation_k_range.rs Cargo.toml
+
+crates/bench/src/bin/ablation_k_range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_k_range-79fa2d79f530ade0.d: crates/bench/src/bin/ablation_k_range.rs
+
+/root/repo/target/debug/deps/ablation_k_range-79fa2d79f530ade0: crates/bench/src/bin/ablation_k_range.rs
+
+crates/bench/src/bin/ablation_k_range.rs:

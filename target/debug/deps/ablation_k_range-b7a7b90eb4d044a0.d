@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_k_range-b7a7b90eb4d044a0.d: crates/bench/src/bin/ablation_k_range.rs
+
+/root/repo/target/debug/deps/ablation_k_range-b7a7b90eb4d044a0: crates/bench/src/bin/ablation_k_range.rs
+
+crates/bench/src/bin/ablation_k_range.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_loss_prune-174423616653af35.d: crates/bench/src/bin/ablation_loss_prune.rs
+
+/root/repo/target/debug/deps/ablation_loss_prune-174423616653af35: crates/bench/src/bin/ablation_loss_prune.rs
+
+crates/bench/src/bin/ablation_loss_prune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_loss_prune-1e52649937633679.d: crates/bench/src/bin/ablation_loss_prune.rs
+
+/root/repo/target/debug/deps/ablation_loss_prune-1e52649937633679: crates/bench/src/bin/ablation_loss_prune.rs
+
+crates/bench/src/bin/ablation_loss_prune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_loss_prune-51f80d20fd702e7c.d: crates/bench/src/bin/ablation_loss_prune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_loss_prune-51f80d20fd702e7c.rmeta: crates/bench/src/bin/ablation_loss_prune.rs Cargo.toml
+
+crates/bench/src/bin/ablation_loss_prune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

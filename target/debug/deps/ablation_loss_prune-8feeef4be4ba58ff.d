@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/ablation_loss_prune-8feeef4be4ba58ff.d: crates/bench/src/bin/ablation_loss_prune.rs
+
+/tmp/check/target/debug/deps/ablation_loss_prune-8feeef4be4ba58ff: crates/bench/src/bin/ablation_loss_prune.rs
+
+crates/bench/src/bin/ablation_loss_prune.rs:

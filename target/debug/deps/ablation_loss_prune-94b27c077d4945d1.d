@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/ablation_loss_prune-94b27c077d4945d1.d: crates/bench/src/bin/ablation_loss_prune.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libablation_loss_prune-94b27c077d4945d1.rmeta: crates/bench/src/bin/ablation_loss_prune.rs Cargo.toml
+
+crates/bench/src/bin/ablation_loss_prune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyzer-342a5589a801f4e0.d: crates/analyze/tests/analyzer.rs crates/analyze/tests/golden/kitchen_sink.json
+
+/root/repo/target/debug/deps/analyzer-342a5589a801f4e0: crates/analyze/tests/analyzer.rs crates/analyze/tests/golden/kitchen_sink.json
+
+crates/analyze/tests/analyzer.rs:
+crates/analyze/tests/golden/kitchen_sink.json:
+
+# env-dep:CARGO_BIN_EXE_predtop-lint=/root/repo/target/debug/predtop-lint
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analyze

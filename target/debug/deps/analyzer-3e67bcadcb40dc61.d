@@ -1,0 +1,12 @@
+/tmp/check/target/debug/deps/analyzer-3e67bcadcb40dc61.d: crates/analyze/tests/analyzer.rs crates/analyze/tests/golden/kitchen_sink.json Cargo.toml
+
+/tmp/check/target/debug/deps/libanalyzer-3e67bcadcb40dc61.rmeta: crates/analyze/tests/analyzer.rs crates/analyze/tests/golden/kitchen_sink.json Cargo.toml
+
+crates/analyze/tests/analyzer.rs:
+crates/analyze/tests/golden/kitchen_sink.json:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_predtop-lint=placeholder:predtop-lint
+# env-dep:CARGO_MANIFEST_DIR=/tmp/check/crates/analyze
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/baseline_analytic-2571af79ec436037.d: crates/bench/src/bin/baseline_analytic.rs
+
+/tmp/check/target/debug/deps/baseline_analytic-2571af79ec436037: crates/bench/src/bin/baseline_analytic.rs
+
+crates/bench/src/bin/baseline_analytic.rs:

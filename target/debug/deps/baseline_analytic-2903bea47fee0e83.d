@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/baseline_analytic-2903bea47fee0e83.d: crates/bench/src/bin/baseline_analytic.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libbaseline_analytic-2903bea47fee0e83.rmeta: crates/bench/src/bin/baseline_analytic.rs Cargo.toml
+
+crates/bench/src/bin/baseline_analytic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

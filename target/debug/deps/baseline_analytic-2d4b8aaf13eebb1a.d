@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_analytic-2d4b8aaf13eebb1a.d: crates/bench/src/bin/baseline_analytic.rs
+
+/root/repo/target/debug/deps/baseline_analytic-2d4b8aaf13eebb1a: crates/bench/src/bin/baseline_analytic.rs
+
+crates/bench/src/bin/baseline_analytic.rs:

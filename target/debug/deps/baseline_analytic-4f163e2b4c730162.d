@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_analytic-4f163e2b4c730162.d: crates/bench/src/bin/baseline_analytic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_analytic-4f163e2b4c730162.rmeta: crates/bench/src/bin/baseline_analytic.rs Cargo.toml
+
+crates/bench/src/bin/baseline_analytic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

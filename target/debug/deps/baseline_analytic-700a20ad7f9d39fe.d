@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_analytic-700a20ad7f9d39fe.d: crates/bench/src/bin/baseline_analytic.rs
+
+/root/repo/target/debug/deps/baseline_analytic-700a20ad7f9d39fe: crates/bench/src/bin/baseline_analytic.rs
+
+crates/bench/src/bin/baseline_analytic.rs:

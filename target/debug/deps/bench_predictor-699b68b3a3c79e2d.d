@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_predictor-699b68b3a3c79e2d.d: crates/bench/src/bin/bench_predictor.rs
+
+/root/repo/target/debug/deps/bench_predictor-699b68b3a3c79e2d: crates/bench/src/bin/bench_predictor.rs
+
+crates/bench/src/bin/bench_predictor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_predictor-7f7412cba2066087.d: crates/bench/src/bin/bench_predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_predictor-7f7412cba2066087.rmeta: crates/bench/src/bin/bench_predictor.rs Cargo.toml
+
+crates/bench/src/bin/bench_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

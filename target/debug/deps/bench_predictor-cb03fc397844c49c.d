@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_predictor-cb03fc397844c49c.d: crates/bench/src/bin/bench_predictor.rs
+
+/root/repo/target/debug/deps/bench_predictor-cb03fc397844c49c: crates/bench/src/bin/bench_predictor.rs
+
+crates/bench/src/bin/bench_predictor.rs:

@@ -1,0 +1,10 @@
+/tmp/check/target/debug/deps/cli-7624cbed2d2642f4.d: tests/cli.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libcli-7624cbed2d2642f4.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_predtop=placeholder:predtop
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-981d58c81098fd6b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-981d58c81098fd6b: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_predtop=/root/repo/target/debug/predtop

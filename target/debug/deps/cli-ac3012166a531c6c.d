@@ -1,0 +1,7 @@
+/tmp/check/target/debug/deps/cli-ac3012166a531c6c.d: tests/cli.rs
+
+/tmp/check/target/debug/deps/cli-ac3012166a531c6c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_predtop=/tmp/check/target/debug/predtop

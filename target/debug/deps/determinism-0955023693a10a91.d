@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0955023693a10a91.d: crates/gnn/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0955023693a10a91: crates/gnn/tests/determinism.rs
+
+crates/gnn/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/determinism-12655ee908fb65f2.d: tests/determinism.rs
+
+/tmp/check/target/debug/deps/determinism-12655ee908fb65f2: tests/determinism.rs
+
+tests/determinism.rs:

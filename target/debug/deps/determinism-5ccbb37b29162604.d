@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5ccbb37b29162604.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5ccbb37b29162604: tests/determinism.rs
+
+tests/determinism.rs:

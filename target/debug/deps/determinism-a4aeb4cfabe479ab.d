@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/determinism-a4aeb4cfabe479ab.d: tests/determinism.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libdeterminism-a4aeb4cfabe479ab.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/end_to_end-89a37d3e3fe19194.d: tests/end_to_end.rs
+
+/tmp/check/target/debug/deps/end_to_end-89a37d3e3fe19194: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a083efac7c9f25eb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a083efac7c9f25eb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

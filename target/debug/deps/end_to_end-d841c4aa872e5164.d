@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/end_to_end-d841c4aa872e5164.d: tests/end_to_end.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libend_to_end-d841c4aa872e5164.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

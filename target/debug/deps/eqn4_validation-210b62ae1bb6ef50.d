@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eqn4_validation-210b62ae1bb6ef50.d: crates/bench/src/bin/eqn4_validation.rs
+
+/root/repo/target/debug/deps/eqn4_validation-210b62ae1bb6ef50: crates/bench/src/bin/eqn4_validation.rs
+
+crates/bench/src/bin/eqn4_validation.rs:

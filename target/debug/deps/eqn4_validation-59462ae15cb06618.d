@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eqn4_validation-59462ae15cb06618.d: crates/bench/src/bin/eqn4_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeqn4_validation-59462ae15cb06618.rmeta: crates/bench/src/bin/eqn4_validation.rs Cargo.toml
+
+crates/bench/src/bin/eqn4_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/eqn4_validation-7310b0db4c3057ff.d: crates/bench/src/bin/eqn4_validation.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libeqn4_validation-7310b0db4c3057ff.rmeta: crates/bench/src/bin/eqn4_validation.rs Cargo.toml
+
+crates/bench/src/bin/eqn4_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

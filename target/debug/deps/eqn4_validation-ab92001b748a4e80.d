@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/eqn4_validation-ab92001b748a4e80.d: crates/bench/src/bin/eqn4_validation.rs
+
+/tmp/check/target/debug/deps/eqn4_validation-ab92001b748a4e80: crates/bench/src/bin/eqn4_validation.rs
+
+crates/bench/src/bin/eqn4_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eqn4_validation-ed18e9c94a766a8e.d: crates/bench/src/bin/eqn4_validation.rs
+
+/root/repo/target/debug/deps/eqn4_validation-ed18e9c94a766a8e: crates/bench/src/bin/eqn4_validation.rs
+
+crates/bench/src/bin/eqn4_validation.rs:

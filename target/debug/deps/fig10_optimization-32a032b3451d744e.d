@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig10_optimization-32a032b3451d744e.d: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig10_optimization-32a032b3451d744e.rmeta: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+crates/bench/src/bin/fig10_optimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_optimization-3b787ae74018496b.d: crates/bench/src/bin/fig10_optimization.rs
+
+/root/repo/target/debug/deps/fig10_optimization-3b787ae74018496b: crates/bench/src/bin/fig10_optimization.rs
+
+crates/bench/src/bin/fig10_optimization.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig10_optimization-3f1011b2547b36d1.d: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig10_optimization-3f1011b2547b36d1.rmeta: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+crates/bench/src/bin/fig10_optimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_optimization-4620075653d5ada7.d: crates/bench/src/bin/fig10_optimization.rs
+
+/root/repo/target/debug/deps/fig10_optimization-4620075653d5ada7: crates/bench/src/bin/fig10_optimization.rs
+
+crates/bench/src/bin/fig10_optimization.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/fig10_optimization-cddf35a81f45e23f.d: crates/bench/src/bin/fig10_optimization.rs
+
+/tmp/check/target/debug/deps/fig10_optimization-cddf35a81f45e23f: crates/bench/src/bin/fig10_optimization.rs
+
+crates/bench/src/bin/fig10_optimization.rs:

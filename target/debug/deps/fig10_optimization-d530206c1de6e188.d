@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_optimization-d530206c1de6e188.d: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_optimization-d530206c1de6e188.rmeta: crates/bench/src/bin/fig10_optimization.rs Cargo.toml
+
+crates/bench/src/bin/fig10_optimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

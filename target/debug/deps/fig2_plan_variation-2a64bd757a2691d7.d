@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/fig2_plan_variation-2a64bd757a2691d7.d: crates/bench/src/bin/fig2_plan_variation.rs
+
+/tmp/check/target/debug/deps/fig2_plan_variation-2a64bd757a2691d7: crates/bench/src/bin/fig2_plan_variation.rs
+
+crates/bench/src/bin/fig2_plan_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_plan_variation-2c6cc07c23bcdb5d.d: crates/bench/src/bin/fig2_plan_variation.rs
+
+/root/repo/target/debug/deps/fig2_plan_variation-2c6cc07c23bcdb5d: crates/bench/src/bin/fig2_plan_variation.rs
+
+crates/bench/src/bin/fig2_plan_variation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_plan_variation-555de6d5fa9a92d2.d: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_plan_variation-555de6d5fa9a92d2.rmeta: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_plan_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

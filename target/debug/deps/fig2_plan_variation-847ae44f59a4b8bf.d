@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig2_plan_variation-847ae44f59a4b8bf.d: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig2_plan_variation-847ae44f59a4b8bf.rmeta: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_plan_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_plan_variation-89d60280b69f7f70.d: crates/bench/src/bin/fig2_plan_variation.rs
+
+/root/repo/target/debug/deps/fig2_plan_variation-89d60280b69f7f70: crates/bench/src/bin/fig2_plan_variation.rs
+
+crates/bench/src/bin/fig2_plan_variation.rs:

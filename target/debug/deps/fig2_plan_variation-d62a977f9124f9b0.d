@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig2_plan_variation-d62a977f9124f9b0.d: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig2_plan_variation-d62a977f9124f9b0.rmeta: crates/bench/src/bin/fig2_plan_variation.rs Cargo.toml
+
+crates/bench/src/bin/fig2_plan_variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_gcn_vs_tran-0236e7f74058b5f5.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+/root/repo/target/debug/deps/fig3_gcn_vs_tran-0236e7f74058b5f5: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_gcn_vs_tran-2173d07eb84c4675.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+/root/repo/target/debug/deps/fig3_gcn_vs_tran-2173d07eb84c4675: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_gcn_vs_tran-353192a4ba8b9680.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_gcn_vs_tran-353192a4ba8b9680.rmeta: crates/bench/src/bin/fig3_gcn_vs_tran.rs Cargo.toml
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/fig3_gcn_vs_tran-4586f88bf37db36e.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+/tmp/check/target/debug/deps/fig3_gcn_vs_tran-4586f88bf37db36e: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:

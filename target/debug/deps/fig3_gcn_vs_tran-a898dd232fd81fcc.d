@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig3_gcn_vs_tran-a898dd232fd81fcc.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig3_gcn_vs_tran-a898dd232fd81fcc.rmeta: crates/bench/src/bin/fig3_gcn_vs_tran.rs Cargo.toml
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

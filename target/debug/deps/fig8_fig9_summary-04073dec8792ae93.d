@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_fig9_summary-04073dec8792ae93.d: crates/bench/src/bin/fig8_fig9_summary.rs
+
+/root/repo/target/debug/deps/fig8_fig9_summary-04073dec8792ae93: crates/bench/src/bin/fig8_fig9_summary.rs
+
+crates/bench/src/bin/fig8_fig9_summary.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig8_fig9_summary-39205b86b9d00883.d: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig8_fig9_summary-39205b86b9d00883.rmeta: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+crates/bench/src/bin/fig8_fig9_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_fig9_summary-767bb698ad2a9c02.d: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_fig9_summary-767bb698ad2a9c02.rmeta: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+crates/bench/src/bin/fig8_fig9_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

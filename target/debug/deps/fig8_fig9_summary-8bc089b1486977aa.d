@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_fig9_summary-8bc089b1486977aa.d: crates/bench/src/bin/fig8_fig9_summary.rs
+
+/root/repo/target/debug/deps/fig8_fig9_summary-8bc089b1486977aa: crates/bench/src/bin/fig8_fig9_summary.rs
+
+crates/bench/src/bin/fig8_fig9_summary.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/fig8_fig9_summary-c771ba8704c50b9f.d: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libfig8_fig9_summary-c771ba8704c50b9f.rmeta: crates/bench/src/bin/fig8_fig9_summary.rs Cargo.toml
+
+crates/bench/src/bin/fig8_fig9_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

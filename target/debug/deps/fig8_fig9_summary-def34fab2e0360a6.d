@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/fig8_fig9_summary-def34fab2e0360a6.d: crates/bench/src/bin/fig8_fig9_summary.rs
+
+/tmp/check/target/debug/deps/fig8_fig9_summary-def34fab2e0360a6: crates/bench/src/bin/fig8_fig9_summary.rs
+
+crates/bench/src/bin/fig8_fig9_summary.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/microbench-34af51f401aeba2c.d: crates/bench/benches/microbench.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libmicrobench-34af51f401aeba2c.rmeta: crates/bench/benches/microbench.rs Cargo.toml
+
+crates/bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

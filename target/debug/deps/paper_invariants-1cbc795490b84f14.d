@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-1cbc795490b84f14.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-1cbc795490b84f14: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

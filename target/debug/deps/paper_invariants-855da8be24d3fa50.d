@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/paper_invariants-855da8be24d3fa50.d: tests/paper_invariants.rs
+
+/tmp/check/target/debug/deps/paper_invariants-855da8be24d3fa50: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/paper_invariants-9f98a815aee8f486.d: tests/paper_invariants.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpaper_invariants-9f98a815aee8f486.rmeta: tests/paper_invariants.rs Cargo.toml
+
+tests/paper_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/parking_lot-aba17ac80103edf8.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/check/target/debug/deps/libparking_lot-aba17ac80103edf8.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

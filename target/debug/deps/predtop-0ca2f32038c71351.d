@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/predtop-0ca2f32038c71351.d: src/main.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop-0ca2f32038c71351.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

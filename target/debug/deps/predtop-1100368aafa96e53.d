@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/predtop-1100368aafa96e53.d: src/main.rs
+
+/tmp/check/target/debug/deps/predtop-1100368aafa96e53: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predtop-241c096c413101cd.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredtop-241c096c413101cd.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

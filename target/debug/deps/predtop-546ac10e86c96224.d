@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predtop-546ac10e86c96224.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpredtop-546ac10e86c96224.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpredtop-546ac10e86c96224.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predtop-68c3b960a8a1e724.d: src/main.rs
+
+/root/repo/target/debug/deps/predtop-68c3b960a8a1e724: src/main.rs
+
+src/main.rs:

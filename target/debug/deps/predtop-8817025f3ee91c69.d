@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/predtop-8817025f3ee91c69.d: src/lib.rs
+
+/tmp/check/target/debug/deps/predtop-8817025f3ee91c69: src/lib.rs
+
+src/lib.rs:

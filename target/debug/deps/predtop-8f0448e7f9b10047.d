@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/predtop-8f0448e7f9b10047.d: src/lib.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop-8f0448e7f9b10047.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/tmp/check/target/debug/deps/predtop-9db09b247116b9f6.d: src/lib.rs
+
+/tmp/check/target/debug/deps/libpredtop-9db09b247116b9f6.rlib: src/lib.rs
+
+/tmp/check/target/debug/deps/libpredtop-9db09b247116b9f6.rmeta: src/lib.rs
+
+src/lib.rs:

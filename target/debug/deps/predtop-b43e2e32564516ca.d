@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/predtop-b43e2e32564516ca.d: src/main.rs
+
+/tmp/check/target/debug/deps/predtop-b43e2e32564516ca: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predtop-d11d09f9db9eb892.d: src/lib.rs
+
+/root/repo/target/debug/deps/predtop-d11d09f9db9eb892: src/lib.rs
+
+src/lib.rs:

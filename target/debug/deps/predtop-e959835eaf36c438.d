@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predtop-e959835eaf36c438.d: src/main.rs
+
+/root/repo/target/debug/deps/predtop-e959835eaf36c438: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,16 @@
+/tmp/check/target/debug/deps/predtop_analyze-3b3ca42de50d25cd.d: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_analyze-3b3ca42de50d25cd.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs Cargo.toml
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/graph_passes.rs:
+crates/analyze/src/legality.rs:
+crates/analyze/src/pass.rs:
+crates/analyze/src/plan_passes.rs:
+crates/analyze/src/registry.rs:
+crates/analyze/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/tmp/check/target/debug/deps/predtop_analyze-cf5b106e6619b120.d: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/tmp/check/target/debug/deps/libpredtop_analyze-cf5b106e6619b120.rlib: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/tmp/check/target/debug/deps/libpredtop_analyze-cf5b106e6619b120.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/graph_passes.rs:
+crates/analyze/src/legality.rs:
+crates/analyze/src/pass.rs:
+crates/analyze/src/plan_passes.rs:
+crates/analyze/src/registry.rs:
+crates/analyze/src/render.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/predtop_analyze-e5a2209e1e57d131.d: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/root/repo/target/debug/deps/predtop_analyze-e5a2209e1e57d131: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/graph_passes.rs:
+crates/analyze/src/legality.rs:
+crates/analyze/src/pass.rs:
+crates/analyze/src/plan_passes.rs:
+crates/analyze/src/registry.rs:
+crates/analyze/src/render.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/predtop_bench-1bc5b867d48a1a23.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpredtop_bench-1bc5b867d48a1a23.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libpredtop_bench-1bc5b867d48a1a23.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/jsonout.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

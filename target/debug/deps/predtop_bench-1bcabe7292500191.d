@@ -1,0 +1,13 @@
+/tmp/check/target/debug/deps/predtop_bench-1bcabe7292500191.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_bench-1bcabe7292500191.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/tmp/check/target/debug/deps/predtop_bench-47acc5f676ad087d.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/tmp/check/target/debug/deps/libpredtop_bench-47acc5f676ad087d.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/tmp/check/target/debug/deps/libpredtop_bench-47acc5f676ad087d.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

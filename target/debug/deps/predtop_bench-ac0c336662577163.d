@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/predtop_bench-ac0c336662577163.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/tmp/check/target/debug/deps/predtop_bench-ac0c336662577163: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/predtop_bench-c1cd837589ef6572.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredtop_bench-c1cd837589ef6572.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/jsonout.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

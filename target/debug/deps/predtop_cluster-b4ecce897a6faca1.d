@@ -1,0 +1,13 @@
+/tmp/check/target/debug/deps/predtop_cluster-b4ecce897a6faca1.d: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_cluster-b4ecce897a6faca1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/mesh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predtop_cluster-b5c1f6a8ba3ceaec.d: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/root/repo/target/debug/deps/predtop_cluster-b5c1f6a8ba3ceaec: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/mesh.rs:

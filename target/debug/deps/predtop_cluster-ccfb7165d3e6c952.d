@@ -1,0 +1,11 @@
+/tmp/check/target/debug/deps/predtop_cluster-ccfb7165d3e6c952.d: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/tmp/check/target/debug/deps/libpredtop_cluster-ccfb7165d3e6c952.rlib: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/tmp/check/target/debug/deps/libpredtop_cluster-ccfb7165d3e6c952.rmeta: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/mesh.rs:

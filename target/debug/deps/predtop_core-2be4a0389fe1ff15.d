@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/predtop_core-2be4a0389fe1ff15.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+/root/repo/target/debug/deps/predtop_core-2be4a0389fe1ff15: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/graybox.rs:
+crates/core/src/persist.rs:
+crates/core/src/predictor.rs:
+crates/core/src/search.rs:

@@ -1,0 +1,14 @@
+/tmp/check/target/debug/deps/predtop_core-3dbd97992763d930.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_core-3dbd97992763d930.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/graybox.rs:
+crates/core/src/persist.rs:
+crates/core/src/predictor.rs:
+crates/core/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/tmp/check/target/debug/deps/predtop_core-4147844769da8815.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+/tmp/check/target/debug/deps/libpredtop_core-4147844769da8815.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+/tmp/check/target/debug/deps/libpredtop_core-4147844769da8815.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/graybox.rs:
+crates/core/src/persist.rs:
+crates/core/src/predictor.rs:
+crates/core/src/search.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/predtop_core-b94ea44d0a7702ee.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredtop_core-b94ea44d0a7702ee.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/graybox.rs:
+crates/core/src/persist.rs:
+crates/core/src/predictor.rs:
+crates/core/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

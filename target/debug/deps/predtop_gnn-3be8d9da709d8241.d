@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/predtop_gnn-3be8d9da709d8241.d: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/libpredtop_gnn-3be8d9da709d8241.rlib: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/libpredtop_gnn-3be8d9da709d8241.rmeta: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/dag_transformer.rs:
+crates/gnn/src/dataset.rs:
+crates/gnn/src/ensemble.rs:
+crates/gnn/src/gat.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/train.rs:

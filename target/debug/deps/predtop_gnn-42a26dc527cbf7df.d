@@ -1,0 +1,17 @@
+/tmp/check/target/debug/deps/predtop_gnn-42a26dc527cbf7df.d: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_gnn-42a26dc527cbf7df.rmeta: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs Cargo.toml
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/dag_transformer.rs:
+crates/gnn/src/dataset.rs:
+crates/gnn/src/ensemble.rs:
+crates/gnn/src/gat.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

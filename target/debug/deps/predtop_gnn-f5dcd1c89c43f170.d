@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/predtop_gnn-f5dcd1c89c43f170.d: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/root/repo/target/debug/deps/predtop_gnn-f5dcd1c89c43f170: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/dag_transformer.rs:
+crates/gnn/src/dataset.rs:
+crates/gnn/src/ensemble.rs:
+crates/gnn/src/gat.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/train.rs:

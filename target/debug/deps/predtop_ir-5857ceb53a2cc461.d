@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/predtop_ir-5857ceb53a2cc461.d: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/predtop_ir-5857ceb53a2cc461: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/error.rs:
+crates/ir/src/features.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/op.rs:
+crates/ir/src/prune.rs:
+crates/ir/src/reach.rs:
+crates/ir/src/shape.rs:
+crates/ir/src/verify.rs:

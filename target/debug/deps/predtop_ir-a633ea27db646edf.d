@@ -1,0 +1,19 @@
+/tmp/check/target/debug/deps/predtop_ir-a633ea27db646edf.d: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_ir-a633ea27db646edf.rmeta: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/error.rs:
+crates/ir/src/features.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/op.rs:
+crates/ir/src/prune.rs:
+crates/ir/src/reach.rs:
+crates/ir/src/shape.rs:
+crates/ir/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

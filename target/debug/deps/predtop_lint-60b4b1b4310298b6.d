@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/predtop_lint-60b4b1b4310298b6.d: crates/analyze/src/bin/predtop_lint.rs
+
+/tmp/check/target/debug/deps/predtop_lint-60b4b1b4310298b6: crates/analyze/src/bin/predtop_lint.rs
+
+crates/analyze/src/bin/predtop_lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predtop_lint-67fa9c015078c84e.d: crates/analyze/src/bin/predtop_lint.rs
+
+/root/repo/target/debug/deps/predtop_lint-67fa9c015078c84e: crates/analyze/src/bin/predtop_lint.rs
+
+crates/analyze/src/bin/predtop_lint.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/predtop_lint-c306f7a2b4f0ed08.d: crates/analyze/src/bin/predtop_lint.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_lint-c306f7a2b4f0ed08.rmeta: crates/analyze/src/bin/predtop_lint.rs Cargo.toml
+
+crates/analyze/src/bin/predtop_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

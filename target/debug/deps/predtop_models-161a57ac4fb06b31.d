@@ -1,0 +1,10 @@
+/tmp/check/target/debug/deps/predtop_models-161a57ac4fb06b31.d: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/tmp/check/target/debug/deps/libpredtop_models-161a57ac4fb06b31.rlib: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/tmp/check/target/debug/deps/libpredtop_models-161a57ac4fb06b31.rmeta: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+crates/models/src/lib.rs:
+crates/models/src/layers.rs:
+crates/models/src/spec.rs:
+crates/models/src/stage.rs:

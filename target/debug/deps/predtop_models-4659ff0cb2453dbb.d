@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/predtop_models-4659ff0cb2453dbb.d: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/root/repo/target/debug/deps/predtop_models-4659ff0cb2453dbb: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+crates/models/src/lib.rs:
+crates/models/src/layers.rs:
+crates/models/src/spec.rs:
+crates/models/src/stage.rs:

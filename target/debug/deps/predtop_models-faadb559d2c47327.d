@@ -1,0 +1,12 @@
+/tmp/check/target/debug/deps/predtop_models-faadb559d2c47327.d: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_models-faadb559d2c47327.rmeta: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/layers.rs:
+crates/models/src/spec.rs:
+crates/models/src/stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

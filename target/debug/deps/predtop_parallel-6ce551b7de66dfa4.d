@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/predtop_parallel-6ce551b7de66dfa4.d: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/root/repo/target/debug/deps/predtop_parallel-6ce551b7de66dfa4: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/cache.rs:
+crates/parallel/src/config.rs:
+crates/parallel/src/interstage.rs:
+crates/parallel/src/intra.rs:
+crates/parallel/src/plan.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/sharding.rs:

@@ -1,0 +1,16 @@
+/tmp/check/target/debug/deps/predtop_parallel-73c401e5656cb204.d: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_parallel-73c401e5656cb204.rmeta: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/cache.rs:
+crates/parallel/src/config.rs:
+crates/parallel/src/interstage.rs:
+crates/parallel/src/intra.rs:
+crates/parallel/src/plan.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/sharding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

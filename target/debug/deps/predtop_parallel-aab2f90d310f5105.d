@@ -1,0 +1,14 @@
+/tmp/check/target/debug/deps/predtop_parallel-aab2f90d310f5105.d: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/tmp/check/target/debug/deps/libpredtop_parallel-aab2f90d310f5105.rlib: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/tmp/check/target/debug/deps/libpredtop_parallel-aab2f90d310f5105.rmeta: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/cache.rs:
+crates/parallel/src/config.rs:
+crates/parallel/src/interstage.rs:
+crates/parallel/src/intra.rs:
+crates/parallel/src/plan.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/sharding.rs:

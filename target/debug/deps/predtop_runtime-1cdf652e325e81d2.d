@@ -1,0 +1,8 @@
+/tmp/check/target/debug/deps/predtop_runtime-1cdf652e325e81d2.d: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/tmp/check/target/debug/deps/libpredtop_runtime-1cdf652e325e81d2.rlib: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/tmp/check/target/debug/deps/libpredtop_runtime-1cdf652e325e81d2.rmeta: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/exec.rs:

@@ -1,0 +1,10 @@
+/tmp/check/target/debug/deps/predtop_runtime-53486b4d14887a41.d: crates/runtime/src/lib.rs crates/runtime/src/exec.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_runtime-53486b4d14887a41.rmeta: crates/runtime/src/lib.rs crates/runtime/src/exec.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/tmp/check/target/debug/deps/predtop_runtime-6ab9840fb92ee720.d: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/tmp/check/target/debug/deps/predtop_runtime-6ab9840fb92ee720: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/exec.rs:

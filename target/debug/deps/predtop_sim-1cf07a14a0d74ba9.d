@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/predtop_sim-1cf07a14a0d74ba9.d: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/predtop_sim-1cf07a14a0d74ba9: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costing.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/opcost.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/trace.rs:

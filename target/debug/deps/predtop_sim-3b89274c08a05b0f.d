@@ -1,0 +1,13 @@
+/tmp/check/target/debug/deps/predtop_sim-3b89274c08a05b0f.d: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/tmp/check/target/debug/deps/libpredtop_sim-3b89274c08a05b0f.rlib: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/tmp/check/target/debug/deps/libpredtop_sim-3b89274c08a05b0f.rmeta: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costing.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/opcost.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,15 @@
+/tmp/check/target/debug/deps/predtop_sim-7d3389a485bb8205.d: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_sim-7d3389a485bb8205.rmeta: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/costing.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/opcost.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/tmp/check/target/debug/deps/predtop_tensor-0bd8ca5ad546425a.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libpredtop_tensor-0bd8ca5ad546425a.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

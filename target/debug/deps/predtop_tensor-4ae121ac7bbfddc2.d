@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/predtop_tensor-4ae121ac7bbfddc2.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/predtop_tensor-4ae121ac7bbfddc2: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,11 @@
+/tmp/check/target/debug/deps/predtop_tensor-6f82672e636832c4.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/tmp/check/target/debug/deps/predtop_tensor-6f82672e636832c4: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

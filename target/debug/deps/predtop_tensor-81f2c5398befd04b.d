@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/predtop_tensor-81f2c5398befd04b.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libpredtop_tensor-81f2c5398befd04b.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/libpredtop_tensor-81f2c5398befd04b.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

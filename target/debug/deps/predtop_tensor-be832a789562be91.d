@@ -1,0 +1,13 @@
+/tmp/check/target/debug/deps/predtop_tensor-be832a789562be91.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/tmp/check/target/debug/deps/libpredtop_tensor-be832a789562be91.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/tmp/check/target/debug/deps/libpredtop_tensor-be832a789562be91.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/predtop_tensor-c716f1f03ff764df.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredtop_tensor-c716f1f03ff764df.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/proptest-ad126dd73efa8aa4.d: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/check/target/debug/deps/libproptest-ad126dd73efa8aa4.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

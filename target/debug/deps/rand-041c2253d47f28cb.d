@@ -1,0 +1,7 @@
+/tmp/check/target/debug/deps/rand-041c2253d47f28cb.d: /tmp/stubs/rand/src/lib.rs
+
+/tmp/check/target/debug/deps/librand-041c2253d47f28cb.rlib: /tmp/stubs/rand/src/lib.rs
+
+/tmp/check/target/debug/deps/librand-041c2253d47f28cb.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

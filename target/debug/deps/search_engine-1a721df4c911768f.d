@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/search_engine-1a721df4c911768f.d: tests/search_engine.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libsearch_engine-1a721df4c911768f.rmeta: tests/search_engine.rs Cargo.toml
+
+tests/search_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/search_engine-1e9a315a730f9dc5.d: tests/search_engine.rs
+
+/tmp/check/target/debug/deps/search_engine-1e9a315a730f9dc5: tests/search_engine.rs
+
+tests/search_engine.rs:

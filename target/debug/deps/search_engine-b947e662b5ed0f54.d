@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_engine-b947e662b5ed0f54.d: tests/search_engine.rs
+
+/root/repo/target/debug/deps/search_engine-b947e662b5ed0f54: tests/search_engine.rs
+
+tests/search_engine.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/search_scaling-0b6241b3a4bdc37e.d: crates/bench/src/bin/search_scaling.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libsearch_scaling-0b6241b3a4bdc37e.rmeta: crates/bench/src/bin/search_scaling.rs Cargo.toml
+
+crates/bench/src/bin/search_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-1cf8b97c08066a8b.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-1cf8b97c08066a8b: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

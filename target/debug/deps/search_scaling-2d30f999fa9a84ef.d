@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-2d30f999fa9a84ef.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-2d30f999fa9a84ef: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

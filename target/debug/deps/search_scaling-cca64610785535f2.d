@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/search_scaling-cca64610785535f2.d: crates/bench/src/bin/search_scaling.rs
+
+/tmp/check/target/debug/deps/search_scaling-cca64610785535f2: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_scaling-f5234980f81457e0.d: crates/bench/src/bin/search_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_scaling-f5234980f81457e0.rmeta: crates/bench/src/bin/search_scaling.rs Cargo.toml
+
+crates/bench/src/bin/search_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

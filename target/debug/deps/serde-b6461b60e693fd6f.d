@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/serde-b6461b60e693fd6f.d: /tmp/stubs/serde/src/lib.rs
+
+/tmp/check/target/debug/deps/libserde-b6461b60e693fd6f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

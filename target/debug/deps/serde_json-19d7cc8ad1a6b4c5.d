@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/serde_json-19d7cc8ad1a6b4c5.d: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/check/target/debug/deps/libserde_json-19d7cc8ad1a6b4c5.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/table5_mre_platform1-07e924333391b3d2.d: crates/bench/src/bin/table5_mre_platform1.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libtable5_mre_platform1-07e924333391b3d2.rmeta: crates/bench/src/bin/table5_mre_platform1.rs Cargo.toml
+
+crates/bench/src/bin/table5_mre_platform1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_mre_platform1-1315ad40edc96094.d: crates/bench/src/bin/table5_mre_platform1.rs
+
+/root/repo/target/debug/deps/table5_mre_platform1-1315ad40edc96094: crates/bench/src/bin/table5_mre_platform1.rs
+
+crates/bench/src/bin/table5_mre_platform1.rs:

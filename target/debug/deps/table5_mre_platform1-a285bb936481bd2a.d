@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_mre_platform1-a285bb936481bd2a.d: crates/bench/src/bin/table5_mre_platform1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_mre_platform1-a285bb936481bd2a.rmeta: crates/bench/src/bin/table5_mre_platform1.rs Cargo.toml
+
+crates/bench/src/bin/table5_mre_platform1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

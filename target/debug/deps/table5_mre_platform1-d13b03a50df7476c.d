@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/table5_mre_platform1-d13b03a50df7476c.d: crates/bench/src/bin/table5_mre_platform1.rs
+
+/tmp/check/target/debug/deps/table5_mre_platform1-d13b03a50df7476c: crates/bench/src/bin/table5_mre_platform1.rs
+
+crates/bench/src/bin/table5_mre_platform1.rs:

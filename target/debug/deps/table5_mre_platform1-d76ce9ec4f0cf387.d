@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_mre_platform1-d76ce9ec4f0cf387.d: crates/bench/src/bin/table5_mre_platform1.rs
+
+/root/repo/target/debug/deps/table5_mre_platform1-d76ce9ec4f0cf387: crates/bench/src/bin/table5_mre_platform1.rs
+
+crates/bench/src/bin/table5_mre_platform1.rs:

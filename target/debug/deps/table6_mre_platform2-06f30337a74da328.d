@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_mre_platform2-06f30337a74da328.d: crates/bench/src/bin/table6_mre_platform2.rs
+
+/root/repo/target/debug/deps/table6_mre_platform2-06f30337a74da328: crates/bench/src/bin/table6_mre_platform2.rs
+
+crates/bench/src/bin/table6_mre_platform2.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/table6_mre_platform2-24d756da9d401d21.d: crates/bench/src/bin/table6_mre_platform2.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libtable6_mre_platform2-24d756da9d401d21.rmeta: crates/bench/src/bin/table6_mre_platform2.rs Cargo.toml
+
+crates/bench/src/bin/table6_mre_platform2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_mre_platform2-91b175c22861fb31.d: crates/bench/src/bin/table6_mre_platform2.rs
+
+/root/repo/target/debug/deps/table6_mre_platform2-91b175c22861fb31: crates/bench/src/bin/table6_mre_platform2.rs
+
+crates/bench/src/bin/table6_mre_platform2.rs:

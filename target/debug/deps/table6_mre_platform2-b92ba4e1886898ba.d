@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_mre_platform2-b92ba4e1886898ba.d: crates/bench/src/bin/table6_mre_platform2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_mre_platform2-b92ba4e1886898ba.rmeta: crates/bench/src/bin/table6_mre_platform2.rs Cargo.toml
+
+crates/bench/src/bin/table6_mre_platform2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

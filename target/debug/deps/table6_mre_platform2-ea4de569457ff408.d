@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/table6_mre_platform2-ea4de569457ff408.d: crates/bench/src/bin/table6_mre_platform2.rs
+
+/tmp/check/target/debug/deps/table6_mre_platform2-ea4de569457ff408: crates/bench/src/bin/table6_mre_platform2.rs
+
+crates/bench/src/bin/table6_mre_platform2.rs:

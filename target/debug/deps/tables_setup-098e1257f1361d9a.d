@@ -1,0 +1,5 @@
+/tmp/check/target/debug/deps/tables_setup-098e1257f1361d9a.d: crates/bench/src/bin/tables_setup.rs
+
+/tmp/check/target/debug/deps/tables_setup-098e1257f1361d9a: crates/bench/src/bin/tables_setup.rs
+
+crates/bench/src/bin/tables_setup.rs:

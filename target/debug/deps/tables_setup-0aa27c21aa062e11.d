@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_setup-0aa27c21aa062e11.d: crates/bench/src/bin/tables_setup.rs
+
+/root/repo/target/debug/deps/tables_setup-0aa27c21aa062e11: crates/bench/src/bin/tables_setup.rs
+
+crates/bench/src/bin/tables_setup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables_setup-43b1f7b958f36ef2.d: crates/bench/src/bin/tables_setup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables_setup-43b1f7b958f36ef2.rmeta: crates/bench/src/bin/tables_setup.rs Cargo.toml
+
+crates/bench/src/bin/tables_setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/deps/tables_setup-a13b3d67c1a4e269.d: crates/bench/src/bin/tables_setup.rs Cargo.toml
+
+/tmp/check/target/debug/deps/libtables_setup-a13b3d67c1a4e269.rmeta: crates/bench/src/bin/tables_setup.rs Cargo.toml
+
+crates/bench/src/bin/tables_setup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_setup-b351bc9ef1ac4aac.d: crates/bench/src/bin/tables_setup.rs
+
+/root/repo/target/debug/deps/tables_setup-b351bc9ef1ac4aac: crates/bench/src/bin/tables_setup.rs
+
+crates/bench/src/bin/tables_setup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_pruning-57fe0e2c73b0dfc9.d: examples/graph_pruning.rs
+
+/root/repo/target/debug/examples/graph_pruning-57fe0e2c73b0dfc9: examples/graph_pruning.rs
+
+examples/graph_pruning.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/examples/graph_pruning-6f84b6a97a115ca8.d: examples/graph_pruning.rs
+
+/tmp/check/target/debug/examples/graph_pruning-6f84b6a97a115ca8: examples/graph_pruning.rs
+
+examples/graph_pruning.rs:

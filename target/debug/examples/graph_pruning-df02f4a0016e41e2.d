@@ -1,0 +1,9 @@
+/tmp/check/target/debug/examples/graph_pruning-df02f4a0016e41e2.d: examples/graph_pruning.rs Cargo.toml
+
+/tmp/check/target/debug/examples/libgraph_pruning-df02f4a0016e41e2.rmeta: examples/graph_pruning.rs Cargo.toml
+
+examples/graph_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_schedule-1cebd422fc669520.d: examples/pipeline_schedule.rs
+
+/root/repo/target/debug/examples/pipeline_schedule-1cebd422fc669520: examples/pipeline_schedule.rs
+
+examples/pipeline_schedule.rs:

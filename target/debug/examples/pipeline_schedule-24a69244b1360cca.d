@@ -1,0 +1,9 @@
+/tmp/check/target/debug/examples/pipeline_schedule-24a69244b1360cca.d: examples/pipeline_schedule.rs Cargo.toml
+
+/tmp/check/target/debug/examples/libpipeline_schedule-24a69244b1360cca.rmeta: examples/pipeline_schedule.rs Cargo.toml
+
+examples/pipeline_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

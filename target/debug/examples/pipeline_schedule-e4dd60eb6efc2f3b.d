@@ -1,0 +1,5 @@
+/tmp/check/target/debug/examples/pipeline_schedule-e4dd60eb6efc2f3b.d: examples/pipeline_schedule.rs
+
+/tmp/check/target/debug/examples/pipeline_schedule-e4dd60eb6efc2f3b: examples/pipeline_schedule.rs
+
+examples/pipeline_schedule.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/debug/examples/plan_search-30fdf425f0ae2012.d: examples/plan_search.rs
+
+/tmp/check/target/debug/examples/plan_search-30fdf425f0ae2012: examples/plan_search.rs
+
+examples/plan_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_search-63f65b7940b6ac92.d: examples/plan_search.rs
+
+/root/repo/target/debug/examples/plan_search-63f65b7940b6ac92: examples/plan_search.rs
+
+examples/plan_search.rs:

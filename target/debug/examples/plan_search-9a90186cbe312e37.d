@@ -1,0 +1,9 @@
+/tmp/check/target/debug/examples/plan_search-9a90186cbe312e37.d: examples/plan_search.rs Cargo.toml
+
+/tmp/check/target/debug/examples/libplan_search-9a90186cbe312e37.rmeta: examples/plan_search.rs Cargo.toml
+
+examples/plan_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2af1a632c3aad83f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2af1a632c3aad83f: examples/quickstart.rs
+
+examples/quickstart.rs:

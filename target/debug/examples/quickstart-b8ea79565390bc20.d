@@ -1,0 +1,5 @@
+/tmp/check/target/debug/examples/quickstart-b8ea79565390bc20.d: examples/quickstart.rs
+
+/tmp/check/target/debug/examples/quickstart-b8ea79565390bc20: examples/quickstart.rs
+
+examples/quickstart.rs:

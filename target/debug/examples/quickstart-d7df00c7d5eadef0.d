@@ -1,0 +1,9 @@
+/tmp/check/target/debug/examples/quickstart-d7df00c7d5eadef0.d: examples/quickstart.rs Cargo.toml
+
+/tmp/check/target/debug/examples/libquickstart-d7df00c7d5eadef0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

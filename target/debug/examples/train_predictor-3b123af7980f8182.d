@@ -1,0 +1,5 @@
+/tmp/check/target/debug/examples/train_predictor-3b123af7980f8182.d: examples/train_predictor.rs
+
+/tmp/check/target/debug/examples/train_predictor-3b123af7980f8182: examples/train_predictor.rs
+
+examples/train_predictor.rs:

@@ -1,0 +1,9 @@
+/tmp/check/target/debug/examples/train_predictor-50c596a9c26dafaf.d: examples/train_predictor.rs Cargo.toml
+
+/tmp/check/target/debug/examples/libtrain_predictor-50c596a9c26dafaf.rmeta: examples/train_predictor.rs Cargo.toml
+
+examples/train_predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_predictor-6386697c11756630.d: examples/train_predictor.rs
+
+/root/repo/target/debug/examples/train_predictor-6386697c11756630: examples/train_predictor.rs
+
+examples/train_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dag_bias-37dedd06530724fb.d: crates/bench/src/bin/ablation_dag_bias.rs
+
+/root/repo/target/release/deps/ablation_dag_bias-37dedd06530724fb: crates/bench/src/bin/ablation_dag_bias.rs
+
+crates/bench/src/bin/ablation_dag_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dag_bias-451754045e0a1bfa.d: crates/bench/src/bin/ablation_dag_bias.rs
+
+/root/repo/target/release/deps/ablation_dag_bias-451754045e0a1bfa: crates/bench/src/bin/ablation_dag_bias.rs
+
+crates/bench/src/bin/ablation_dag_bias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_early_stop-1805d3c205a01f1a.d: crates/bench/src/bin/ablation_early_stop.rs
+
+/root/repo/target/release/deps/ablation_early_stop-1805d3c205a01f1a: crates/bench/src/bin/ablation_early_stop.rs
+
+crates/bench/src/bin/ablation_early_stop.rs:

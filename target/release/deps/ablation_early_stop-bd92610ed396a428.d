@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_early_stop-bd92610ed396a428.d: crates/bench/src/bin/ablation_early_stop.rs
+
+/root/repo/target/release/deps/ablation_early_stop-bd92610ed396a428: crates/bench/src/bin/ablation_early_stop.rs
+
+crates/bench/src/bin/ablation_early_stop.rs:

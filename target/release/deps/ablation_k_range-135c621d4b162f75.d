@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_k_range-135c621d4b162f75.d: crates/bench/src/bin/ablation_k_range.rs
+
+/root/repo/target/release/deps/ablation_k_range-135c621d4b162f75: crates/bench/src/bin/ablation_k_range.rs
+
+crates/bench/src/bin/ablation_k_range.rs:

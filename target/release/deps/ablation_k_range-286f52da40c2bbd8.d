@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_k_range-286f52da40c2bbd8.d: crates/bench/src/bin/ablation_k_range.rs
+
+/root/repo/target/release/deps/ablation_k_range-286f52da40c2bbd8: crates/bench/src/bin/ablation_k_range.rs
+
+crates/bench/src/bin/ablation_k_range.rs:

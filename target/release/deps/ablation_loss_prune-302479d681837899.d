@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss_prune-302479d681837899.d: crates/bench/src/bin/ablation_loss_prune.rs
+
+/root/repo/target/release/deps/ablation_loss_prune-302479d681837899: crates/bench/src/bin/ablation_loss_prune.rs
+
+crates/bench/src/bin/ablation_loss_prune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss_prune-e2a66e069f5f1f97.d: crates/bench/src/bin/ablation_loss_prune.rs
+
+/root/repo/target/release/deps/ablation_loss_prune-e2a66e069f5f1f97: crates/bench/src/bin/ablation_loss_prune.rs
+
+crates/bench/src/bin/ablation_loss_prune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_analytic-4d6c19336ae6aa84.d: crates/bench/src/bin/baseline_analytic.rs
+
+/root/repo/target/release/deps/baseline_analytic-4d6c19336ae6aa84: crates/bench/src/bin/baseline_analytic.rs
+
+crates/bench/src/bin/baseline_analytic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_analytic-8c8f06503c87ba44.d: crates/bench/src/bin/baseline_analytic.rs
+
+/root/repo/target/release/deps/baseline_analytic-8c8f06503c87ba44: crates/bench/src/bin/baseline_analytic.rs
+
+crates/bench/src/bin/baseline_analytic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_predictor-88b1861f3f84fa84.d: crates/bench/src/bin/bench_predictor.rs
+
+/root/repo/target/release/deps/bench_predictor-88b1861f3f84fa84: crates/bench/src/bin/bench_predictor.rs
+
+crates/bench/src/bin/bench_predictor.rs:

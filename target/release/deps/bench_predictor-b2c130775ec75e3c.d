@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_predictor-b2c130775ec75e3c.d: crates/bench/src/bin/bench_predictor.rs
+
+/root/repo/target/release/deps/bench_predictor-b2c130775ec75e3c: crates/bench/src/bin/bench_predictor.rs
+
+crates/bench/src/bin/bench_predictor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_predictor-eb5df4e849e7f108.d: crates/bench/src/bin/bench_predictor.rs
+
+/root/repo/target/release/deps/bench_predictor-eb5df4e849e7f108: crates/bench/src/bin/bench_predictor.rs
+
+crates/bench/src/bin/bench_predictor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fafac6020ca491ca.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fafac6020ca491ca.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fafac6020ca491ca.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

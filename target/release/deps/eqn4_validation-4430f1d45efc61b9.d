@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eqn4_validation-4430f1d45efc61b9.d: crates/bench/src/bin/eqn4_validation.rs
+
+/root/repo/target/release/deps/eqn4_validation-4430f1d45efc61b9: crates/bench/src/bin/eqn4_validation.rs
+
+crates/bench/src/bin/eqn4_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eqn4_validation-d3ab2bad9be390cd.d: crates/bench/src/bin/eqn4_validation.rs
+
+/root/repo/target/release/deps/eqn4_validation-d3ab2bad9be390cd: crates/bench/src/bin/eqn4_validation.rs
+
+crates/bench/src/bin/eqn4_validation.rs:

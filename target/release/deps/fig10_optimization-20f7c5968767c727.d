@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_optimization-20f7c5968767c727.d: crates/bench/src/bin/fig10_optimization.rs
+
+/root/repo/target/release/deps/fig10_optimization-20f7c5968767c727: crates/bench/src/bin/fig10_optimization.rs
+
+crates/bench/src/bin/fig10_optimization.rs:

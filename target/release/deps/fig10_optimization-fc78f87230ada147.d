@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_optimization-fc78f87230ada147.d: crates/bench/src/bin/fig10_optimization.rs
+
+/root/repo/target/release/deps/fig10_optimization-fc78f87230ada147: crates/bench/src/bin/fig10_optimization.rs
+
+crates/bench/src/bin/fig10_optimization.rs:

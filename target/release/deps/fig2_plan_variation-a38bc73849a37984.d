@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_plan_variation-a38bc73849a37984.d: crates/bench/src/bin/fig2_plan_variation.rs
+
+/root/repo/target/release/deps/fig2_plan_variation-a38bc73849a37984: crates/bench/src/bin/fig2_plan_variation.rs
+
+crates/bench/src/bin/fig2_plan_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_plan_variation-ae08832d3f1dbaa5.d: crates/bench/src/bin/fig2_plan_variation.rs
+
+/root/repo/target/release/deps/fig2_plan_variation-ae08832d3f1dbaa5: crates/bench/src/bin/fig2_plan_variation.rs
+
+crates/bench/src/bin/fig2_plan_variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_gcn_vs_tran-412da72cd3b54af8.d: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+/root/repo/target/release/deps/fig3_gcn_vs_tran-412da72cd3b54af8: crates/bench/src/bin/fig3_gcn_vs_tran.rs
+
+crates/bench/src/bin/fig3_gcn_vs_tran.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_fig9_summary-33e46581c93eec52.d: crates/bench/src/bin/fig8_fig9_summary.rs
+
+/root/repo/target/release/deps/fig8_fig9_summary-33e46581c93eec52: crates/bench/src/bin/fig8_fig9_summary.rs
+
+crates/bench/src/bin/fig8_fig9_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_fig9_summary-a39c57017114dfaf.d: crates/bench/src/bin/fig8_fig9_summary.rs
+
+/root/repo/target/release/deps/fig8_fig9_summary-a39c57017114dfaf: crates/bench/src/bin/fig8_fig9_summary.rs
+
+crates/bench/src/bin/fig8_fig9_summary.rs:

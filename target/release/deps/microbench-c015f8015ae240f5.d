@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-c015f8015ae240f5.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-c015f8015ae240f5: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-b8e1aa2b48b545e7.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b8e1aa2b48b545e7.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b8e1aa2b48b545e7.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

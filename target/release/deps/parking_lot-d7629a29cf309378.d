@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/parking_lot-d7629a29cf309378.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/check/target/release/deps/libparking_lot-d7629a29cf309378.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/check/target/release/deps/libparking_lot-d7629a29cf309378.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/release/deps/predtop-7fd22904cc2893ba.d: src/main.rs
+
+/tmp/check/target/release/deps/predtop-7fd22904cc2893ba: src/main.rs
+
+src/main.rs:

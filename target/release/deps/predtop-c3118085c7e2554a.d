@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/predtop-c3118085c7e2554a.d: src/lib.rs
+
+/tmp/check/target/release/deps/libpredtop-c3118085c7e2554a.rlib: src/lib.rs
+
+/tmp/check/target/release/deps/libpredtop-c3118085c7e2554a.rmeta: src/lib.rs
+
+src/lib.rs:

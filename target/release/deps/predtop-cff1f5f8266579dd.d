@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predtop-cff1f5f8266579dd.d: src/main.rs
+
+/root/repo/target/release/deps/predtop-cff1f5f8266579dd: src/main.rs
+
+src/main.rs:

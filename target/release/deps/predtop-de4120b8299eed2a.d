@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predtop-de4120b8299eed2a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpredtop-de4120b8299eed2a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpredtop-de4120b8299eed2a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/predtop_analyze-3bbc00581e9ba64b.d: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/root/repo/target/release/deps/libpredtop_analyze-3bbc00581e9ba64b.rlib: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/root/repo/target/release/deps/libpredtop_analyze-3bbc00581e9ba64b.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/graph_passes.rs:
+crates/analyze/src/legality.rs:
+crates/analyze/src/pass.rs:
+crates/analyze/src/plan_passes.rs:
+crates/analyze/src/registry.rs:
+crates/analyze/src/render.rs:

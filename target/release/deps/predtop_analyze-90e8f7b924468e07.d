@@ -1,0 +1,14 @@
+/tmp/check/target/release/deps/predtop_analyze-90e8f7b924468e07.d: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/tmp/check/target/release/deps/libpredtop_analyze-90e8f7b924468e07.rlib: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+/tmp/check/target/release/deps/libpredtop_analyze-90e8f7b924468e07.rmeta: crates/analyze/src/lib.rs crates/analyze/src/diag.rs crates/analyze/src/graph_passes.rs crates/analyze/src/legality.rs crates/analyze/src/pass.rs crates/analyze/src/plan_passes.rs crates/analyze/src/registry.rs crates/analyze/src/render.rs
+
+crates/analyze/src/lib.rs:
+crates/analyze/src/diag.rs:
+crates/analyze/src/graph_passes.rs:
+crates/analyze/src/legality.rs:
+crates/analyze/src/pass.rs:
+crates/analyze/src/plan_passes.rs:
+crates/analyze/src/registry.rs:
+crates/analyze/src/render.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/predtop_bench-5110ae26fbd8f9c0.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpredtop_bench-5110ae26fbd8f9c0.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libpredtop_bench-5110ae26fbd8f9c0.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/jsonout.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

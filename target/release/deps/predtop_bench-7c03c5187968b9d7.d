@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/predtop_bench-7c03c5187968b9d7.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/predtop_bench-7c03c5187968b9d7: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/jsonout.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/jsonout.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,11 @@
+/tmp/check/target/release/deps/predtop_bench-7df5a69c9df1c8ac.d: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/tmp/check/target/release/deps/libpredtop_bench-7df5a69c9df1c8ac.rlib: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/tmp/check/target/release/deps/libpredtop_bench-7df5a69c9df1c8ac.rmeta: crates/bench/src/lib.rs crates/bench/src/grid.rs crates/bench/src/protocol.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/grid.rs:
+crates/bench/src/protocol.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

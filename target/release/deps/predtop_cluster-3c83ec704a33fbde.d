@@ -1,0 +1,11 @@
+/tmp/check/target/release/deps/predtop_cluster-3c83ec704a33fbde.d: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/tmp/check/target/release/deps/libpredtop_cluster-3c83ec704a33fbde.rlib: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/tmp/check/target/release/deps/libpredtop_cluster-3c83ec704a33fbde.rmeta: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/mesh.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/predtop_cluster-70f09dea66d2bcdd.d: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/root/repo/target/release/deps/libpredtop_cluster-70f09dea66d2bcdd.rlib: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+/root/repo/target/release/deps/libpredtop_cluster-70f09dea66d2bcdd.rmeta: crates/cluster/src/lib.rs crates/cluster/src/collective.rs crates/cluster/src/gpu.rs crates/cluster/src/interconnect.rs crates/cluster/src/mesh.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/collective.rs:
+crates/cluster/src/gpu.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/mesh.rs:

@@ -1,0 +1,12 @@
+/tmp/check/target/release/deps/predtop_core-4e5771fb461d2470.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+/tmp/check/target/release/deps/libpredtop_core-4e5771fb461d2470.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+/tmp/check/target/release/deps/libpredtop_core-4e5771fb461d2470.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/graybox.rs crates/core/src/persist.rs crates/core/src/predictor.rs crates/core/src/search.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/graybox.rs:
+crates/core/src/persist.rs:
+crates/core/src/predictor.rs:
+crates/core/src/search.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/predtop_gnn-6429986ec564fe79.d: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libpredtop_gnn-6429986ec564fe79.rlib: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/root/repo/target/release/deps/libpredtop_gnn-6429986ec564fe79.rmeta: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/dag_transformer.rs:
+crates/gnn/src/dataset.rs:
+crates/gnn/src/ensemble.rs:
+crates/gnn/src/gat.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/train.rs:

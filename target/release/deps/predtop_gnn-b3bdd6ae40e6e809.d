@@ -1,0 +1,15 @@
+/tmp/check/target/release/deps/predtop_gnn-b3bdd6ae40e6e809.d: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/tmp/check/target/release/deps/libpredtop_gnn-b3bdd6ae40e6e809.rlib: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+/tmp/check/target/release/deps/libpredtop_gnn-b3bdd6ae40e6e809.rmeta: crates/gnn/src/lib.rs crates/gnn/src/dag_transformer.rs crates/gnn/src/dataset.rs crates/gnn/src/ensemble.rs crates/gnn/src/gat.rs crates/gnn/src/gcn.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/train.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/dag_transformer.rs:
+crates/gnn/src/dataset.rs:
+crates/gnn/src/ensemble.rs:
+crates/gnn/src/gat.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/train.rs:

@@ -1,0 +1,17 @@
+/tmp/check/target/release/deps/predtop_ir-e8f9ade67d3592a9.d: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+/tmp/check/target/release/deps/libpredtop_ir-e8f9ade67d3592a9.rlib: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+/tmp/check/target/release/deps/libpredtop_ir-e8f9ade67d3592a9.rmeta: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/error.rs:
+crates/ir/src/features.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/op.rs:
+crates/ir/src/prune.rs:
+crates/ir/src/reach.rs:
+crates/ir/src/shape.rs:
+crates/ir/src/verify.rs:

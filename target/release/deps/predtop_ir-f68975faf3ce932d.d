@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/predtop_ir-f68975faf3ce932d.d: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libpredtop_ir-f68975faf3ce932d.rlib: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+/root/repo/target/release/deps/libpredtop_ir-f68975faf3ce932d.rmeta: crates/ir/src/lib.rs crates/ir/src/display.rs crates/ir/src/dtype.rs crates/ir/src/error.rs crates/ir/src/features.rs crates/ir/src/graph.rs crates/ir/src/op.rs crates/ir/src/prune.rs crates/ir/src/reach.rs crates/ir/src/shape.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/display.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/error.rs:
+crates/ir/src/features.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/op.rs:
+crates/ir/src/prune.rs:
+crates/ir/src/reach.rs:
+crates/ir/src/shape.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/release/deps/predtop_lint-8f3d7dd4f2b4531a.d: crates/analyze/src/bin/predtop_lint.rs
+
+/tmp/check/target/release/deps/predtop_lint-8f3d7dd4f2b4531a: crates/analyze/src/bin/predtop_lint.rs
+
+crates/analyze/src/bin/predtop_lint.rs:

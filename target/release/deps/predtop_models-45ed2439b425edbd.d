@@ -1,0 +1,10 @@
+/tmp/check/target/release/deps/predtop_models-45ed2439b425edbd.d: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/tmp/check/target/release/deps/libpredtop_models-45ed2439b425edbd.rlib: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/tmp/check/target/release/deps/libpredtop_models-45ed2439b425edbd.rmeta: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+crates/models/src/lib.rs:
+crates/models/src/layers.rs:
+crates/models/src/spec.rs:
+crates/models/src/stage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/predtop_models-869a7f559d35fdff.d: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/root/repo/target/release/deps/libpredtop_models-869a7f559d35fdff.rlib: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+/root/repo/target/release/deps/libpredtop_models-869a7f559d35fdff.rmeta: crates/models/src/lib.rs crates/models/src/layers.rs crates/models/src/spec.rs crates/models/src/stage.rs
+
+crates/models/src/lib.rs:
+crates/models/src/layers.rs:
+crates/models/src/spec.rs:
+crates/models/src/stage.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/predtop_parallel-0f2f33a4ae6dc148.d: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/root/repo/target/release/deps/libpredtop_parallel-0f2f33a4ae6dc148.rlib: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/root/repo/target/release/deps/libpredtop_parallel-0f2f33a4ae6dc148.rmeta: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/cache.rs:
+crates/parallel/src/config.rs:
+crates/parallel/src/interstage.rs:
+crates/parallel/src/intra.rs:
+crates/parallel/src/plan.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/sharding.rs:

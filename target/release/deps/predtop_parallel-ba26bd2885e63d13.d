@@ -1,0 +1,14 @@
+/tmp/check/target/release/deps/predtop_parallel-ba26bd2885e63d13.d: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/tmp/check/target/release/deps/libpredtop_parallel-ba26bd2885e63d13.rlib: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+/tmp/check/target/release/deps/libpredtop_parallel-ba26bd2885e63d13.rmeta: crates/parallel/src/lib.rs crates/parallel/src/cache.rs crates/parallel/src/config.rs crates/parallel/src/interstage.rs crates/parallel/src/intra.rs crates/parallel/src/plan.rs crates/parallel/src/schedule.rs crates/parallel/src/sharding.rs
+
+crates/parallel/src/lib.rs:
+crates/parallel/src/cache.rs:
+crates/parallel/src/config.rs:
+crates/parallel/src/interstage.rs:
+crates/parallel/src/intra.rs:
+crates/parallel/src/plan.rs:
+crates/parallel/src/schedule.rs:
+crates/parallel/src/sharding.rs:

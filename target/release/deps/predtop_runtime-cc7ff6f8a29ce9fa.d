@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/predtop_runtime-cc7ff6f8a29ce9fa.d: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/root/repo/target/release/deps/libpredtop_runtime-cc7ff6f8a29ce9fa.rlib: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/root/repo/target/release/deps/libpredtop_runtime-cc7ff6f8a29ce9fa.rmeta: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/exec.rs:

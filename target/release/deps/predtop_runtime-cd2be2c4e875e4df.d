@@ -1,0 +1,8 @@
+/tmp/check/target/release/deps/predtop_runtime-cd2be2c4e875e4df.d: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/tmp/check/target/release/deps/libpredtop_runtime-cd2be2c4e875e4df.rlib: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+/tmp/check/target/release/deps/libpredtop_runtime-cd2be2c4e875e4df.rmeta: crates/runtime/src/lib.rs crates/runtime/src/exec.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/exec.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/predtop_sim-3d0d3930bab74ba0.d: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libpredtop_sim-3d0d3930bab74ba0.rlib: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libpredtop_sim-3d0d3930bab74ba0.rmeta: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costing.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/opcost.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/trace.rs:

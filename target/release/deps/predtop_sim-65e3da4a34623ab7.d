@@ -1,0 +1,13 @@
+/tmp/check/target/release/deps/predtop_sim-65e3da4a34623ab7.d: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/tmp/check/target/release/deps/libpredtop_sim-65e3da4a34623ab7.rlib: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+/tmp/check/target/release/deps/libpredtop_sim-65e3da4a34623ab7.rmeta: crates/sim/src/lib.rs crates/sim/src/costing.rs crates/sim/src/memory.rs crates/sim/src/opcost.rs crates/sim/src/pipeline.rs crates/sim/src/profiler.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costing.rs:
+crates/sim/src/memory.rs:
+crates/sim/src/opcost.rs:
+crates/sim/src/pipeline.rs:
+crates/sim/src/profiler.rs:
+crates/sim/src/trace.rs:

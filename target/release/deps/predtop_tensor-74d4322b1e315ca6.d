@@ -1,0 +1,13 @@
+/tmp/check/target/release/deps/predtop_tensor-74d4322b1e315ca6.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/tmp/check/target/release/deps/libpredtop_tensor-74d4322b1e315ca6.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/tmp/check/target/release/deps/libpredtop_tensor-74d4322b1e315ca6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

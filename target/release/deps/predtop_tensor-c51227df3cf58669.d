@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/predtop_tensor-c51227df3cf58669.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libpredtop_tensor-c51227df3cf58669.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/libpredtop_tensor-c51227df3cf58669.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/schedule.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/schedule.rs:
+crates/tensor/src/tape.rs:

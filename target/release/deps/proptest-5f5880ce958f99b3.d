@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/proptest-5f5880ce958f99b3.d: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/check/target/release/deps/libproptest-5f5880ce958f99b3.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/check/target/release/deps/libproptest-5f5880ce958f99b3.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

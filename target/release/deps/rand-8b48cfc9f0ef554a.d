@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8b48cfc9f0ef554a.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b48cfc9f0ef554a.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8b48cfc9f0ef554a.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/rand-a391632c381b7d00.d: /tmp/stubs/rand/src/lib.rs
+
+/tmp/check/target/release/deps/librand-a391632c381b7d00.rlib: /tmp/stubs/rand/src/lib.rs
+
+/tmp/check/target/release/deps/librand-a391632c381b7d00.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/release/deps/search_scaling-4ac3cfec41784f2c.d: crates/bench/src/bin/search_scaling.rs
+
+/tmp/check/target/release/deps/search_scaling-4ac3cfec41784f2c: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

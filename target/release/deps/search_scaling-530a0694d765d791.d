@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_scaling-530a0694d765d791.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/release/deps/search_scaling-530a0694d765d791: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_scaling-7c990849b49573cd.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/release/deps/search_scaling-7c990849b49573cd: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_scaling-91a4b7ecdefea04e.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/release/deps/search_scaling-91a4b7ecdefea04e: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

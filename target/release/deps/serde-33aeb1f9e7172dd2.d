@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-33aeb1f9e7172dd2.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-33aeb1f9e7172dd2.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-33aeb1f9e7172dd2.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

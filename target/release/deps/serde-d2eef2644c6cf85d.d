@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/serde-d2eef2644c6cf85d.d: /tmp/stubs/serde/src/lib.rs
+
+/tmp/check/target/release/deps/libserde-d2eef2644c6cf85d.rlib: /tmp/stubs/serde/src/lib.rs
+
+/tmp/check/target/release/deps/libserde-d2eef2644c6cf85d.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-8afd2f1ef4ef54fe.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-8afd2f1ef4ef54fe.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/release/deps/serde_derive-ebe8dde2af04ba8a.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/check/target/release/deps/libserde_derive-ebe8dde2af04ba8a.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

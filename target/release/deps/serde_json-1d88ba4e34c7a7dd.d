@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-1d88ba4e34c7a7dd.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1d88ba4e34c7a7dd.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-1d88ba4e34c7a7dd.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

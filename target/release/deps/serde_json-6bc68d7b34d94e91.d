@@ -1,0 +1,7 @@
+/tmp/check/target/release/deps/serde_json-6bc68d7b34d94e91.d: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/check/target/release/deps/libserde_json-6bc68d7b34d94e91.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/check/target/release/deps/libserde_json-6bc68d7b34d94e91.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

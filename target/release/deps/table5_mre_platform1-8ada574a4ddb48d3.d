@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_mre_platform1-8ada574a4ddb48d3.d: crates/bench/src/bin/table5_mre_platform1.rs
+
+/root/repo/target/release/deps/table5_mre_platform1-8ada574a4ddb48d3: crates/bench/src/bin/table5_mre_platform1.rs
+
+crates/bench/src/bin/table5_mre_platform1.rs:

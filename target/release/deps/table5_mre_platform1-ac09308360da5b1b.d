@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_mre_platform1-ac09308360da5b1b.d: crates/bench/src/bin/table5_mre_platform1.rs
+
+/root/repo/target/release/deps/table5_mre_platform1-ac09308360da5b1b: crates/bench/src/bin/table5_mre_platform1.rs
+
+crates/bench/src/bin/table5_mre_platform1.rs:

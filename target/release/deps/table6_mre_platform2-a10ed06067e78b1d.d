@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_mre_platform2-a10ed06067e78b1d.d: crates/bench/src/bin/table6_mre_platform2.rs
+
+/root/repo/target/release/deps/table6_mre_platform2-a10ed06067e78b1d: crates/bench/src/bin/table6_mre_platform2.rs
+
+crates/bench/src/bin/table6_mre_platform2.rs:

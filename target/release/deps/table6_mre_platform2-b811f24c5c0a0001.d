@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_mre_platform2-b811f24c5c0a0001.d: crates/bench/src/bin/table6_mre_platform2.rs
+
+/root/repo/target/release/deps/table6_mre_platform2-b811f24c5c0a0001: crates/bench/src/bin/table6_mre_platform2.rs
+
+crates/bench/src/bin/table6_mre_platform2.rs:

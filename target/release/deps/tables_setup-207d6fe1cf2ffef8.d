@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_setup-207d6fe1cf2ffef8.d: crates/bench/src/bin/tables_setup.rs
+
+/root/repo/target/release/deps/tables_setup-207d6fe1cf2ffef8: crates/bench/src/bin/tables_setup.rs
+
+crates/bench/src/bin/tables_setup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_setup-d09cc2dcd54db4f2.d: crates/bench/src/bin/tables_setup.rs
+
+/root/repo/target/release/deps/tables_setup-d09cc2dcd54db4f2: crates/bench/src/bin/tables_setup.rs
+
+crates/bench/src/bin/tables_setup.rs:

@@ -1,0 +1,5 @@
+/tmp/check/target/release/examples/plan_search-bdc25ebd36857a69.d: examples/plan_search.rs
+
+/tmp/check/target/release/examples/plan_search-bdc25ebd36857a69: examples/plan_search.rs
+
+examples/plan_search.rs:
