@@ -3,14 +3,17 @@
 //!
 //! ```text
 //! predtop-lint [--format text|json] [--models both|gpt3|moe|none]
-//!              [--inject-fault] [FILE...]
+//!              [--plan FILE]... [--inject-fault] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the built-in benchmark models (GPT-3 1.3B
 //! and MoE 2.6B at batch 8) are linted, including the plan passes over
 //! each model's trivial single-device plan; `FILE` arguments are parsed
-//! as persisted `Graph` JSON and graph-passes linted. `--inject-fault`
-//! appends a deliberately broken graph so CI can verify the error path.
+//! as persisted `Graph` JSON and graph-passes linted. `--plan FILE`
+//! arguments are parsed as persisted `PipelinePlan` JSON (e.g. written
+//! by `predtop search --plan-out`) and plan-passes linted against the
+//! model embedded in the plan's stages. `--inject-fault` appends a
+//! deliberately broken graph so CI can verify the error path.
 //!
 //! Exit status: 0 clean (no `Error` findings), 1 at least one `Error`
 //! finding, 2 usage / IO / parse failure.
@@ -44,10 +47,12 @@ struct Args {
     models: Option<Models>,
     inject_fault: bool,
     files: Vec<String>,
+    plans: Vec<String>,
 }
 
 const USAGE: &str = "usage: predtop-lint [--format text|json] \
-                     [--models both|gpt3|moe|none] [--inject-fault] [FILE...]";
+                     [--models both|gpt3|moe|none] [--plan FILE]... \
+                     [--inject-fault] [FILE...]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -55,10 +60,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         models: None,
         inject_fault: false,
         files: Vec::new(),
+        plans: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--plan" => match it.next() {
+                Some(f) => args.plans.push(f.clone()),
+                None => return Err("--plan expects a file path".to_string()),
+            },
             "--format" => {
                 args.format = match it.next().map(String::as_str) {
                     Some("text") => Format::Text,
@@ -143,6 +153,24 @@ fn lint_file(path: &str) -> Result<Report, String> {
     })
 }
 
+fn lint_plan_file(path: &str) -> Result<Report, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    let plan: PipelinePlan =
+        serde_json::from_str(&body).map_err(|e| format!("{path}: not a persisted plan: {e}"))?;
+    // every stage is sliced from the same model; the first one carries it
+    let model = plan
+        .stages
+        .first()
+        .ok_or_else(|| format!("{path}: plan has no stages"))?
+        .stage
+        .model;
+    Ok(Report {
+        subject: format!("{path} (plan)"),
+        diags: analyze_plan(&plan, &model, &PlanCheckOptions::default()),
+    })
+}
+
 fn emit_text(reports: &[Report]) {
     for r in reports {
         let (e, w, i) = count(&r.diags);
@@ -189,11 +217,13 @@ fn main() -> ExitCode {
         }
     };
     // default: lint the benchmark models, unless files were given
-    let models = args.models.unwrap_or(if args.files.is_empty() {
-        Models::Both
-    } else {
-        Models::None
-    });
+    let models = args
+        .models
+        .unwrap_or(if args.files.is_empty() && args.plans.is_empty() {
+            Models::Both
+        } else {
+            Models::None
+        });
 
     let mut reports = Vec::new();
     if matches!(models, Models::Both | Models::Gpt3) {
@@ -204,6 +234,15 @@ fn main() -> ExitCode {
     }
     for f in &args.files {
         match lint_file(f) {
+            Ok(r) => reports.push(r),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for f in &args.plans {
+        match lint_plan_file(f) {
             Ok(r) => reports.push(r),
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -15,10 +15,11 @@
 
 use predtop_bench::{Protocol, TableWriter};
 use predtop_cluster::Platform;
-use predtop_core::{search_plan, search_plan_cached, GrayBoxConfig, PredTop};
+use predtop_core::{search_plan, search_plan_service, GrayBoxConfig, PredTop};
 use predtop_gnn::ModelKind;
 use predtop_parallel::{InterStageOptions, MeshShape};
 use predtop_runtime::configured_threads;
+use predtop_service::ServiceBuilder;
 use predtop_sim::SimProfiler;
 
 fn main() {
@@ -73,7 +74,12 @@ fn main() {
         // its stats show how much of the DP's candidate traffic the
         // cache absorbed before it reached the simulator
         let profiler = SimProfiler::new(platform.clone(), proto.seed);
-        let full = search_plan_cached(model, cluster, &profiler, &profiler, opts);
+        let full_stack = ServiceBuilder::new(&profiler)
+            .memoize()
+            .batched_auto()
+            .finish();
+        let full = search_plan_service(model, cluster, &full_stack, &profiler, opts, None)
+            .expect("the simulator stack serves every scenario");
         let full_cost = profiler.ledger().totals();
         let stats = full.cache.expect("cached search reports stats");
         eprintln!(

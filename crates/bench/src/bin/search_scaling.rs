@@ -19,10 +19,11 @@ use std::path::PathBuf;
 
 use predtop_bench::jsonout::{write_json_file, Json};
 use predtop_cluster::Platform;
-use predtop_core::{search_plan_cached_with_threads, search_plan_with_threads};
+use predtop_core::{search_plan_service, search_plan_with_threads};
 use predtop_models::ModelSpec;
 use predtop_parallel::{InterStageOptions, MeshShape};
 use predtop_runtime::configured_threads;
+use predtop_service::ServiceBuilder;
 use predtop_sim::SimProfiler;
 
 fn parse_out() -> PathBuf {
@@ -96,14 +97,12 @@ fn main() {
     );
 
     let cached_profiler = SimProfiler::new(platform, 7);
-    let cached = search_plan_cached_with_threads(
-        model,
-        cluster,
-        &cached_profiler,
-        &cached_profiler,
-        opts,
-        pool,
-    );
+    let stack = ServiceBuilder::new(&cached_profiler)
+        .memoize()
+        .batched(pool)
+        .finish();
+    let cached = search_plan_service(model, cluster, &stack, &cached_profiler, opts, None)
+        .expect("the simulator stack serves every scenario");
     let stats = cached.cache.expect("cached search reports stats");
     assert_eq!(
         cached.estimated_latency.to_bits(),

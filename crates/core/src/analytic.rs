@@ -22,6 +22,7 @@ use predtop_ir::NodeKind;
 use predtop_models::StageSpec;
 use predtop_parallel::intra::param_bytes;
 use predtop_parallel::{MeshShape, ParallelConfig, StageLatencyProvider};
+use predtop_service::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
 use predtop_sim::opcost::{node_bytes, node_flops};
 
 /// Flat-constant analytical latency model.
@@ -101,6 +102,22 @@ impl StageLatencyProvider for AnalyticBaseline {
         let t = (compute + comm) * self.train_factor;
         self.cache.lock().insert(key, t);
         t
+    }
+}
+
+impl LatencyService for AnalyticBaseline {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        // first-principles arithmetic needs no profiled data, so the
+        // white-box model can serve any query — a reliable middle rung
+        // of the predictor → analytic → simulator fallback chain
+        Ok(LatencyReply {
+            seconds: self.stage_latency(&q.stage, q.mesh, q.config),
+            source: self.name(),
+        })
     }
 }
 

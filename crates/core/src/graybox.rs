@@ -12,6 +12,7 @@ use predtop_models::{sample_stages, ModelSpec, StageSpec};
 use predtop_parallel::interstage::candidate_submeshes;
 use predtop_parallel::{table3_configs, MeshShape, ParallelConfig, StageLatencyProvider};
 use predtop_runtime::par_map;
+use predtop_service::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
 use predtop_sim::SimProfiler;
 
 use crate::predictor::ArchConfig;
@@ -207,6 +208,29 @@ impl StageLatencyProvider for PredTop {
     }
 }
 
+impl LatencyService for PredTop {
+    fn name(&self) -> &'static str {
+        "predictor"
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        // unlike the StageLatencyProvider impl (which panics), an
+        // unfitted scenario is a recoverable condition here: a Fallback
+        // layer degrades that query to the next source
+        if !self.predictors.contains_key(&(q.mesh, q.config)) {
+            return Err(ServiceError::ScenarioUnsupported {
+                source: self.name(),
+                mesh: q.mesh,
+                config: q.config,
+            });
+        }
+        Ok(LatencyReply {
+            seconds: self.stage_latency(&q.stage, q.mesh, q.config),
+            source: self.name(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +319,31 @@ mod tests {
         }
         let mre = mean_relative_error(&preds, &truth);
         assert!(mre < 60.0, "in-sample MRE {mre:.1}% is way off");
+    }
+
+    #[test]
+    fn service_query_errors_instead_of_panicking_on_unknown_scenario() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let pt = PredTop::fit(tiny_model(), MeshShape::new(1, 1), &profiler, &tiny_cfg());
+        let stage = StageSpec::new(tiny_model(), 0, 2);
+
+        // fitted scenario: the service reply is the provider value
+        let q = LatencyQuery::new(stage, MeshShape::new(1, 1), ParallelConfig::SERIAL);
+        let reply = pt.query(&q).unwrap();
+        assert_eq!(reply.source, "predictor");
+        assert_eq!(
+            reply.seconds.to_bits(),
+            pt.stage_latency(&stage, q.mesh, q.config).to_bits()
+        );
+
+        // unfitted scenario: a recoverable error, not a panic
+        let q = LatencyQuery::new(stage, MeshShape::new(2, 2), ParallelConfig::new(4, 1));
+        match pt.query(&q) {
+            Err(ServiceError::ScenarioUnsupported { source, .. }) => {
+                assert_eq!(source, "predictor")
+            }
+            other => panic!("expected ScenarioUnsupported, got {other:?}"),
+        }
     }
 
     #[test]

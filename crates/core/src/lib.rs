@@ -39,6 +39,8 @@ pub use persist::{load_from_file, save_to_file, SavedPredictor};
 pub use predictor::ArchConfig;
 pub use predtop_parallel::plan::pipeline_latency;
 pub use search::{
-    search_plan, search_plan_cached, search_plan_cached_with_threads, search_plan_checked,
-    search_plan_checked_with_threads, search_plan_with_threads, SearchOutcome,
+    search_legality, search_plan, search_plan_checked, search_plan_checked_with_threads,
+    search_plan_service, search_plan_with_threads, SearchOutcome, ServiceReport,
 };
+#[allow(deprecated)]
+pub use search::{search_plan_cached, search_plan_cached_with_threads};

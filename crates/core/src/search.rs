@@ -1,16 +1,58 @@
 //! The use case (§VIII-B): parallelization-plan search driven by any
 //! latency source, evaluated against ground truth.
+//!
+//! Every entry point funnels through one service-driven engine
+//! ([`search_plan_service`]): the candidate work-list is enumerated and
+//! statically filtered exactly as before, but latency evaluation goes
+//! through a [`LatencyService`] — so any middleware stack assembled with
+//! [`predtop_service::ServiceBuilder`] (memoization, batched fan-out,
+//! instrumentation, fallback between sources) slots in without the
+//! search knowing. The legacy provider-based entry points are thin
+//! wrappers that build the canonical stack themselves; results are
+//! bit-identical to the pre-service engine because the stack evaluates
+//! the same work-list through the same `par_map_with` fan-out and the
+//! same [`solve_pipeline`] DP.
 
 use std::time::Instant;
 
 use predtop_analyze::StaticLegality;
-use predtop_models::ModelSpec;
+use predtop_models::{ModelSpec, StageSpec};
 use predtop_parallel::{
-    optimize_pipeline_filtered_with_threads, optimize_pipeline_with_threads, CacheStats,
-    CachedProvider, InterStageOptions, MeshShape, PipelinePlan, StageLatencyProvider,
+    enumerate_candidates, solve_pipeline, CacheStats, EvaluatedCandidate, InterStageOptions,
+    MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
 };
 use predtop_runtime::configured_threads;
+use predtop_service::{
+    FallbackStats, LatencyQuery, LatencyService, ServiceBuilder, ServiceError, ServiceMetrics,
+    ServiceStack, StackHandles,
+};
 use predtop_sim::SimProfiler;
+
+/// Accounting of what the service stack did during one search, built
+/// from the stack's [`StackHandles`]. Every field mirrors one optional
+/// middleware layer.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Hit/miss counters of the `Memoize` layer, if installed.
+    pub cache: Option<CacheStats>,
+    /// Query/batch/error counters and deterministic latency accounting
+    /// of the `Instrumented` layer, if installed.
+    pub metrics: Option<ServiceMetrics>,
+    /// Primary/secondary attribution of the `Fallback` layer, if
+    /// installed.
+    pub fallback: Option<FallbackStats>,
+}
+
+impl ServiceReport {
+    /// Snapshot every installed layer's counters.
+    pub fn from_handles(h: &StackHandles) -> ServiceReport {
+        ServiceReport {
+            cache: h.cache.as_ref().map(|c| c.stats()),
+            metrics: h.metrics.as_ref().map(|m| m.metrics()),
+            fallback: h.fallback.as_ref().map(|f| f.stats()),
+        }
+    }
+}
 
 /// Outcome of one plan search, with everything Fig. 10 reports.
 #[derive(Debug, Clone)]
@@ -29,10 +71,111 @@ pub struct SearchOutcome {
     pub num_rejected: usize,
     /// Wall-clock seconds the search itself took.
     pub search_seconds: f64,
-    /// Hit/miss counters of the memoization layer, when the search ran
-    /// through a [`CachedProvider`] (see [`search_plan_cached`]); `None`
-    /// for an uncached search.
+    /// Hit/miss counters of the memoization layer, when one was
+    /// installed (legacy mirror of `service.cache`, kept because the
+    /// bench bins and Fig. 10 accounting read it).
     pub cache: Option<CacheStats>,
+    /// Per-layer accounting of the service stack the search ran
+    /// through; `None` when the stack had no instrumented layers.
+    pub service: Option<ServiceReport>,
+}
+
+/// The service-driven engine every entry point funnels through: run the
+/// inter-stage DP for `model` on `cluster` with `stack` as the latency
+/// source, then re-evaluate the winning plan with the ground-truth
+/// `profiler`.
+///
+/// Phase 1 enumerates and (via the optional `StaticLegality`) filters
+/// the candidate work-list; phase 2 resolves it as **one query batch**
+/// through the stack — a `Batched` layer fans it across the worker pool
+/// with results landing at fixed indices; phase 3 is the shared
+/// [`solve_pipeline`] DP. Identical work-lists and per-query values give
+/// bit-identical plans, so any transparent middleware combination
+/// reproduces the pre-service engine exactly.
+///
+/// Errors if any candidate query fails after the whole stack (including
+/// any `Fallback` chain) has been consulted.
+///
+/// # Panics
+/// Panics if no legal covering partition exists — in particular when
+/// `opts.microbatches` does not divide `model.batch` (`P1301` rejects
+/// every candidate).
+pub fn search_plan_service<S: LatencyService>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    stack: &ServiceStack<S>,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    legality: Option<&StaticLegality>,
+) -> Result<SearchOutcome, ServiceError> {
+    let started = Instant::now();
+
+    // Phase 1: enumerate + static filter (identical to the provider
+    // engine's phase 1 — same order, same rejections).
+    let full = enumerate_candidates(model, cluster, opts);
+    let enumerated = full.len();
+    let worklist: Vec<(StageSpec, MeshShape, ParallelConfig)> = match legality {
+        Some(l) => full
+            .into_iter()
+            .filter(|(stage, mesh, config)| l.is_legal(stage, *mesh, *config))
+            .collect(),
+        None => full,
+    };
+    let num_queries = worklist.len();
+    let num_rejected = enumerated - num_queries;
+
+    // Phase 2: one batch through the stack.
+    let queries: Vec<LatencyQuery> = worklist
+        .iter()
+        .map(|&(stage, mesh, config)| LatencyQuery::new(stage, mesh, config))
+        .collect();
+    let replies = stack.query_batch(&queries);
+    let mut cands: Vec<EvaluatedCandidate> = Vec::with_capacity(queries.len());
+    for (q, reply) in queries.iter().zip(replies) {
+        cands.push(EvaluatedCandidate {
+            stage: q.stage,
+            mesh: q.mesh,
+            config: q.config,
+            seconds: reply?.seconds,
+        });
+    }
+
+    // Phase 3: the shared DP.
+    let (estimated_latency, plan) = solve_pipeline(
+        &cands,
+        model.num_layers,
+        cluster.num_devices(),
+        opts.microbatches,
+    )
+    .expect("no covering partition survived the filter (unfiltered searches always have the single full-mesh stage)");
+    let search_seconds = started.elapsed().as_secs_f64();
+    let true_latency = plan.latency(profiler);
+
+    let report = ServiceReport::from_handles(stack.handles());
+    let cache = report.cache;
+    let service = (report.cache.is_some() || report.metrics.is_some() || report.fallback.is_some())
+        .then_some(report);
+    Ok(SearchOutcome {
+        plan,
+        estimated_latency,
+        true_latency,
+        num_queries,
+        num_rejected,
+        search_seconds,
+        cache,
+        service,
+    })
+}
+
+/// The canonical provider stack the legacy entry points run through:
+/// the provider lifted into a named service, fanned out over `threads`.
+fn provider_stack<P: StageLatencyProvider>(
+    provider: P,
+    threads: usize,
+) -> ServiceStack<impl LatencyService> {
+    ServiceBuilder::from_provider(provider, "provider")
+        .batched(threads)
+        .finish()
 }
 
 /// Run the inter-stage optimizer with `provider` as the latency source,
@@ -70,19 +213,9 @@ pub fn search_plan_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> SearchOutcome {
-    let started = Instant::now();
-    let result = optimize_pipeline_with_threads(model, cluster, provider, opts, threads);
-    let search_seconds = started.elapsed().as_secs_f64();
-    let true_latency = result.plan.latency(profiler);
-    SearchOutcome {
-        plan: result.plan,
-        estimated_latency: result.latency,
-        true_latency,
-        num_queries: result.num_queries,
-        num_rejected: result.num_rejected,
-        search_seconds,
-        cache: None,
-    }
+    let stack = provider_stack(provider, threads);
+    search_plan_service(model, cluster, &stack, profiler, opts, None)
+        .expect("lifted providers are infallible")
 }
 
 /// [`search_plan`] with the `predtop-analyze` static-legality filter in
@@ -124,32 +257,28 @@ pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> SearchOutcome {
-    let legality = StaticLegality::new(model, opts.microbatches)
-        .with_memory_check(profiler.platform().gpu.clone(), 0.1);
-    let started = Instant::now();
-    let result = optimize_pipeline_filtered_with_threads(
-        model,
-        cluster,
-        provider,
-        opts,
-        threads,
-        &|stage, mesh, config| legality.is_legal(stage, mesh, config),
-    );
-    let search_seconds = started.elapsed().as_secs_f64();
-    let true_latency = result.plan.latency(profiler);
-    SearchOutcome {
-        plan: result.plan,
-        estimated_latency: result.latency,
-        true_latency,
-        num_queries: result.num_queries,
-        num_rejected: result.num_rejected,
-        search_seconds,
-        cache: None,
-    }
+    let legality = search_legality(model, profiler, opts);
+    let stack = provider_stack(provider, threads);
+    search_plan_service(model, cluster, &stack, profiler, opts, Some(&legality))
+        .expect("lifted providers are infallible")
 }
 
-/// [`search_plan`] through a fresh [`CachedProvider`] wrapped around
-/// `provider`, surfacing the cache's hit/miss counters in
+/// The static-legality filter the checked searches install: the
+/// sharding-divisibility rules plus the per-device memory lower bound,
+/// sized for `profiler`'s platform GPU with 10% headroom. Exposed so
+/// callers assembling their own [`predtop_service::ServiceBuilder`]
+/// stacks can pass the identical filter to [`search_plan_service`].
+pub fn search_legality(
+    model: ModelSpec,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+) -> StaticLegality {
+    StaticLegality::new(model, opts.microbatches)
+        .with_memory_check(profiler.platform().gpu.clone(), 0.1)
+}
+
+/// [`search_plan`] through a fresh memoization layer wrapped around
+/// `provider`, surfacing the hit/miss counters in
 /// [`SearchOutcome::cache`].
 ///
 /// The memoization is transparent: the chosen plan, its latencies, and
@@ -157,9 +286,14 @@ pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
 /// identical to the uncached [`search_plan`]; only the number of queries
 /// reaching the underlying provider shrinks. Within one search every
 /// candidate is distinct, so the payoff comes from providers with
-/// internal redundancy or from reusing one cache across searches — for
-/// the latter, wrap the provider in a [`CachedProvider`] yourself and
-/// pass `&CachedProvider` to [`search_plan`].
+/// internal redundancy or from reusing one memoized stack across
+/// searches — assemble that with
+/// `ServiceBuilder::from_provider(..).memoize()` yourself.
+#[deprecated(
+    since = "0.1.0",
+    note = "assemble the stack with predtop_service::ServiceBuilder (from_provider(..)\
+            .memoize().batched(..)) and call search_plan_service"
+)]
 pub fn search_plan_cached<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -167,6 +301,7 @@ pub fn search_plan_cached<P: StageLatencyProvider>(
     profiler: &SimProfiler,
     opts: InterStageOptions,
 ) -> SearchOutcome {
+    #[allow(deprecated)]
     search_plan_cached_with_threads(
         model,
         cluster,
@@ -178,6 +313,11 @@ pub fn search_plan_cached<P: StageLatencyProvider>(
 }
 
 /// [`search_plan_cached`] with an explicit evaluation-pool size.
+#[deprecated(
+    since = "0.1.0",
+    note = "assemble the stack with predtop_service::ServiceBuilder (from_provider(..)\
+            .memoize().batched(..)) and call search_plan_service"
+)]
 pub fn search_plan_cached_with_threads<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -186,10 +326,12 @@ pub fn search_plan_cached_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> SearchOutcome {
-    let cached = CachedProvider::new(provider);
-    let mut out = search_plan_with_threads(model, cluster, &cached, profiler, opts, threads);
-    out.cache = Some(cached.stats());
-    out
+    let stack = ServiceBuilder::from_provider(provider, "provider")
+        .memoize()
+        .batched(threads)
+        .finish();
+    search_plan_service(model, cluster, &stack, profiler, opts, None)
+        .expect("lifted providers are infallible")
 }
 
 #[cfg(test)]
@@ -231,6 +373,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn cached_search_is_transparent() {
         let cluster = MeshShape::new(1, 2);
         let opts = InterStageOptions {
@@ -258,8 +401,47 @@ mod tests {
         // ...and its counters must account for every search query
         let stats = cached.cache.expect("cached search reports stats");
         assert_eq!(stats.queries(), cached.num_queries);
+        // the service report carries the same counters
+        let report = cached.service.expect("cached search reports service");
+        assert_eq!(report.cache, Some(stats));
         // never more work for the underlying provider than uncached
         assert!(profiler2.queries_issued() <= plain_underlying);
+    }
+
+    #[test]
+    fn service_stack_search_matches_legacy_entry_point() {
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let legacy = search_plan_with_threads(tiny_model(), cluster, &profiler, &profiler, opts, 2);
+
+        let profiler2 = SimProfiler::new(Platform::platform1(), 7);
+        let stack = ServiceBuilder::new(&profiler2)
+            .memoize()
+            .batched(2)
+            .instrumented()
+            .finish();
+        let out = search_plan_service(tiny_model(), cluster, &stack, &profiler2, opts, None)
+            .expect("simulator stack is infallible");
+
+        assert_eq!(out.plan, legacy.plan);
+        assert_eq!(
+            out.estimated_latency.to_bits(),
+            legacy.estimated_latency.to_bits()
+        );
+        assert_eq!(out.num_queries, legacy.num_queries);
+        let report = out.service.expect("instrumented stack reports");
+        let metrics = report.metrics.expect("instrumented layer installed");
+        assert_eq!(metrics.queries, out.num_queries);
+        assert_eq!(metrics.errors, 0);
+        assert!(metrics.served_seconds > 0.0);
+        assert_eq!(
+            report.cache.expect("memoize layer installed").queries(),
+            out.num_queries
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use predtop_ir::Graph;
 
@@ -17,7 +17,7 @@ use crate::layers::{Emitter, ACT};
 use crate::spec::ModelSpec;
 
 /// A pipeline-stage candidate: layers `start..end` of `model`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct StageSpec {
     /// Model the stage is sliced from.
     pub model: ModelSpec,

@@ -57,6 +57,10 @@ impl CacheStats {
 
 /// A memoization layer any [`StageLatencyProvider`] can wear.
 ///
+/// Superseded by the `predtop-service` crate's `Memoize` middleware,
+/// which carries the same sharded design plus per-reply source
+/// attribution and composes with the other service layers.
+///
 /// Values are cached per (stage, sub-mesh, configuration) key in a
 /// sharded `parking_lot`-protected map. Wrapping a provider never
 /// changes the latencies a search observes — only how often the inner
@@ -69,6 +73,11 @@ impl CacheStats {
 /// once per search, so this cannot happen inside one search; across
 /// sequential searches the count of inner queries is exactly the number
 /// of distinct keys.
+#[deprecated(
+    since = "0.1.0",
+    note = "use predtop_service::ServiceBuilder::memoize() — the service-stack \
+            Memoize layer generalizes this wrapper"
+)]
 pub struct CachedProvider<P> {
     inner: P,
     shards: Vec<Mutex<HashMap<Key, f64>>>,
@@ -76,6 +85,7 @@ pub struct CachedProvider<P> {
     misses: AtomicUsize,
 }
 
+#[allow(deprecated)]
 impl<P> CachedProvider<P> {
     /// Wrap `inner` with an empty cache.
     pub fn new(inner: P) -> CachedProvider<P> {
@@ -122,6 +132,7 @@ impl<P> CachedProvider<P> {
     }
 }
 
+#[allow(deprecated)]
 impl<P: StageLatencyProvider> StageLatencyProvider for CachedProvider<P> {
     fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
         let key = (*stage, mesh, config);
@@ -141,6 +152,7 @@ impl<P: StageLatencyProvider> StageLatencyProvider for CachedProvider<P> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use predtop_models::ModelSpec;

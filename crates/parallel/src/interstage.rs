@@ -53,13 +53,22 @@ impl Default for InterStageOptions {
 }
 
 /// One profiled/predicted candidate: layers `start..end` on `mesh` under
-/// `config`, with latency `t`.
+/// `config`, with its evaluated latency.
+///
+/// This is the row format of the phase-2 candidate table: however the
+/// latencies were produced (a raw [`StageLatencyProvider`], or a
+/// `predtop-service` middleware stack), [`solve_pipeline`] only sees
+/// this table — which is what keeps every evaluation path bit-identical.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
-    stage: StageSpec,
-    mesh: MeshShape,
-    config: ParallelConfig,
-    t: f64,
+pub struct EvaluatedCandidate {
+    /// Layer range of the candidate stage.
+    pub stage: StageSpec,
+    /// Sub-mesh the stage would run on.
+    pub mesh: MeshShape,
+    /// Intra-stage parallelism configuration.
+    pub config: ParallelConfig,
+    /// Evaluated latency (seconds, forward+backward of one micro-batch).
+    pub seconds: f64,
 }
 
 /// Sub-mesh shapes considered inside `cluster`: power-of-two slices that
@@ -211,33 +220,20 @@ where
 
     // Phase 2: fan the provider queries out across the worker pool.
     // Each candidate's latency lands at its work-list index.
-    let cands: Vec<Candidate> = par_map_with(worklist, threads, |(stage, mesh, config)| {
-        let t = provider.stage_latency(&stage, mesh, config);
-        Candidate {
-            stage,
-            mesh,
-            config,
-            t,
-        }
-    });
-
-    // Phase 3: Alpa's t_max enumeration + sum-minimizing DP.
-    let mut tmax_set: Vec<f64> = cands.iter().map(|c| c.t).collect();
-    tmax_set.sort_by(f64::total_cmp);
-    tmax_set.dedup();
-
-    let mut best: Option<(f64, PipelinePlan)> = None;
-    for &tmax in &tmax_set {
-        if let Some((sum, plan)) = dp_min_sum(&cands, layers, total_dev, tmax, opts.microbatches) {
-            let total = sum + (opts.microbatches as f64 - 1.0) * tmax;
-            if best.as_ref().is_none_or(|(b, _)| total < *b) {
-                best = Some((total, plan));
+    let cands: Vec<EvaluatedCandidate> =
+        par_map_with(worklist, threads, |(stage, mesh, config)| {
+            let seconds = provider.stage_latency(&stage, mesh, config);
+            EvaluatedCandidate {
+                stage,
+                mesh,
+                config,
+                seconds,
             }
-        }
-    }
+        });
 
-    let (latency, plan) =
-        best.expect("no covering partition survived the filter (unfiltered searches always have the single full-mesh stage)");
+    // Phase 3: the shared DP over the candidate table.
+    let (latency, plan) = solve_pipeline(&cands, layers, total_dev, opts.microbatches)
+        .expect("no covering partition survived the filter (unfiltered searches always have the single full-mesh stage)");
     InterStageResult {
         plan,
         latency,
@@ -246,12 +242,44 @@ where
     }
 }
 
+/// Phase 3 of the engine, exposed for alternative evaluation front-ends
+/// (the `predtop-service` stack evaluates the work-list itself and hands
+/// the table here): Alpa's `t_max` enumeration + sum-minimizing DP over
+/// an already-evaluated candidate table.
+///
+/// `layers` is the model's layer count every plan must cover and
+/// `total_dev` the cluster device budget. Returns the optimal Eqn. 4
+/// latency and plan, or `None` if no covering partition exists within
+/// the budget. Purely a function of the table (candidate order included,
+/// for tie-breaking) — identical tables give bit-identical plans.
+pub fn solve_pipeline(
+    cands: &[EvaluatedCandidate],
+    layers: usize,
+    total_dev: usize,
+    microbatches: usize,
+) -> Option<(f64, PipelinePlan)> {
+    let mut tmax_set: Vec<f64> = cands.iter().map(|c| c.seconds).collect();
+    tmax_set.sort_by(f64::total_cmp);
+    tmax_set.dedup();
+
+    let mut best: Option<(f64, PipelinePlan)> = None;
+    for &tmax in &tmax_set {
+        if let Some((sum, plan)) = dp_min_sum(cands, layers, total_dev, tmax, microbatches) {
+            let total = sum + (microbatches as f64 - 1.0) * tmax;
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                best = Some((total, plan));
+            }
+        }
+    }
+    best
+}
+
 /// DP minimizing the stage-latency sum for a fixed bottleneck bound:
 /// `f[l][d]` = min Σ tᵢ covering layers `0..l` with exactly `d` devices,
 /// using only candidates with `t ≤ tmax`. Returns the best plan over all
 /// `d ≤ total_dev`.
 fn dp_min_sum(
-    cands: &[Candidate],
+    cands: &[EvaluatedCandidate],
     layers: usize,
     total_dev: usize,
     tmax: f64,
@@ -270,7 +298,7 @@ fn dp_min_sum(
     // `end` via simple filtering (candidate counts are small: ≤ ~2k).
     for end in 1..=layers {
         for (ci, c) in cands.iter().enumerate() {
-            if c.stage.end != end || c.t > tmax {
+            if c.stage.end != end || c.seconds > tmax {
                 continue;
             }
             let dev = c.mesh.num_devices();
@@ -280,8 +308,8 @@ fn dp_min_sum(
                     continue;
                 }
                 let idx = end * width + d_prev + dev;
-                if prev + c.t < f[idx] {
-                    f[idx] = prev + c.t;
+                if prev + c.seconds < f[idx] {
+                    f[idx] = prev + c.seconds;
                     parent[idx] = Some((c.stage.start, d_prev));
                     cand_at[idx] = ci;
                 }

@@ -17,8 +17,9 @@
 //!   over contiguous layer ranges × sub-mesh shapes minimizing the Eqn. 4
 //!   pipeline latency, with candidate evaluation fanned out across
 //!   worker threads (deterministically — see `predtop-runtime`).
-//! * [`cache`] — [`CachedProvider`], a sharded memoization layer any
-//!   latency provider can wear, with hit/miss accounting.
+//! * [`cache`] — hit/miss [`CacheStats`] accounting (the deprecated
+//!   `CachedProvider` wrapper lives here too; new code memoizes through
+//!   the `predtop-service` stack instead).
 //! * [`plan`] — end-to-end pipeline plans and the Eqn. 4 white-box
 //!   formula `T = Σ tᵢ + (B−1)·max tⱼ`.
 //!
@@ -38,11 +39,14 @@ pub mod plan;
 pub mod schedule;
 pub mod sharding;
 
-pub use cache::{CacheStats, CachedProvider};
+pub use cache::CacheStats;
+#[allow(deprecated)]
+pub use cache::CachedProvider;
 pub use config::{table3_configs, MeshShape, ParallelConfig};
 pub use interstage::{
     enumerate_candidates, optimize_pipeline, optimize_pipeline_filtered_with_threads,
-    optimize_pipeline_with_threads, InterStageOptions, InterStageResult,
+    optimize_pipeline_with_threads, solve_pipeline, EvaluatedCandidate, InterStageOptions,
+    InterStageResult,
 };
 pub use intra::{IntraPlan, OpCost};
 pub use plan::{pipeline_latency, PipelinePlan, PlanError, PlanRule, PlanViolation, PlannedStage};

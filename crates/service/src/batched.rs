@@ -1,0 +1,113 @@
+//! The batch-evaluation layer: fan a whole query batch out across the
+//! deterministic worker pool.
+
+use predtop_runtime::{configured_threads, par_map_with};
+
+use crate::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
+
+/// Middleware that overrides [`LatencyService::query_batch`] with a
+/// `predtop-runtime` `par_map_with` fan-out: each query is resolved on
+/// one of `threads` workers and its reply lands at the query's index.
+///
+/// Because the pool preserves input order (results land at their input
+/// positions regardless of which worker computed them), a batch through
+/// this layer is *bit-identical* to the serial default at any thread
+/// count — this is the layer that gives the plan-search engine its
+/// parallel candidate evaluation without giving up determinism.
+///
+/// Single queries pass straight through.
+pub struct Batched<S> {
+    inner: S,
+    threads: usize,
+}
+
+impl<S> Batched<S> {
+    /// Fan batches out over exactly `threads` workers (floored at 1).
+    pub fn new(inner: S, threads: usize) -> Batched<S> {
+        Batched {
+            inner,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Fan batches out over the `PREDTOP_THREADS`-configured pool size.
+    pub fn auto(inner: S) -> Batched<S> {
+        let threads = configured_threads();
+        Batched::new(inner, threads)
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The worker-pool size batches fan out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<S: LatencyService> LatencyService for Batched<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        self.inner.query(q)
+    }
+
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        par_map_with(qs.to_vec(), self.threads, |q| self.inner.query(&q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::tests::counting_service;
+    use predtop_models::{ModelSpec, StageSpec};
+    use predtop_parallel::{MeshShape, ParallelConfig};
+
+    fn queries() -> Vec<LatencyQuery> {
+        let mut m = ModelSpec::gpt3_1p3b(2);
+        m.num_layers = 6;
+        let mut out = Vec::new();
+        for start in 0..6 {
+            for end in start + 1..=6 {
+                out.push(LatencyQuery::new(
+                    StageSpec::new(m, start, end),
+                    MeshShape::new(1, 1),
+                    ParallelConfig::SERIAL,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batch_matches_serial_at_any_thread_count() {
+        let qs = queries();
+        let (svc, _) = counting_service();
+        let serial: Vec<f64> = qs.iter().map(|q| svc.query(q).unwrap().seconds).collect();
+        for threads in [1, 2, 8] {
+            let (svc, calls) = counting_service();
+            let batched = Batched::new(svc, threads);
+            let replies = batched.query_batch(&qs);
+            assert_eq!(replies.len(), qs.len());
+            for (i, r) in replies.iter().enumerate() {
+                assert_eq!(r.as_ref().unwrap().seconds.to_bits(), serial[i].to_bits());
+            }
+            assert_eq!(
+                calls.load(std::sync::atomic::Ordering::Relaxed),
+                qs.len(),
+                "every query reaches the inner service exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (svc, _) = counting_service();
+        assert!(Batched::new(svc, 4).query_batch(&[]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! [`ServiceBuilder`]: assemble a middleware stack layer by layer while
+//! keeping shared handles to each layer's counters.
+
+use crate::batched::Batched;
+use crate::bridge::ProviderService;
+use crate::fallback::Fallback;
+use crate::instrument::Instrumented;
+use crate::memoize::{CacheHandle, Memoize};
+use crate::{
+    FallbackHandle, LatencyQuery, LatencyReply, LatencyService, MetricsHandle, ServiceError,
+};
+use predtop_parallel::StageLatencyProvider;
+
+/// Shared handles onto the counters of the layers a [`ServiceBuilder`]
+/// installed. Cloneable and independent of the stack's lifetime, so an
+/// outcome struct can carry them out of the search that built the stack.
+#[derive(Debug, Clone, Default)]
+pub struct StackHandles {
+    /// Hit/miss counters of the [`Memoize`] layer, if one was installed.
+    pub cache: Option<CacheHandle>,
+    /// Counters of the [`Instrumented`] layer, if one was installed.
+    pub metrics: Option<MetricsHandle>,
+    /// Primary/secondary accounting of the [`Fallback`] layer, if one
+    /// was installed.
+    pub fallback: Option<FallbackHandle>,
+}
+
+/// Type-state builder for a latency-service middleware stack.
+///
+/// Layers wrap outward: each call wraps the current service in one more
+/// layer, so the *first* layer added sits closest to the base source and
+/// the *last* sits outermost. The canonical search stack is
+///
+/// ```text
+/// ServiceBuilder::from_provider(profiler, "simulator")
+///     .memoize()        // innermost wrap: dedupe repeat queries
+///     .batched(threads) // fan batches across the worker pool
+///     .instrumented()   // outermost: count what the caller sees
+///     .finish()
+/// ```
+///
+/// i.e. `Instrumented(Batched(Memoize(ProviderService(profiler))))`.
+/// Keeping [`Instrumented`] outside [`Batched`] is what makes its
+/// latency accounting deterministic — it sums the already-ordered batch
+/// replies instead of racing per-query.
+pub struct ServiceBuilder<S> {
+    svc: S,
+    handles: StackHandles,
+}
+
+impl<P: StageLatencyProvider> ServiceBuilder<ProviderService<P>> {
+    /// Start a stack from a pre-service [`StageLatencyProvider`],
+    /// attributed to `name`.
+    pub fn from_provider(provider: P, name: &'static str) -> ServiceBuilder<ProviderService<P>> {
+        ServiceBuilder::new(ProviderService::new(provider, name))
+    }
+}
+
+impl<S: LatencyService> ServiceBuilder<S> {
+    /// Start a stack from a base service.
+    pub fn new(svc: S) -> ServiceBuilder<S> {
+        ServiceBuilder {
+            svc,
+            handles: StackHandles::default(),
+        }
+    }
+
+    /// Degrade to `secondary` on any error from the current stack.
+    pub fn or_fallback_to<T: LatencyService>(self, secondary: T) -> ServiceBuilder<Fallback<S, T>> {
+        let svc = Fallback::new(self.svc, secondary);
+        let mut handles = self.handles;
+        handles.fallback = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Memoize successful replies per query (sharded, with
+    /// [`predtop_parallel::CacheStats`] accounting).
+    pub fn memoize(self) -> ServiceBuilder<Memoize<S>> {
+        let svc = Memoize::new(self.svc);
+        let mut handles = self.handles;
+        handles.cache = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Fan query batches across `threads` deterministic workers.
+    pub fn batched(self, threads: usize) -> ServiceBuilder<Batched<S>> {
+        ServiceBuilder {
+            svc: Batched::new(self.svc, threads),
+            handles: self.handles,
+        }
+    }
+
+    /// Fan query batches across the `PREDTOP_THREADS`-configured pool.
+    pub fn batched_auto(self) -> ServiceBuilder<Batched<S>> {
+        ServiceBuilder {
+            svc: Batched::auto(self.svc),
+            handles: self.handles,
+        }
+    }
+
+    /// Count queries, batches, errors, and served seconds at this point
+    /// in the stack.
+    pub fn instrumented(self) -> ServiceBuilder<Instrumented<S>> {
+        let svc = Instrumented::new(self.svc);
+        let mut handles = self.handles;
+        handles.metrics = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Seal the stack.
+    pub fn finish(self) -> ServiceStack<S> {
+        ServiceStack {
+            svc: self.svc,
+            handles: self.handles,
+        }
+    }
+}
+
+/// A sealed middleware stack: the composed service plus
+/// [`StackHandles`] to every installed layer's counters.
+pub struct ServiceStack<S> {
+    svc: S,
+    handles: StackHandles,
+}
+
+impl<S> ServiceStack<S> {
+    /// Handles to the installed layers' counters.
+    pub fn handles(&self) -> &StackHandles {
+        &self.handles
+    }
+
+    /// The composed service.
+    pub fn service(&self) -> &S {
+        &self.svc
+    }
+}
+
+impl<S: LatencyService> LatencyService for ServiceStack<S> {
+    fn name(&self) -> &'static str {
+        self.svc.name()
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        self.svc.query(q)
+    }
+
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        self.svc.query_batch(qs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::tests::{counting_service, failing_service, SyntheticProvider};
+    use predtop_models::{ModelSpec, StageSpec};
+    use predtop_parallel::{CacheStats, MeshShape, ParallelConfig};
+
+    fn queries(n: usize) -> Vec<LatencyQuery> {
+        let mut m = ModelSpec::gpt3_1p3b(2);
+        m.num_layers = n;
+        (0..n)
+            .map(|i| {
+                LatencyQuery::new(
+                    StageSpec::new(m, i, i + 1),
+                    MeshShape::new(1, 1),
+                    ParallelConfig::SERIAL,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_stack_is_transparent_and_all_handles_report() {
+        let qs = queries(6);
+        // ground truth straight from the provider
+        let base = ServiceBuilder::from_provider(SyntheticProvider, "simulator").finish();
+        let expected: Vec<f64> = qs.iter().map(|q| base.query(q).unwrap().seconds).collect();
+
+        let stack = ServiceBuilder::new(failing_service("predictor"))
+            .or_fallback_to(ProviderService::new(SyntheticProvider, "simulator"))
+            .memoize()
+            .batched(4)
+            .instrumented()
+            .finish();
+
+        // two identical batches: second is all cache hits
+        for _ in 0..2 {
+            let replies = stack.query_batch(&qs);
+            for (i, r) in replies.iter().enumerate() {
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.seconds.to_bits(), expected[i].to_bits());
+                assert_eq!(r.source, "simulator", "fallback attribution survives");
+            }
+        }
+
+        let h = stack.handles();
+        assert_eq!(
+            h.cache.as_ref().unwrap().stats(),
+            CacheStats { hits: 6, misses: 6 }
+        );
+        // the fallback only saw the six misses
+        let fb = h.fallback.as_ref().unwrap().stats();
+        assert_eq!(fb.primary_served, 0);
+        assert_eq!(fb.fallback_served, 6);
+        // the instrument layer saw all twelve
+        let m = h.metrics.as_ref().unwrap().metrics();
+        assert_eq!(m.queries, 12);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.errors, 0);
+        let expected_sum: f64 = expected.iter().sum::<f64>() * 2.0;
+        assert!((m.served_seconds - expected_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_default_to_none_when_layers_absent() {
+        let (svc, _) = counting_service();
+        let stack = ServiceBuilder::new(svc).batched(2).finish();
+        assert!(stack.handles().cache.is_none());
+        assert!(stack.handles().metrics.is_none());
+        assert!(stack.handles().fallback.is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! # predtop-service
+//!
+//! The composable latency-service layer: one [`LatencyService`] trait
+//! that every latency source implements — the ground-truth simulator,
+//! the analytic white-box model, the trained gray-box predictor — plus
+//! tower-style middleware layers that any source can wear:
+//!
+//! * [`Memoize`] — sharded per-query memoization with hit/miss
+//!   [`CacheStats`], generalizing the old `parallel::cache`
+//!   `CachedProvider`;
+//! * [`Batched`] — evaluates whole query batches in one deterministic
+//!   `predtop-runtime` fan-out (`par_map_with`), so the plan-search
+//!   engine's candidate table is bit-identical at any thread count;
+//! * [`Instrumented`] — per-layer query/batch/error counters plus a
+//!   deterministic accounting of the latency-seconds the stack served;
+//! * [`Fallback`] — graceful degradation between sources (predictor →
+//!   analytic → simulator), with the source that actually answered
+//!   recorded on every [`LatencyReply`].
+//!
+//! Stacks are assembled with [`ServiceBuilder`], which keeps shared
+//! [`StackHandles`] to each layer's counters so outcomes (e.g.
+//! `predtop-core`'s `SearchOutcome`) can surface cache and fallback
+//! accounting without holding the stack itself.
+//!
+//! Determinism contract: no layer may change the *value* a query
+//! resolves to — only how it is computed (cached, fanned out, counted,
+//! or served by a stand-in source). The inter-stage DP therefore chooses
+//! bit-identical plans through any stack built from these layers.
+//!
+//! Bridges to the pre-service world: [`ProviderService`] lifts any
+//! `predtop_parallel::StageLatencyProvider` into a named service, and
+//! [`AsProvider`] projects a service back down for APIs (like
+//! `PipelinePlan::latency`) that still speak the provider trait.
+
+#![warn(missing_docs)]
+
+pub mod batched;
+pub mod bridge;
+pub mod builder;
+pub mod fallback;
+pub mod instrument;
+pub mod memoize;
+pub mod query;
+
+pub use batched::Batched;
+pub use bridge::{plan_latency, AsProvider, ProviderService, Unavailable};
+pub use builder::{ServiceBuilder, ServiceStack, StackHandles};
+pub use fallback::{Fallback, FallbackHandle, FallbackStats};
+pub use instrument::{Instrumented, MetricsHandle, ServiceMetrics};
+pub use memoize::{CacheHandle, Memoize};
+pub use predtop_parallel::CacheStats;
+pub use query::{LatencyQuery, LatencyReply, ServiceError};
+
+/// A source of stage latencies, queryable one at a time or in batches.
+///
+/// This is the pluggable-backend seam of the whole system: the
+/// inter-stage optimizer, the CLI, and the bench harness only ever talk
+/// to *some* `LatencyService`, and middleware layers ([`Memoize`],
+/// [`Batched`], [`Instrumented`], [`Fallback`]) are themselves services
+/// wrapping an inner one.
+///
+/// Implementations must tolerate concurrent `query` calls (`Sync`
+/// supertrait): the [`Batched`] layer fans one batch out across worker
+/// threads.
+pub trait LatencyService: Sync {
+    /// Short static label of this source ("simulator", "analytic",
+    /// "predictor", ...), used for per-query attribution in
+    /// [`LatencyReply::source`] and in error messages.
+    fn name(&self) -> &'static str;
+
+    /// Resolve one query to a latency, or explain why this source
+    /// cannot serve it (so a [`Fallback`] layer can try the next one).
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError>;
+
+    /// Resolve a whole batch, one reply per query at the query's index.
+    ///
+    /// The default is a serial in-order map; the [`Batched`] layer
+    /// overrides it with a deterministic parallel fan-out. Overrides
+    /// must preserve the index correspondence and per-query values.
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        qs.iter().map(|q| self.query(q)).collect()
+    }
+}
+
+impl<S: LatencyService + ?Sized> LatencyService for &S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        (**self).query(q)
+    }
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        (**self).query_batch(qs)
+    }
+}
+
+impl<S: LatencyService + ?Sized> LatencyService for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        (**self).query(q)
+    }
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        (**self).query_batch(qs)
+    }
+}

@@ -1,0 +1,217 @@
+//! The memoization layer: answer repeated queries from a sharded cache.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use predtop_parallel::CacheStats;
+
+use crate::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
+
+/// Number of independent map shards. A power of two so shard selection
+/// is a mask; 16 comfortably exceeds any realistic `PREDTOP_THREADS`.
+const SHARDS: usize = 16;
+
+/// Shared cache state, owned jointly by the [`Memoize`] layer and any
+/// [`CacheHandle`]s the builder handed out.
+#[derive(Debug)]
+pub(crate) struct MemoizeState {
+    shards: Vec<Mutex<HashMap<LatencyQuery, LatencyReply>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoizeState {
+    fn new() -> MemoizeState {
+        MemoizeState {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(q: &LatencyQuery) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        q.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Shared view of a [`Memoize`] layer's counters, usable after the layer
+/// has been consumed by outer layers of the stack.
+#[derive(Debug, Clone)]
+pub struct CacheHandle(pub(crate) Arc<MemoizeState>);
+
+impl CacheHandle {
+    /// Hit/miss counters accumulated since the layer was built.
+    pub fn stats(&self) -> CacheStats {
+        self.0.stats()
+    }
+
+    /// Number of distinct queries currently cached.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.len() == 0
+    }
+}
+
+/// Middleware that memoizes successful replies per [`LatencyQuery`] in a
+/// sharded `parking_lot`-protected map — the service-stack
+/// generalization of the old `parallel::cache::CachedProvider`.
+///
+/// Transparency contract: wrapping a service never changes the reply a
+/// query resolves to (the cached [`LatencyReply`] carries its original
+/// source attribution), only how often the inner service is consulted.
+/// Errors are never cached — a failing source is re-asked, so a
+/// [`crate::Fallback`] below keeps attributing per query.
+///
+/// Concurrency note: the inner service is consulted *outside* the shard
+/// lock, so two threads racing on the same brand-new query may both
+/// consult it. The search engine's work-list contains each query at most
+/// once per search, so within one search this cannot happen; across
+/// sequential searches the inner-query count equals the number of
+/// distinct keys.
+pub struct Memoize<S> {
+    inner: S,
+    state: Arc<MemoizeState>,
+}
+
+impl<S> Memoize<S> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: S) -> Memoize<S> {
+        Memoize {
+            inner,
+            state: Arc::new(MemoizeState::new()),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// A shareable handle onto this layer's counters.
+    pub fn handle(&self) -> CacheHandle {
+        CacheHandle(self.state.clone())
+    }
+
+    /// Hit/miss counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.state.stats()
+    }
+}
+
+impl<S: LatencyService> LatencyService for Memoize<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        let shard = &self.state.shards[MemoizeState::shard_of(q)];
+        if let Some(&r) = shard.lock().get(q) {
+            self.state.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r);
+        }
+        // consult the inner service outside the lock: a slow inner query
+        // (the simulator compiles the whole stage) must not stall every
+        // other worker hashing into this shard
+        let r = self.inner.query(q)?;
+        self.state.misses.fetch_add(1, Ordering::Relaxed);
+        shard.lock().insert(*q, r);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::tests::{counting_service, failing_service};
+    use crate::query::LatencyQuery;
+    use predtop_models::{ModelSpec, StageSpec};
+    use predtop_parallel::{MeshShape, ParallelConfig};
+
+    fn q(start: usize, end: usize) -> LatencyQuery {
+        let mut m = ModelSpec::gpt3_1p3b(2);
+        m.num_layers = 4;
+        LatencyQuery::new(
+            StageSpec::new(m, start, end),
+            MeshShape::new(1, 1),
+            ParallelConfig::SERIAL,
+        )
+    }
+
+    #[test]
+    fn second_query_hits_without_consulting_inner() {
+        let (svc, calls) = counting_service();
+        let memo = Memoize::new(svc);
+        let a = memo.query(&q(0, 2)).unwrap();
+        let b = memo.query(&q(0, 2)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(memo.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(memo.handle().len(), 1);
+        // attribution survives the cache
+        assert_eq!(b.source, "counting");
+    }
+
+    #[test]
+    fn distinct_queries_each_miss_once() {
+        let (svc, calls) = counting_service();
+        let memo = Memoize::new(svc);
+        for start in 0..4 {
+            for end in start + 1..=4 {
+                memo.query(&q(start, end)).unwrap();
+            }
+        }
+        let distinct = 4 * 5 / 2;
+        assert_eq!(
+            memo.stats(),
+            CacheStats {
+                hits: 0,
+                misses: distinct
+            }
+        );
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), distinct);
+        // replay: all hits
+        for start in 0..4 {
+            for end in start + 1..=4 {
+                memo.query(&q(start, end)).unwrap();
+            }
+        }
+        assert_eq!(
+            memo.stats(),
+            CacheStats {
+                hits: distinct,
+                misses: distinct
+            }
+        );
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), distinct);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo = Memoize::new(failing_service("flaky"));
+        assert!(memo.query(&q(0, 1)).is_err());
+        assert!(memo.query(&q(0, 1)).is_err());
+        assert_eq!(memo.stats(), CacheStats { hits: 0, misses: 0 });
+        assert!(memo.handle().is_empty());
+    }
+}

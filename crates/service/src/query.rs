@@ -1,0 +1,100 @@
+//! The request/response vocabulary every [`crate::LatencyService`]
+//! speaks.
+
+use predtop_models::StageSpec;
+use predtop_parallel::{MeshShape, ParallelConfig};
+
+/// One stage-latency question: how long does `stage` take on a
+/// `mesh`-shaped sub-mesh under `config`?
+///
+/// This is exactly the (stage, sub-mesh, configuration) candidate key
+/// the inter-stage DP enumerates, promoted to a first-class value so
+/// middleware layers can hash, batch, and attribute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyQuery {
+    /// Layer range being asked about.
+    pub stage: StageSpec,
+    /// Sub-mesh shape the stage would run on.
+    pub mesh: MeshShape,
+    /// Intra-stage parallelism configuration.
+    pub config: ParallelConfig,
+}
+
+impl LatencyQuery {
+    /// Build a query from the candidate triple.
+    pub fn new(stage: StageSpec, mesh: MeshShape, config: ParallelConfig) -> LatencyQuery {
+        LatencyQuery {
+            stage,
+            mesh,
+            config,
+        }
+    }
+}
+
+/// A resolved latency, tagged with the source that actually produced it.
+///
+/// The tag is what makes [`crate::Fallback`] auditable: whichever base
+/// service answered stamps its [`crate::LatencyService::name`] here, and
+/// the tag survives memoization and batching unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyReply {
+    /// Predicted/measured latency in seconds (forward+backward of one
+    /// micro-batch, matching `StageLatencyProvider::stage_latency`).
+    pub seconds: f64,
+    /// Name of the base service that served this query.
+    pub source: &'static str,
+}
+
+/// Why a service could not answer a query. A [`crate::Fallback`] layer
+/// treats any error as "try the next source".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The source as a whole is unusable (e.g. a saved model file that
+    /// failed to load).
+    Unavailable {
+        /// Name of the failed source.
+        source: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The source exists but was never fitted for this (sub-mesh,
+    /// configuration) scenario.
+    ScenarioUnsupported {
+        /// Name of the source.
+        source: &'static str,
+        /// The unsupported sub-mesh.
+        mesh: MeshShape,
+        /// The unsupported configuration.
+        config: ParallelConfig,
+    },
+}
+
+impl ServiceError {
+    /// Name of the source that raised the error.
+    pub fn source(&self) -> &'static str {
+        match self {
+            ServiceError::Unavailable { source, .. } => source,
+            ServiceError::ScenarioUnsupported { source, .. } => source,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Unavailable { source, reason } => {
+                write!(f, "latency source `{source}` unavailable: {reason}")
+            }
+            ServiceError::ScenarioUnsupported {
+                source,
+                mesh,
+                config,
+            } => write!(
+                f,
+                "latency source `{source}` has no predictor for scenario ({mesh:?}, {config:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -22,6 +22,8 @@ use predtop_parallel::{
     MeshShape, ParallelConfig, StageLatencyProvider,
 };
 
+use predtop_service::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
+
 use crate::costing::{CostLedger, CostingModel};
 use crate::memory::{estimate_stage_memory, fits_on};
 use crate::opcost::DeviceCostModel;
@@ -147,6 +149,21 @@ impl StageLatencyProvider for SimProfiler {
         ));
         self.latency_cache.lock().insert(key, latency);
         latency
+    }
+}
+
+impl LatencyService for SimProfiler {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        // the simulator can cost any (stage, mesh, config) triple, so it
+        // is the infallible base of every fallback chain
+        Ok(LatencyReply {
+            seconds: self.stage_latency(&q.stage, q.mesh, q.config),
+            source: self.name(),
+        })
     }
 }
 

@@ -15,7 +15,7 @@
 //! **bit-identical** to the references (proptested below) — which is what
 //! lets the training loop parallelize without losing reproducibility.
 //!
-//! Above [`PAR_MIN_MULADDS`] multiply-adds the kernels split the output
+//! Above `PAR_MIN_MULADDS` multiply-adds the kernels split the output
 //! into contiguous row panels and fan them out over
 //! `predtop_runtime::par_map_with`; each panel is computed by the same
 //! serial kernel, so results stay bit-identical at any thread count.
@@ -162,8 +162,8 @@ impl Matrix {
 
     /// `self · other` written into `out` (reshaped + zeroed in place).
     ///
-    /// Cache-blocked over output row panels ([`MC`]) and reduction
-    /// panels ([`KC`]); bit-identical to [`Matrix::matmul_ref`].
+    /// Cache-blocked over output row panels (`MC`) and reduction
+    /// panels (`KC`); bit-identical to [`Matrix::matmul_ref`].
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
@@ -199,7 +199,7 @@ impl Matrix {
     /// `self · otherᵀ` written into `out`, without materializing the
     /// transpose.
     ///
-    /// Blocks over [`NT_JB`] rows of `other` so they stay cache-hot
+    /// Blocks over `NT_JB` rows of `other` so they stay cache-hot
     /// while every row of `self` is swept (the naive j-then-p loop
     /// re-streamed all of `other` per output row), and computes four
     /// output columns per pass with independent accumulators for
@@ -241,7 +241,7 @@ impl Matrix {
     /// `selfᵀ · other` written into `out`, without materializing the
     /// transpose.
     ///
-    /// Blocks over [`MC`] output rows so the updated panel stays hot
+    /// Blocks over `MC` output rows so the updated panel stays hot
     /// while `self` and `other` stream past once per panel; the `p`
     /// reduction stays ascending with the reference's skip-zero
     /// behaviour, so the result is bit-identical to
@@ -489,7 +489,7 @@ fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 }
 
 /// Blocked `A·Bᵀ` over a row panel: `a` holds the panel's rows of `A`,
-/// `b` all of `B` (`n × k`). [`NT_JB`] rows of `B` stay hot per block;
+/// `b` all of `B` (`n × k`). `NT_JB` rows of `B` stay hot per block;
 /// four independent dot products run per pass for ILP. Each element is
 /// one sequential `p`-ascending dot product — bit-identical to the
 /// reference.
@@ -534,7 +534,7 @@ fn mm_nt_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 
 /// Blocked `Aᵀ·B` over a row panel of the output: `a` is all of `A`
 /// (`k × a_cols`), `b` all of `B` (`k × n`), `out` covers output rows
-/// `start..start + rows` (= columns of `A`). The [`MC`]-row output
+/// `start..start + rows` (= columns of `A`). The `MC`-row output
 /// panel stays hot while `A`/`B` stream past; `p` ascends with the
 /// reference's skip-zero rule — bit-identical to the reference.
 fn mm_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], start: usize, a_cols: usize, n: usize) {

@@ -98,7 +98,7 @@ impl BufferPool {
     }
 
     /// Return a matrix's backing buffer to the pool. Buffers beyond the
-    /// [`MAX_POOLED_FLOATS`] budget (and zero-capacity ones) are simply
+    /// `MAX_POOLED_FLOATS` budget (and zero-capacity ones) are simply
     /// dropped.
     pub fn recycle(&mut self, m: Matrix) {
         let data = m.into_data();

@@ -28,8 +28,11 @@ fn usage() -> ! {
            search                     optimize a full pipeline plan\n\
            fit -o FILE                fit a DAG-Transformer predictor, save JSON\n\
            predict -m FILE            predict a stage latency with a saved model\n\
+                                      (falls back to the analytic baseline if the\n\
+                                      model cannot be loaded; see `source = ...`)\n\
          \n\
          options:\n\
+           --plan-out FILE            (search) write the chosen plan as JSON\n\
            --model gpt3|moe           benchmark (default gpt3)\n\
            --platform 1|2             hardware platform (default 2)\n\
            --mesh NxG                 sub-mesh, e.g. 1x2 (default 1x1)\n\
@@ -233,7 +236,12 @@ fn cmd_profile(args: &Args) {
     }
     let profiler = SimProfiler::new(args.platform(), args.seed());
     let graph = profiler.stage_graph(&stage);
-    let t = profiler.stage_latency(&stage, mesh, config);
+    // even a single query goes through the service stack, so the CLI
+    // reports the same instrumented accounting as the search path
+    let stack = ServiceBuilder::new(&profiler).instrumented().finish();
+    let reply = stack
+        .query(&LatencyQuery::new(stage, mesh, config))
+        .expect("the simulator serves every scenario");
     println!(
         "{} on {} mesh {} [{}]",
         stage.label(),
@@ -246,7 +254,10 @@ fn cmd_profile(args: &Args) {
         graph.len(),
         graph.num_edges()
     );
-    println!("  training-iteration latency: {:.6} s (one micro-batch)", t);
+    println!(
+        "  training-iteration latency: {:.6} s (one micro-batch, source = {})",
+        reply.seconds, reply.source
+    );
 }
 
 fn cmd_search(args: &Args) {
@@ -264,7 +275,16 @@ fn cmd_search(args: &Args) {
         platform.name,
         enumerate_stages(model).len()
     );
-    let out = search_plan(model, cluster, &profiler, &profiler, opts);
+    // the canonical stack: memoized, fanned out over the worker pool,
+    // instrumented at the top so the accounting matches what the search
+    // observed
+    let stack = ServiceBuilder::new(&profiler)
+        .memoize()
+        .batched_auto()
+        .instrumented()
+        .finish();
+    let out = search_plan_service(model, cluster, &stack, &profiler, opts, None)
+        .expect("the simulator stack serves every scenario");
     println!("optimal plan ({} stage-latency queries):", out.num_queries);
     for ps in &out.plan.stages {
         println!(
@@ -278,11 +298,33 @@ fn cmd_search(args: &Args) {
         "iteration latency: {:.6} s (B = {})",
         out.true_latency, out.plan.microbatches
     );
+    if let Some(report) = &out.service {
+        if let Some(c) = report.cache {
+            println!("memoize: {} hits / {} misses", c.hits, c.misses);
+        }
+        if let Some(m) = &report.metrics {
+            println!(
+                "service: {} queries in {} batches ({} errors), {:.3} served seconds",
+                m.queries, m.batches, m.errors, m.served_seconds
+            );
+        }
+    }
     let bill = profiler.ledger().totals();
     println!(
         "profiling bill: {} stages, {:.0} simulated seconds",
         bill.stages_profiled, bill.profiling_s
     );
+    if let Some(path) = args.flags.get("plan-out") {
+        let json = serde_json::to_string(&out.plan).unwrap_or_else(|e| {
+            eprintln!("plan serialization failed: {e}");
+            exit(1);
+        });
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("could not write plan to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("plan written to {path}");
+    }
 }
 
 fn cmd_fit(args: &Args) {
@@ -340,25 +382,75 @@ fn cmd_fit(args: &Args) {
     );
 }
 
+/// A predictor restored from disk, lifted into the service stack: every
+/// query rebuilds the stage graph and serves the DAG-Transformer
+/// estimate, attributed to `"predictor"`.
+struct SavedModelService {
+    predictor: TrainedPredictor,
+    pe_dim: usize,
+}
+
+impl LatencyService for SavedModelService {
+    fn name(&self) -> &'static str {
+        "predictor"
+    }
+
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        let sample = GraphSample::new(&q.stage.build_graph(), 1.0, self.pe_dim);
+        Ok(LatencyReply {
+            seconds: self.predictor.predict(&sample),
+            source: self.name(),
+        })
+    }
+}
+
+/// Load a saved predictor as a service, or a named [`Unavailable`] that
+/// carries the load failure into the fallback chain.
+fn load_model_service(path: &str) -> Box<dyn LatencyService> {
+    let attempt = || -> Result<SavedModelService, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let saved: persist::SavedPredictor =
+            serde_json::from_str(&body).map_err(|e| e.to_string())?;
+        let pe_dim = saved.arch.pe_dim();
+        let predictor = persist::restore(&saved).map_err(|e| e.to_string())?;
+        Ok(SavedModelService { predictor, pe_dim })
+    };
+    match attempt() {
+        Ok(svc) => Box::new(svc),
+        Err(reason) => {
+            eprintln!("model load failed ({reason}); degrading to the analytic baseline");
+            Box::new(Unavailable::new("predictor", reason))
+        }
+    }
+}
+
 fn cmd_predict(args: &Args) {
     let Some(model_path) = args.flags.get("m") else {
         eprintln!("predict requires -m FILE");
         usage()
     };
-    let predictor = persist::load_from_file(model_path).unwrap_or_else(|e| {
-        eprintln!("load failed: {e}");
-        exit(1);
-    });
     let model = args.model();
     let stage = args.stage(model);
-    let graph = stage.build_graph();
-    // the saved file knows its pe_dim via the architecture; rebuild a
-    // compatible sample using the stored input width
-    let saved = std::fs::read_to_string(model_path).unwrap();
-    let arch: persist::SavedPredictor = serde_json::from_str(&saved).unwrap();
-    let sample = GraphSample::new(&graph, 1.0, arch.arch.pe_dim());
-    let t = predictor.predict(&sample);
-    println!("{}: predicted latency {:.6} s", stage.label(), t);
+    let mesh = args.mesh();
+    let config = args.config();
+    // predictor → analytic fallback chain: a missing or undecodable
+    // model file degrades the answer instead of aborting the command
+    let analytic = AnalyticBaseline::new(args.platform());
+    let stack = ServiceBuilder::new(load_model_service(model_path))
+        .or_fallback_to(analytic)
+        .finish();
+    let reply = stack
+        .query(&LatencyQuery::new(stage, mesh, config))
+        .unwrap_or_else(|e| {
+            eprintln!("prediction failed: {e}");
+            exit(1);
+        });
+    println!(
+        "{}: predicted latency {:.6} s (source = {})",
+        stage.label(),
+        reply.seconds,
+        reply.source
+    );
 }
 
 fn main() {

@@ -6,6 +6,14 @@ fn predtop() -> Command {
     Command::new(env!("CARGO_BIN_EXE_predtop"))
 }
 
+/// Whether the ambient `serde_json` can actually deserialize. Under the
+/// offline stub (sandboxed builds) every saved model file is a
+/// placeholder that cannot be loaded back, so `predict` legitimately
+/// degrades to the analytic fallback.
+fn json_roundtrip_supported() -> bool {
+    serde_json::from_str::<u32>("1").is_ok()
+}
+
 #[test]
 fn info_lists_platforms_and_benchmarks() {
     let out = predtop().arg("info").output().expect("run predtop info");
@@ -98,7 +106,41 @@ fn fit_then_predict_roundtrip() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("predicted latency"), "{text}");
+    // fallback attribution: a loadable model answers as the predictor;
+    // when the environment cannot round-trip JSON the chain degrades to
+    // the analytic baseline — and says so
+    if json_roundtrip_supported() {
+        assert!(text.contains("source = predictor"), "{text}");
+    } else {
+        assert!(text.contains("source = analytic"), "{text}");
+    }
     std::fs::remove_file(model_path).ok();
+}
+
+#[test]
+fn predict_with_missing_model_falls_back_to_analytic() {
+    let out = predtop()
+        .args([
+            "predict",
+            "--scaled",
+            "--stage",
+            "1..3",
+            "-m",
+            "/nonexistent/predtop-missing-model.json",
+        ])
+        .output()
+        .expect("run predtop predict");
+    // the fallback chain absorbs the load failure: exit 0, answer served
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted latency"), "{text}");
+    assert!(text.contains("source = analytic"), "{text}");
+    // and the degradation is reported, not hidden
+    assert!(String::from_utf8_lossy(&out.stderr).contains("model load failed"));
 }
 
 #[test]
@@ -123,4 +165,39 @@ fn search_finds_a_plan() {
     assert!(text.contains("optimal plan"));
     assert!(text.contains("iteration latency"));
     assert!(text.contains("profiling bill"));
+    // the service stack's accounting is part of the report
+    assert!(text.contains("memoize:"), "{text}");
+    assert!(text.contains("service:"), "{text}");
+}
+
+#[test]
+fn search_plan_out_writes_a_plan_file() {
+    let plan_path = std::env::temp_dir().join("predtop_cli_test_plan.json");
+    let _ = std::fs::remove_file(&plan_path);
+    let out = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--plan-out",
+            plan_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run predtop search");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&plan_path).expect("plan file written");
+    assert!(!body.is_empty());
+    if json_roundtrip_supported() {
+        let plan: predtop::parallel::PipelinePlan =
+            serde_json::from_str(&body).expect("plan file parses back");
+        assert!(!plan.stages.is_empty());
+    }
+    std::fs::remove_file(plan_path).ok();
 }

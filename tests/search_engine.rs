@@ -2,6 +2,11 @@
 //! pool size and the memoization layer are *performance* knobs — neither
 //! may change the plan a search chooses, its reported latencies, or its
 //! query accounting.
+//!
+//! The deprecated `search_plan_cached*` / `CachedProvider` entry points
+//! are exercised on purpose: they must stay behaviorally identical to
+//! the `ServiceBuilder` stacks that replace them until they are removed.
+#![allow(deprecated)]
 
 use predtop::prelude::*;
 
