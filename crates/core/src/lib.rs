@@ -42,5 +42,3 @@ pub use search::{
     search_legality, search_plan, search_plan_checked, search_plan_checked_with_threads,
     search_plan_service, search_plan_with_threads, SearchOutcome, ServiceReport,
 };
-#[allow(deprecated)]
-pub use search::{search_plan_cached, search_plan_cached_with_threads};

@@ -23,8 +23,8 @@ use predtop_parallel::{
 };
 use predtop_runtime::configured_threads;
 use predtop_service::{
-    FallbackStats, LatencyQuery, LatencyService, ServiceBuilder, ServiceError, ServiceMetrics,
-    ServiceStack, StackHandles,
+    provider_stack, BreakerStats, DeadlineStats, FallbackStats, FaultStats, LatencyQuery,
+    LatencyService, RetryStats, ServiceError, ServiceMetrics, ServiceStack, StackHandles,
 };
 use predtop_sim::SimProfiler;
 
@@ -41,6 +41,15 @@ pub struct ServiceReport {
     /// Primary/secondary attribution of the `Fallback` layer, if
     /// installed.
     pub fallback: Option<FallbackStats>,
+    /// Injection counters of the `FaultInject` layer, if installed.
+    pub fault: Option<FaultStats>,
+    /// Attempt accounting of the `Retry` layer, if installed.
+    pub retry: Option<RetryStats>,
+    /// Overrun counters of the `Deadline` layer, if installed.
+    pub deadline: Option<DeadlineStats>,
+    /// State-transition counters of the `CircuitBreaker` layer, if
+    /// installed.
+    pub breaker: Option<BreakerStats>,
 }
 
 impl ServiceReport {
@@ -50,7 +59,22 @@ impl ServiceReport {
             cache: h.cache.as_ref().map(|c| c.stats()),
             metrics: h.metrics.as_ref().map(|m| m.metrics()),
             fallback: h.fallback.as_ref().map(|f| f.stats()),
+            fault: h.fault.as_ref().map(|f| f.stats()),
+            retry: h.retry.as_ref().map(|r| r.stats()),
+            deadline: h.deadline.as_ref().map(|d| d.stats()),
+            breaker: h.breaker.as_ref().map(|b| b.stats()),
         }
+    }
+
+    /// True when at least one observable layer was installed.
+    pub fn any_installed(&self) -> bool {
+        self.cache.is_some()
+            || self.metrics.is_some()
+            || self.fallback.is_some()
+            || self.fault.is_some()
+            || self.retry.is_some()
+            || self.deadline.is_some()
+            || self.breaker.is_some()
     }
 }
 
@@ -153,8 +177,7 @@ pub fn search_plan_service<S: LatencyService>(
 
     let report = ServiceReport::from_handles(stack.handles());
     let cache = report.cache;
-    let service = (report.cache.is_some() || report.metrics.is_some() || report.fallback.is_some())
-        .then_some(report);
+    let service = report.any_installed().then_some(report);
     Ok(SearchOutcome {
         plan,
         estimated_latency,
@@ -165,17 +188,6 @@ pub fn search_plan_service<S: LatencyService>(
         cache,
         service,
     })
-}
-
-/// The canonical provider stack the legacy entry points run through:
-/// the provider lifted into a named service, fanned out over `threads`.
-fn provider_stack<P: StageLatencyProvider>(
-    provider: P,
-    threads: usize,
-) -> ServiceStack<impl LatencyService> {
-    ServiceBuilder::from_provider(provider, "provider")
-        .batched(threads)
-        .finish()
 }
 
 /// Run the inter-stage optimizer with `provider` as the latency source,
@@ -213,7 +225,7 @@ pub fn search_plan_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> SearchOutcome {
-    let stack = provider_stack(provider, threads);
+    let stack = provider_stack(provider, "provider", threads);
     search_plan_service(model, cluster, &stack, profiler, opts, None)
         .expect("lifted providers are infallible")
 }
@@ -258,7 +270,7 @@ pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
     threads: usize,
 ) -> SearchOutcome {
     let legality = search_legality(model, profiler, opts);
-    let stack = provider_stack(provider, threads);
+    let stack = provider_stack(provider, "provider", threads);
     search_plan_service(model, cluster, &stack, profiler, opts, Some(&legality))
         .expect("lifted providers are infallible")
 }
@@ -277,63 +289,6 @@ pub fn search_legality(
         .with_memory_check(profiler.platform().gpu.clone(), 0.1)
 }
 
-/// [`search_plan`] through a fresh memoization layer wrapped around
-/// `provider`, surfacing the hit/miss counters in
-/// [`SearchOutcome::cache`].
-///
-/// The memoization is transparent: the chosen plan, its latencies, and
-/// `num_queries` (the number of candidates the *search* evaluated) are
-/// identical to the uncached [`search_plan`]; only the number of queries
-/// reaching the underlying provider shrinks. Within one search every
-/// candidate is distinct, so the payoff comes from providers with
-/// internal redundancy or from reusing one memoized stack across
-/// searches — assemble that with
-/// `ServiceBuilder::from_provider(..).memoize()` yourself.
-#[deprecated(
-    since = "0.1.0",
-    note = "assemble the stack with predtop_service::ServiceBuilder (from_provider(..)\
-            .memoize().batched(..)) and call search_plan_service"
-)]
-pub fn search_plan_cached<P: StageLatencyProvider>(
-    model: ModelSpec,
-    cluster: MeshShape,
-    provider: &P,
-    profiler: &SimProfiler,
-    opts: InterStageOptions,
-) -> SearchOutcome {
-    #[allow(deprecated)]
-    search_plan_cached_with_threads(
-        model,
-        cluster,
-        provider,
-        profiler,
-        opts,
-        configured_threads(),
-    )
-}
-
-/// [`search_plan_cached`] with an explicit evaluation-pool size.
-#[deprecated(
-    since = "0.1.0",
-    note = "assemble the stack with predtop_service::ServiceBuilder (from_provider(..)\
-            .memoize().batched(..)) and call search_plan_service"
-)]
-pub fn search_plan_cached_with_threads<P: StageLatencyProvider>(
-    model: ModelSpec,
-    cluster: MeshShape,
-    provider: &P,
-    profiler: &SimProfiler,
-    opts: InterStageOptions,
-    threads: usize,
-) -> SearchOutcome {
-    let stack = ServiceBuilder::from_provider(provider, "provider")
-        .memoize()
-        .batched(threads)
-        .finish();
-    search_plan_service(model, cluster, &stack, profiler, opts, None)
-        .expect("lifted providers are infallible")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +297,7 @@ mod tests {
     use predtop_cluster::Platform;
     use predtop_gnn::train::TrainConfig;
     use predtop_gnn::ModelKind;
+    use predtop_service::ServiceBuilder;
 
     fn tiny_model() -> ModelSpec {
         let mut s = ModelSpec::gpt3_1p3b(2);
@@ -373,8 +329,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn cached_search_is_transparent() {
+    fn memoized_stack_search_is_transparent() {
         let cluster = MeshShape::new(1, 2);
         let opts = InterStageOptions {
             microbatches: 4,
@@ -387,7 +342,12 @@ mod tests {
         assert!(plain.cache.is_none());
 
         let profiler2 = SimProfiler::new(Platform::platform1(), 7);
-        let cached = search_plan_cached(tiny_model(), cluster, &profiler2, &profiler2, opts);
+        let stack = ServiceBuilder::new(&profiler2)
+            .memoize()
+            .batched(configured_threads())
+            .finish();
+        let cached = search_plan_service(tiny_model(), cluster, &stack, &profiler2, opts, None)
+            .expect("simulator stack is infallible");
 
         // the memoization layer must be invisible in the outcome...
         assert_eq!(
@@ -399,10 +359,10 @@ mod tests {
         assert_eq!(cached.plan, plain.plan);
 
         // ...and its counters must account for every search query
-        let stats = cached.cache.expect("cached search reports stats");
+        let stats = cached.cache.expect("memoized stack reports stats");
         assert_eq!(stats.queries(), cached.num_queries);
         // the service report carries the same counters
-        let report = cached.service.expect("cached search reports service");
+        let report = cached.service.expect("memoized stack reports service");
         assert_eq!(report.cache, Some(stats));
         // never more work for the underlying provider than uncached
         assert!(profiler2.queries_issued() <= plain_underlying);

@@ -1,34 +1,20 @@
-//! Memoizing wrapper for any [`StageLatencyProvider`].
+//! Cache traffic accounting shared across memoization layers.
 //!
 //! The inter-stage DP queries each (stage, sub-mesh, configuration)
 //! candidate exactly once per search, but real campaigns run *many*
 //! searches over overlapping candidate sets — full vs partial profiling
 //! on the same model, microbatch sweeps, repeated searches as the
-//! cluster shrinks. [`CachedProvider`] sits between the optimizer and
-//! the underlying provider so every distinct candidate is evaluated at
-//! most once per campaign, and it keeps hit/miss counters so the Fig. 10
-//! cost accounting can report how much work the cache absorbed.
+//! cluster shrinks. The `predtop-service` crate's `Memoize` middleware
+//! sits between the optimizer and the underlying latency source so every
+//! distinct candidate is evaluated at most once per campaign; this
+//! module holds the [`CacheStats`] counters that layer (and the Fig. 10
+//! cost accounting built on it) reports.
 //!
-//! The map is sharded: worker threads from the parallel search engine
-//! land on different shards with high probability, so the cache adds no
-//! serialization to the evaluation fan-out.
-
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-use predtop_models::StageSpec;
-
-use crate::config::{MeshShape, ParallelConfig};
-use crate::StageLatencyProvider;
-
-type Key = (StageSpec, MeshShape, ParallelConfig);
-
-/// Number of independent map shards. A power of two so shard selection
-/// is a mask; 16 comfortably exceeds any realistic `PREDTOP_THREADS`.
-const SHARDS: usize = 16;
+//! The memoizing wrapper itself used to live here as `CachedProvider`;
+//! it has been retired in favor of
+//! `predtop_service::ServiceBuilder::memoize()`, which carries the same
+//! sharded design plus per-reply source attribution and composes with
+//! the other service layers.
 
 /// Cache traffic counters, readable at any point in a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,199 +41,18 @@ impl CacheStats {
     }
 }
 
-/// A memoization layer any [`StageLatencyProvider`] can wear.
-///
-/// Superseded by the `predtop-service` crate's `Memoize` middleware,
-/// which carries the same sharded design plus per-reply source
-/// attribution and composes with the other service layers.
-///
-/// Values are cached per (stage, sub-mesh, configuration) key in a
-/// sharded `parking_lot`-protected map. Wrapping a provider never
-/// changes the latencies a search observes — only how often the inner
-/// provider is consulted — so the chosen plan is identical with and
-/// without the wrapper.
-///
-/// Concurrency note: the inner provider is consulted *outside* the
-/// shard lock, so two threads racing on the same brand-new key may both
-/// consult it. The search engine's work-list contains each key at most
-/// once per search, so this cannot happen inside one search; across
-/// sequential searches the count of inner queries is exactly the number
-/// of distinct keys.
-#[deprecated(
-    since = "0.1.0",
-    note = "use predtop_service::ServiceBuilder::memoize() — the service-stack \
-            Memoize layer generalizes this wrapper"
-)]
-pub struct CachedProvider<P> {
-    inner: P,
-    shards: Vec<Mutex<HashMap<Key, f64>>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-}
-
-#[allow(deprecated)]
-impl<P> CachedProvider<P> {
-    /// Wrap `inner` with an empty cache.
-    pub fn new(inner: P) -> CachedProvider<P> {
-        CachedProvider {
-            inner,
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-        }
-    }
-
-    /// The wrapped provider.
-    pub fn inner(&self) -> &P {
-        &self.inner
-    }
-
-    /// Unwrap, discarding the cache.
-    pub fn into_inner(self) -> P {
-        self.inner
-    }
-
-    /// Hit/miss counters accumulated since construction.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Number of distinct keys currently cached.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    /// True when no value has been cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
-    }
-
-    fn shard_of(key: &Key) -> usize {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) & (SHARDS - 1)
-    }
-}
-
-#[allow(deprecated)]
-impl<P: StageLatencyProvider> StageLatencyProvider for CachedProvider<P> {
-    fn stage_latency(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> f64 {
-        let key = (*stage, mesh, config);
-        let shard = &self.shards[Self::shard_of(&key)];
-        if let Some(&t) = shard.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return t;
-        }
-        // consult the inner provider outside the lock: a slow inner
-        // query (the simulator compiles the whole stage) must not stall
-        // every other worker hashing into this shard
-        let t = self.inner.stage_latency(stage, mesh, config);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().insert(key, t);
-        t
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use predtop_models::ModelSpec;
-
-    fn tiny_model() -> ModelSpec {
-        let mut s = ModelSpec::gpt3_1p3b(2);
-        s.num_layers = 4;
-        s
-    }
-
-    /// Counts how often it is actually consulted.
-    struct CountingLat(AtomicUsize);
-
-    impl StageLatencyProvider for CountingLat {
-        fn stage_latency(&self, stage: &StageSpec, _: MeshShape, config: ParallelConfig) -> f64 {
-            self.0.fetch_add(1, Ordering::Relaxed);
-            stage.num_layers() as f64 / config.num_devices() as f64
-        }
-    }
 
     #[test]
-    fn second_query_hits_without_consulting_inner() {
-        let cached = CachedProvider::new(CountingLat(AtomicUsize::new(0)));
-        let m = tiny_model();
-        let stage = StageSpec::new(m, 0, 2);
-        let mesh = MeshShape::new(1, 2);
-        let cfg = ParallelConfig::new(2, 1);
+    fn stats_arithmetic_is_exact() {
+        let idle = CacheStats::default();
+        assert_eq!(idle.queries(), 0);
+        assert_eq!(idle.hit_rate(), 0.0);
 
-        let a = cached.stage_latency(&stage, mesh, cfg);
-        let b = cached.stage_latency(&stage, mesh, cfg);
-        assert_eq!(a, b);
-        assert_eq!(cached.inner().0.load(Ordering::Relaxed), 1);
-        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
-        assert_eq!(cached.stats().queries(), 2);
-        assert!((cached.stats().hit_rate() - 0.5).abs() < 1e-12);
-        assert_eq!(cached.len(), 1);
-    }
-
-    #[test]
-    fn distinct_keys_all_miss_once() {
-        let cached = CachedProvider::new(CountingLat(AtomicUsize::new(0)));
-        let m = tiny_model();
-        let mesh = MeshShape::new(1, 1);
-        for start in 0..4 {
-            for end in start + 1..=4 {
-                let stage = StageSpec::new(m, start, end);
-                let _ = cached.stage_latency(&stage, mesh, ParallelConfig::SERIAL);
-            }
-        }
-        let distinct = 4 * 5 / 2;
-        assert_eq!(
-            cached.stats(),
-            CacheStats {
-                hits: 0,
-                misses: distinct
-            }
-        );
-        assert_eq!(cached.inner().0.load(Ordering::Relaxed), distinct);
-        assert_eq!(cached.len(), distinct);
-        // re-walk: all hits, inner untouched
-        for start in 0..4 {
-            for end in start + 1..=4 {
-                let stage = StageSpec::new(m, start, end);
-                let _ = cached.stage_latency(&stage, mesh, ParallelConfig::SERIAL);
-            }
-        }
-        assert_eq!(
-            cached.stats(),
-            CacheStats {
-                hits: distinct,
-                misses: distinct
-            }
-        );
-        assert_eq!(cached.inner().0.load(Ordering::Relaxed), distinct);
-    }
-
-    #[test]
-    fn empty_cache_reports_empty() {
-        let cached = CachedProvider::new(CountingLat(AtomicUsize::new(0)));
-        assert!(cached.is_empty());
-        assert_eq!(cached.len(), 0);
-        assert_eq!(cached.stats().hit_rate(), 0.0);
-    }
-
-    #[test]
-    fn wrapping_by_reference_works() {
-        // a CachedProvider<&P> is the common campaign shape: the caller
-        // keeps owning the profiler and its ledger
-        let inner = CountingLat(AtomicUsize::new(0));
-        let cached = CachedProvider::new(&inner);
-        let m = tiny_model();
-        let stage = StageSpec::new(m, 1, 3);
-        let t1 = cached.stage_latency(&stage, MeshShape::new(1, 1), ParallelConfig::SERIAL);
-        let t2 = cached.stage_latency(&stage, MeshShape::new(1, 1), ParallelConfig::SERIAL);
-        assert_eq!(t1, t2);
-        assert_eq!(inner.0.load(Ordering::Relaxed), 1);
+        let busy = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(busy.queries(), 4);
+        assert!((busy.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

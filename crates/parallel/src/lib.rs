@@ -17,9 +17,9 @@
 //!   over contiguous layer ranges × sub-mesh shapes minimizing the Eqn. 4
 //!   pipeline latency, with candidate evaluation fanned out across
 //!   worker threads (deterministically — see `predtop-runtime`).
-//! * [`cache`] — hit/miss [`CacheStats`] accounting (the deprecated
-//!   `CachedProvider` wrapper lives here too; new code memoizes through
-//!   the `predtop-service` stack instead).
+//! * [`cache`] — hit/miss [`CacheStats`] accounting, shared by the
+//!   `predtop-service` stack's memoization layer and the Fig. 10 cost
+//!   reporting.
 //! * [`plan`] — end-to-end pipeline plans and the Eqn. 4 white-box
 //!   formula `T = Σ tᵢ + (B−1)·max tⱼ`.
 //!
@@ -40,8 +40,6 @@ pub mod schedule;
 pub mod sharding;
 
 pub use cache::CacheStats;
-#[allow(deprecated)]
-pub use cache::CachedProvider;
 pub use config::{table3_configs, MeshShape, ParallelConfig};
 pub use interstage::{
     enumerate_candidates, optimize_pipeline, optimize_pipeline_filtered_with_threads,
@@ -57,7 +55,8 @@ use predtop_models::StageSpec;
 /// Source of per-stage optimal latencies — the gray-box seam.
 ///
 /// Implementations: the ground-truth profiler (simulator), a trained
-/// black-box predictor, or a [`CachedProvider`] wrapping either. The
+/// black-box predictor, or any `predtop-service` stack projected back
+/// down through its `AsProvider` bridge. The
 /// inter-stage optimizer calls this for every (stage, sub-mesh,
 /// configuration) candidate — from multiple worker threads at once,
 /// hence the `Sync` supertrait: a provider must tolerate concurrent

@@ -2,10 +2,14 @@
 //! keeping shared handles to each layer's counters.
 
 use crate::batched::Batched;
+use crate::breaker::{BreakerConfig, BreakerHandle, CircuitBreaker};
 use crate::bridge::ProviderService;
+use crate::deadline::{Deadline, DeadlineHandle, DeadlinePolicy};
 use crate::fallback::Fallback;
+use crate::fault::{FaultConfig, FaultHandle, FaultInject};
 use crate::instrument::Instrumented;
 use crate::memoize::{CacheHandle, Memoize};
+use crate::retry::{Retry, RetryHandle, RetryPolicy};
 use crate::{
     FallbackHandle, LatencyQuery, LatencyReply, LatencyService, MetricsHandle, ServiceError,
 };
@@ -23,6 +27,16 @@ pub struct StackHandles {
     /// Primary/secondary accounting of the [`Fallback`] layer, if one
     /// was installed.
     pub fallback: Option<FallbackHandle>,
+    /// Injection counters of the [`FaultInject`] layer, if one was
+    /// installed.
+    pub fault: Option<FaultHandle>,
+    /// Attempt accounting of the [`Retry`] layer, if one was installed.
+    pub retry: Option<RetryHandle>,
+    /// Overrun counters of the [`Deadline`] layer, if one was installed.
+    pub deadline: Option<DeadlineHandle>,
+    /// State-transition counters of the [`CircuitBreaker`] layer, if one
+    /// was installed.
+    pub breaker: Option<BreakerHandle>,
 }
 
 /// Type-state builder for a latency-service middleware stack.
@@ -96,6 +110,49 @@ impl<S: LatencyService> ServiceBuilder<S> {
             svc: Batched::auto(self.svc),
             handles: self.handles,
         }
+    }
+
+    /// Inject deterministic hash-seeded faults (errors and latency
+    /// spikes) in front of the current stack. Goes innermost in a chaos
+    /// stack, directly over the base source, so every resilience layer
+    /// above gets exercised.
+    pub fn inject_faults(self, config: FaultConfig) -> ServiceBuilder<FaultInject<S>> {
+        let svc = FaultInject::new(self.svc, config);
+        let mut handles = self.handles;
+        handles.fault = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Enforce wall-clock budgets on the current stack, converting
+    /// overruns into [`ServiceError::DeadlineExceeded`]. Goes inside
+    /// [`Batched`](Self::batched) for the per-batch budget to fire (see
+    /// DESIGN.md §10).
+    pub fn deadline(self, policy: DeadlinePolicy) -> ServiceBuilder<Deadline<S>> {
+        let svc = Deadline::new(self.svc, policy);
+        let mut handles = self.handles;
+        handles.deadline = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Shed load off the current stack when it keeps failing, via a
+    /// closed/open/half-open breaker over a sliding outcome window.
+    pub fn circuit_breaker(self, config: BreakerConfig) -> ServiceBuilder<CircuitBreaker<S>> {
+        let svc = CircuitBreaker::new(self.svc, config);
+        let mut handles = self.handles;
+        handles.breaker = Some(svc.handle());
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Re-attempt transient failures of the current stack, with
+    /// deterministic accounted exponential backoff. Goes outside
+    /// [`inject_faults`](Self::inject_faults) and
+    /// [`circuit_breaker`](Self::circuit_breaker), inside
+    /// [`memoize`](Self::memoize).
+    pub fn retry(self, policy: RetryPolicy) -> ServiceBuilder<Retry<S>> {
+        let svc = Retry::new(self.svc, policy);
+        let mut handles = self.handles;
+        handles.retry = Some(svc.handle());
+        ServiceBuilder { svc, handles }
     }
 
     /// Count queries, batches, errors, and served seconds at this point
@@ -219,5 +276,40 @@ mod tests {
         assert!(stack.handles().cache.is_none());
         assert!(stack.handles().metrics.is_none());
         assert!(stack.handles().fallback.is_none());
+        assert!(stack.handles().fault.is_none());
+        assert!(stack.handles().retry.is_none());
+        assert!(stack.handles().deadline.is_none());
+        assert!(stack.handles().breaker.is_none());
+    }
+
+    #[test]
+    fn chaos_stack_serves_clean_values_and_every_handle_reports() {
+        let qs = queries(8);
+        let base = ServiceBuilder::from_provider(SyntheticProvider, "simulator").finish();
+        let expected: Vec<f64> = qs.iter().map(|q| base.query(q).unwrap().seconds).collect();
+
+        let stack = ServiceBuilder::from_provider(SyntheticProvider, "simulator")
+            .inject_faults(FaultConfig::errors(11, 0.3))
+            .deadline(DeadlinePolicy::default())
+            .retry(RetryPolicy::retries(16))
+            .memoize()
+            .batched(4)
+            .instrumented()
+            .finish();
+
+        let replies = stack.query_batch(&qs);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().seconds.to_bits(), expected[i].to_bits());
+        }
+
+        let h = stack.handles();
+        let fault = h.fault.as_ref().unwrap().stats();
+        assert!(fault.injected_errors > 0, "a 30% rate injects something");
+        let retry = h.retry.as_ref().unwrap().stats();
+        assert_eq!(retry.retries, fault.injected_errors);
+        assert_eq!(retry.exhausted, 0);
+        assert!(retry.backoff_seconds > 0.0);
+        assert_eq!(h.deadline.as_ref().unwrap().stats().query_overruns, 0);
+        assert_eq!(h.metrics.as_ref().unwrap().metrics().errors, 0);
     }
 }

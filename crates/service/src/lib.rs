@@ -15,7 +15,20 @@
 //!   deterministic accounting of the latency-seconds the stack served;
 //! * [`Fallback`] — graceful degradation between sources (predictor →
 //!   analytic → simulator), with the source that actually answered
-//!   recorded on every [`LatencyReply`].
+//!   recorded on every [`LatencyReply`];
+//! * [`FaultInject`] — deterministic hash-seeded chaos (injected
+//!   transient errors and latency spikes) for resilience drills;
+//! * [`Retry`] — bounded re-attempts of transient failures with
+//!   deterministic accounted exponential backoff;
+//! * [`Deadline`] — per-query and per-batch wall-clock budgets that
+//!   convert overruns into structured [`ServiceError::DeadlineExceeded`];
+//! * [`CircuitBreaker`] — a closed/open/half-open state machine over a
+//!   sliding failure window that sheds load off a failing source.
+//!
+//! Failures speak one structured vocabulary: every [`ServiceError`]
+//! variant carries the source it is attributed to and a fixed
+//! [`Retryability`] classification that the fault-tolerance layers (and
+//! the CLI) dispatch on.
 //!
 //! Stacks are assembled with [`ServiceBuilder`], which keeps shared
 //! [`StackHandles`] to each layer's counters so outcomes (e.g.
@@ -35,21 +48,29 @@
 #![warn(missing_docs)]
 
 pub mod batched;
+pub mod breaker;
 pub mod bridge;
 pub mod builder;
+pub mod deadline;
 pub mod fallback;
+pub mod fault;
 pub mod instrument;
 pub mod memoize;
 pub mod query;
+pub mod retry;
 
 pub use batched::Batched;
-pub use bridge::{plan_latency, AsProvider, ProviderService, Unavailable};
+pub use breaker::{BreakerConfig, BreakerHandle, BreakerStats, CircuitBreaker, CircuitState};
+pub use bridge::{plan_latency, provider_stack, AsProvider, ProviderService, Unavailable};
 pub use builder::{ServiceBuilder, ServiceStack, StackHandles};
+pub use deadline::{Deadline, DeadlineHandle, DeadlinePolicy, DeadlineStats};
 pub use fallback::{Fallback, FallbackHandle, FallbackStats};
+pub use fault::{FaultConfig, FaultHandle, FaultInject, FaultStats};
 pub use instrument::{Instrumented, MetricsHandle, ServiceMetrics};
 pub use memoize::{CacheHandle, Memoize};
 pub use predtop_parallel::CacheStats;
-pub use query::{LatencyQuery, LatencyReply, ServiceError};
+pub use query::{LatencyQuery, LatencyReply, Retryability, ServiceError};
+pub use retry::{Retry, RetryHandle, RetryPolicy, RetryStats};
 
 /// A source of stage latencies, queryable one at a time or in batches.
 ///

@@ -1,5 +1,6 @@
 //! The request/response vocabulary every [`crate::LatencyService`]
-//! speaks.
+//! speaks, including the structured error model the fault-tolerance
+//! layers dispatch on.
 
 use predtop_models::StageSpec;
 use predtop_parallel::{MeshShape, ParallelConfig};
@@ -45,12 +46,38 @@ pub struct LatencyReply {
     pub source: &'static str,
 }
 
-/// Why a service could not answer a query. A [`crate::Fallback`] layer
-/// treats any error as "try the next source".
+/// Whether retrying the *same* query against the *same* service can
+/// possibly change the answer.
+///
+/// Every [`ServiceError`] variant has a fixed classification (see
+/// [`ServiceError::retryability`]); the [`crate::Retry`] layer retries
+/// only `Transient` errors, and a [`crate::CircuitBreaker`] counts both
+/// kinds toward its failure window (a failure is a failure, however it
+/// classifies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Retryability {
+    /// The failure is momentary — an injected fault, a tripped breaker
+    /// mid-cooldown. The same query may succeed on the next attempt.
+    Transient,
+    /// The failure is structural — a missing model file, an unfitted
+    /// scenario, an exhausted deadline budget. Retrying the same query
+    /// re-fails deterministically; the only escapes are a
+    /// [`crate::Fallback`] chain or a different query.
+    Permanent,
+}
+
+/// Why a service could not answer a query.
+///
+/// This is the structured error vocabulary every fault-tolerance layer
+/// dispatches on: [`crate::Retry`] consults
+/// [`retryability`](ServiceError::retryability), [`crate::Fallback`]
+/// treats any variant as "try the next source", and the CLI renders each
+/// variant distinctly. The variants are ordered roughly from "the source
+/// is broken" to "a layer manufactured this failure".
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// The source as a whole is unusable (e.g. a saved model file that
-    /// failed to load).
+    /// failed to load). Permanent.
     Unavailable {
         /// Name of the failed source.
         source: &'static str,
@@ -58,7 +85,7 @@ pub enum ServiceError {
         reason: String,
     },
     /// The source exists but was never fitted for this (sub-mesh,
-    /// configuration) scenario.
+    /// configuration) scenario. Permanent.
     ScenarioUnsupported {
         /// Name of the source.
         source: &'static str,
@@ -67,15 +94,65 @@ pub enum ServiceError {
         /// The unsupported configuration.
         config: ParallelConfig,
     },
+    /// A [`crate::FaultInject`] layer manufactured this failure (chaos
+    /// testing / resilience drills). Transient by construction: the
+    /// injection decision is a hash of (seed, query, attempt), so the
+    /// next attempt rolls a fresh outcome.
+    InjectedFault {
+        /// Name of the source the fault was injected in front of.
+        source: &'static str,
+        /// Zero-based attempt number the injection hash saw.
+        attempt: u64,
+    },
+    /// A [`crate::Deadline`] layer observed the query (or its enclosing
+    /// batch) overrunning its budget. Permanent: the budget is spent, so
+    /// an immediate retry of the same query would be born over-budget.
+    DeadlineExceeded {
+        /// Name of the source that was being consulted.
+        source: &'static str,
+        /// The configured budget, in seconds.
+        budget_seconds: f64,
+        /// Time actually consumed when the overrun was detected.
+        elapsed_seconds: f64,
+    },
+    /// A [`crate::CircuitBreaker`] layer is open and rejected the query
+    /// without consulting the inner service. Transient: the breaker
+    /// half-opens after its cooldown, so a later attempt passes through.
+    CircuitOpen {
+        /// Name of the source the breaker protects.
+        source: &'static str,
+        /// Consecutive rejections left before the breaker half-opens.
+        cooldown_remaining: u64,
+    },
 }
 
 impl ServiceError {
-    /// Name of the source that raised the error.
+    /// Name of the source that raised (or was shielded by) the error.
     pub fn source(&self) -> &'static str {
         match self {
             ServiceError::Unavailable { source, .. } => source,
             ServiceError::ScenarioUnsupported { source, .. } => source,
+            ServiceError::InjectedFault { source, .. } => source,
+            ServiceError::DeadlineExceeded { source, .. } => source,
+            ServiceError::CircuitOpen { source, .. } => source,
         }
+    }
+
+    /// The error's fixed retry classification — the contract the
+    /// [`crate::Retry`] layer enforces.
+    pub fn retryability(&self) -> Retryability {
+        match self {
+            ServiceError::Unavailable { .. } => Retryability::Permanent,
+            ServiceError::ScenarioUnsupported { .. } => Retryability::Permanent,
+            ServiceError::InjectedFault { .. } => Retryability::Transient,
+            ServiceError::DeadlineExceeded { .. } => Retryability::Permanent,
+            ServiceError::CircuitOpen { .. } => Retryability::Transient,
+        }
+    }
+
+    /// True when a retry of the same query may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.retryability() == Retryability::Transient
     }
 }
 
@@ -93,8 +170,85 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "latency source `{source}` has no predictor for scenario ({mesh:?}, {config:?})"
             ),
+            ServiceError::InjectedFault { source, attempt } => write!(
+                f,
+                "injected fault in front of `{source}` (attempt {attempt})"
+            ),
+            ServiceError::DeadlineExceeded {
+                source,
+                budget_seconds,
+                elapsed_seconds,
+            } => write!(
+                f,
+                "deadline exceeded querying `{source}`: {elapsed_seconds:.6}s elapsed \
+                 against a {budget_seconds:.6}s budget"
+            ),
+            ServiceError::CircuitOpen {
+                source,
+                cooldown_remaining,
+            } => write!(
+                f,
+                "circuit breaker open for `{source}` ({cooldown_remaining} rejections \
+                 until half-open probe)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_classifies_and_attributes() {
+        let mesh = MeshShape::new(1, 1);
+        let config = ParallelConfig::SERIAL;
+        let cases: Vec<(ServiceError, Retryability)> = vec![
+            (
+                ServiceError::Unavailable {
+                    source: "predictor",
+                    reason: "gone".into(),
+                },
+                Retryability::Permanent,
+            ),
+            (
+                ServiceError::ScenarioUnsupported {
+                    source: "predictor",
+                    mesh,
+                    config,
+                },
+                Retryability::Permanent,
+            ),
+            (
+                ServiceError::InjectedFault {
+                    source: "simulator",
+                    attempt: 2,
+                },
+                Retryability::Transient,
+            ),
+            (
+                ServiceError::DeadlineExceeded {
+                    source: "simulator",
+                    budget_seconds: 0.0,
+                    elapsed_seconds: 0.1,
+                },
+                Retryability::Permanent,
+            ),
+            (
+                ServiceError::CircuitOpen {
+                    source: "simulator",
+                    cooldown_remaining: 3,
+                },
+                Retryability::Transient,
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.retryability(), want, "{err}");
+            assert_eq!(err.is_transient(), want == Retryability::Transient);
+            assert!(!err.source().is_empty());
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -48,7 +48,7 @@
 //! | [`sim`] | roofline simulator, profiler, cost ledger, 1F1B event sim |
 //! | [`tensor`] | matrices, autodiff tape, Adam, schedules, losses |
 //! | [`gnn`] | GCN / GAT / DAG-Transformer predictors, training loop |
-//! | [`service`] | `LatencyService` trait + memoize/batch/instrument/fallback middleware |
+//! | [`service`] | `LatencyService` trait + memoize/batch/instrument/fallback/fault-tolerance middleware |
 //! | [`core`] | the gray-box workflow and plan-search use case |
 
 #![warn(missing_docs)]
@@ -67,8 +67,6 @@ pub use predtop_tensor as tensor;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
-    #[allow(deprecated)]
-    pub use predtop_core::search_plan_cached;
     pub use predtop_core::{
         pipeline_latency, search_legality, search_plan, search_plan_checked, search_plan_service,
         AnalyticBaseline, ArchConfig, GrayBoxConfig, PredTop, SearchOutcome, ServiceReport,
@@ -78,16 +76,14 @@ pub mod prelude {
     };
     pub use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
     pub use predtop_models::{enumerate_stages, sample_stages, ModelSpec, StageSpec};
-    #[allow(deprecated)]
-    pub use predtop_parallel::CachedProvider;
     pub use predtop_parallel::{
         optimize_pipeline, table3_configs, CacheStats, InterStageOptions, MeshShape,
         ParallelConfig, PipelinePlan, StageLatencyProvider,
     };
     pub use predtop_runtime::configured_threads;
     pub use predtop_service::{
-        LatencyQuery, LatencyReply, LatencyService, ServiceBuilder, ServiceError, ServiceStack,
-        Unavailable,
+        BreakerConfig, DeadlinePolicy, FaultConfig, LatencyQuery, LatencyReply, LatencyService,
+        RetryPolicy, Retryability, ServiceBuilder, ServiceError, ServiceStack, Unavailable,
     };
     pub use predtop_sim::{DeviceCostModel, SimProfiler};
 }

@@ -6,11 +6,15 @@
 //! predtop search  [options]             optimize a pipeline plan
 //! predtop fit     [options] -o FILE     fit a predictor and save it
 //! predtop predict -m FILE [options]     predict with a saved predictor
+//! predtop help                          print the full flag reference
 //! ```
 //!
 //! Common options: `--model gpt3|moe`, `--platform 1|2`, `--mesh NxG`,
-//! `--dp D --mp M`, `--stage A..B`, `--scaled` (shrink the benchmark so
-//! runs finish in seconds on a laptop), `--seed S`.
+//! `--dp D --mp M`, `--stage A..B`, `--threads T`, `--format text|json`,
+//! `--scaled` (shrink the benchmark so runs finish in seconds on a
+//! laptop), `--seed S`. `search` additionally takes the fault-tolerance
+//! flags `--inject-fault-rate`, `--fault-seed`, `--retry`, and
+//! `--deadline-ms` (see `DESIGN.md` §10 for the fault model).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -18,31 +22,48 @@ use std::process::exit;
 use predtop::core::persist;
 use predtop::prelude::*;
 
+/// The complete help text. `predtop help` / `--help` print it verbatim
+/// (a golden test in `tests/cli.rs` pins it), and every usage error
+/// points at it.
+const HELP: &str = "usage: predtop <command> [options]
+
+commands:
+  info                       list platforms, meshes, and benchmarks
+  profile                    simulate one stage's training latency
+  search                     optimize a full pipeline plan
+  fit -o FILE                fit a DAG-Transformer predictor, save JSON
+  predict -m FILE            predict a stage latency with a saved model
+                             (falls back to the analytic baseline if the
+                             model cannot be loaded; see `source = ...`)
+  help                       print this help (also --help / -h)
+
+options:
+  --model gpt3|moe           benchmark (default gpt3)
+  --platform 1|2             hardware platform (default 2)
+  --mesh NxG                 sub-mesh, e.g. 1x2 (default 1x1)
+  --dp D --mp M              parallelism config (default 1,1)
+  --stage A..B               layer range (default whole model)
+  --microbatches B           pipeline micro-batches (default 8)
+  --threads T                (search) evaluation worker threads
+  --format text|json         output format (default text)
+  --plan-out FILE            (search) write the chosen plan as JSON
+  --scaled                   shrink the benchmark for quick runs
+  --seed S                   simulator seed (default 7)
+
+fault tolerance (search):
+  --inject-fault-rate R      inject transient faults at rate R in [0,1]
+  --fault-seed S             fault-injection hash seed (default 0)
+  --retry N                  re-attempt transient failures up to N times
+  --deadline-ms MS           per-query latency budget in milliseconds";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: predtop <command> [options]\n\
-         \n\
-         commands:\n\
-           info                       list platforms, meshes, and benchmarks\n\
-           profile                    simulate one stage's training latency\n\
-           search                     optimize a full pipeline plan\n\
-           fit -o FILE                fit a DAG-Transformer predictor, save JSON\n\
-           predict -m FILE            predict a stage latency with a saved model\n\
-                                      (falls back to the analytic baseline if the\n\
-                                      model cannot be loaded; see `source = ...`)\n\
-         \n\
-         options:\n\
-           --plan-out FILE            (search) write the chosen plan as JSON\n\
-           --model gpt3|moe           benchmark (default gpt3)\n\
-           --platform 1|2             hardware platform (default 2)\n\
-           --mesh NxG                 sub-mesh, e.g. 1x2 (default 1x1)\n\
-           --dp D --mp M              parallelism config (default 1,1)\n\
-           --stage A..B               layer range (default whole model)\n\
-           --microbatches B           pipeline micro-batches (default 8)\n\
-           --scaled                   shrink the benchmark for quick runs\n\
-           --seed S                   simulator seed (default 7)"
-    );
+    eprintln!("{HELP}");
     exit(2)
+}
+
+fn help() -> ! {
+    println!("{HELP}");
+    exit(0)
 }
 
 struct Args {
@@ -54,17 +75,23 @@ struct Args {
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     let Some(command) = argv.next() else { usage() };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        help();
+    }
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
     while i < rest.len() {
         let a = &rest[i];
-        if !a.starts_with("--") && a != "-o" && a != "-m" {
+        if !a.starts_with("--") && a != "-o" && a != "-m" && a != "-h" {
             eprintln!("unexpected argument `{a}`");
             usage();
         }
         let key = a.trim_start_matches('-').to_string();
+        if matches!(key.as_str(), "help" | "h") {
+            help();
+        }
         if matches!(key.as_str(), "scaled") {
             switches.push(key);
         } else {
@@ -82,6 +109,13 @@ fn parse_args() -> Args {
         flags,
         switches,
     }
+}
+
+/// Output rendering selected by `--format`.
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Text,
+    Json,
 }
 
 impl Args {
@@ -156,8 +190,31 @@ impl Args {
             .unwrap_or(default)
     }
 
+    fn f64_flag(&self, key: &str, default: f64) -> f64 {
+        self.flags
+            .get(key)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} expects a number, got `{v}`");
+                    usage()
+                })
+            })
+            .unwrap_or(default)
+    }
+
     fn seed(&self) -> u64 {
         self.usize_flag("seed", 7) as u64
+    }
+
+    fn format(&self) -> OutputFormat {
+        match self.flags.get("format").map(|s| s.as_str()) {
+            None | Some("text") => OutputFormat::Text,
+            Some("json") => OutputFormat::Json,
+            Some(other) => {
+                eprintln!("unknown format `{other}` (text|json)");
+                usage()
+            }
+        }
     }
 
     fn stage(&self, model: ModelSpec) -> StageSpec {
@@ -242,22 +299,63 @@ fn cmd_profile(args: &Args) {
     let reply = stack
         .query(&LatencyQuery::new(stage, mesh, config))
         .expect("the simulator serves every scenario");
-    println!(
-        "{} on {} mesh {} [{}]",
-        stage.label(),
-        args.platform().name,
-        mesh.label(),
-        config.remark()
-    );
-    println!(
-        "  graph: {} nodes, {} edges",
-        graph.len(),
-        graph.num_edges()
-    );
-    println!(
-        "  training-iteration latency: {:.6} s (one micro-batch, source = {})",
-        reply.seconds, reply.source
-    );
+    match args.format() {
+        OutputFormat::Text => {
+            println!(
+                "{} on {} mesh {} [{}]",
+                stage.label(),
+                args.platform().name,
+                mesh.label(),
+                config.remark()
+            );
+            println!(
+                "  graph: {} nodes, {} edges",
+                graph.len(),
+                graph.num_edges()
+            );
+            println!(
+                "  training-iteration latency: {:.6} s (one micro-batch, source = {})",
+                reply.seconds, reply.source
+            );
+        }
+        OutputFormat::Json => println!(
+            "{{\"stage\":\"{}\",\"mesh\":\"{}\",\"dp\":{},\"mp\":{},\"latency_s\":{:.9},\"source\":\"{}\"}}",
+            stage.label(),
+            mesh.label(),
+            config.dp,
+            config.mp,
+            reply.seconds,
+            reply.source
+        ),
+    }
+}
+
+/// Render a structured [`ServiceError`] for the terminal — the CLI's
+/// side of the error redesign: every variant gets its classification and
+/// an actionable hint.
+fn die_service_error(e: ServiceError) -> ! {
+    let class = match e.retryability() {
+        Retryability::Transient => "transient",
+        Retryability::Permanent => "permanent",
+    };
+    let hint = match &e {
+        ServiceError::Unavailable { .. } => {
+            "check the latency source (is the model file readable?)"
+        }
+        ServiceError::ScenarioUnsupported { .. } => {
+            "fit a predictor for this scenario, or query the simulator instead"
+        }
+        ServiceError::InjectedFault { .. } => {
+            "raise --retry so every query can outlive the injected faults"
+        }
+        ServiceError::DeadlineExceeded { .. } => "raise --deadline-ms or drop the budget",
+        ServiceError::CircuitOpen { .. } => {
+            "raise --retry so re-attempts outlast the breaker cooldown"
+        }
+    };
+    eprintln!("search failed ({class}): {e}");
+    eprintln!("  hint: {hint}");
+    exit(1)
 }
 
 fn cmd_search(args: &Args) {
@@ -269,51 +367,146 @@ fn cmd_search(args: &Args) {
         microbatches: args.usize_flag("microbatches", 8),
         imbalance_tolerance: None,
     };
+    let threads = args.usize_flag("threads", configured_threads());
+    let fault_rate = args.f64_flag("inject-fault-rate", 0.0);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        eprintln!("--inject-fault-rate expects a probability in [0, 1], got {fault_rate}");
+        exit(2);
+    }
+    let fault_seed = args.usize_flag("fault-seed", 0) as u64;
+    let retries = args.usize_flag("retry", 0);
+    let deadline = args
+        .flags
+        .contains_key("deadline-ms")
+        .then(|| args.f64_flag("deadline-ms", 0.0) / 1000.0);
+    let chaos = fault_rate > 0.0 || retries > 0 || deadline.is_some();
     eprintln!(
         "searching plans for {} on {} ({} candidates will be profiled)...",
         model.kind.name(),
         platform.name,
         enumerate_stages(model).len()
     );
-    // the canonical stack: memoized, fanned out over the worker pool,
-    // instrumented at the top so the accounting matches what the search
-    // observed
+    // the canonical chaos-capable stack (DESIGN.md §10): faults are
+    // injected innermost, the deadline polices each attempt, the retry
+    // loop absorbs transient failures, and only then do memoization,
+    // fan-out, and instrumentation see the (now reliable) service. With
+    // the default flags every fault-tolerance layer is a pass-through.
     let stack = ServiceBuilder::new(&profiler)
+        .inject_faults(FaultConfig::errors(fault_seed, fault_rate))
+        .deadline(DeadlinePolicy {
+            per_query_seconds: deadline,
+            per_batch_seconds: None,
+        })
+        .retry(RetryPolicy::retries(retries))
         .memoize()
-        .batched_auto()
+        .batched(threads)
         .instrumented()
         .finish();
-    let out = search_plan_service(model, cluster, &stack, &profiler, opts, None)
-        .expect("the simulator stack serves every scenario");
-    println!("optimal plan ({} stage-latency queries):", out.num_queries);
-    for ps in &out.plan.stages {
-        println!(
-            "  {} on {} [{}]",
-            ps.stage.label(),
-            ps.mesh.label(),
-            ps.config.remark()
-        );
-    }
-    println!(
-        "iteration latency: {:.6} s (B = {})",
-        out.true_latency, out.plan.microbatches
-    );
-    if let Some(report) = &out.service {
-        if let Some(c) = report.cache {
-            println!("memoize: {} hits / {} misses", c.hits, c.misses);
-        }
-        if let Some(m) = &report.metrics {
+    let out = match search_plan_service(model, cluster, &stack, &profiler, opts, None) {
+        Ok(out) => out,
+        Err(e) => die_service_error(e),
+    };
+    let report = out.service.as_ref();
+    match args.format() {
+        OutputFormat::Text => {
+            println!("optimal plan ({} stage-latency queries):", out.num_queries);
+            for ps in &out.plan.stages {
+                println!(
+                    "  {} on {} [{}]",
+                    ps.stage.label(),
+                    ps.mesh.label(),
+                    ps.config.remark()
+                );
+            }
             println!(
-                "service: {} queries in {} batches ({} errors), {:.3} served seconds",
-                m.queries, m.batches, m.errors, m.served_seconds
+                "iteration latency: {:.6} s (B = {})",
+                out.true_latency, out.plan.microbatches
+            );
+            if let Some(report) = report {
+                if let Some(c) = report.cache {
+                    println!("memoize: {} hits / {} misses", c.hits, c.misses);
+                }
+                if let Some(m) = &report.metrics {
+                    println!(
+                        "service: {} queries in {} batches ({} errors), {:.3} served seconds",
+                        m.queries, m.batches, m.errors, m.served_seconds
+                    );
+                }
+                if chaos {
+                    if let Some(f) = report.fault {
+                        println!(
+                            "faults: {} injected, {} passed (rate {}, seed {})",
+                            f.injected_errors, f.passed, fault_rate, fault_seed
+                        );
+                    }
+                    if let Some(r) = report.retry {
+                        println!(
+                            "retry: {} re-attempts, {} recovered, {} exhausted, \
+                             {:.3} s backoff (accounted)",
+                            r.retries, r.recovered, r.exhausted, r.backoff_seconds
+                        );
+                    }
+                    if let Some(d) = report.deadline {
+                        println!(
+                            "deadline: {} overruns / {} served",
+                            d.query_overruns + d.batch_overruns,
+                            d.served
+                        );
+                    }
+                }
+            }
+            let bill = profiler.ledger().totals();
+            println!(
+                "profiling bill: {} stages, {:.0} simulated seconds",
+                bill.stages_profiled, bill.profiling_s
+            );
+        }
+        OutputFormat::Json => {
+            let stages: Vec<String> = out
+                .plan
+                .stages
+                .iter()
+                .map(|ps| {
+                    format!(
+                        "{{\"start\":{},\"end\":{},\"nodes\":{},\"gpus_per_node\":{},\"dp\":{},\"mp\":{}}}",
+                        ps.stage.start,
+                        ps.stage.end,
+                        ps.mesh.nodes,
+                        ps.mesh.gpus_per_node,
+                        ps.config.dp,
+                        ps.config.mp
+                    )
+                })
+                .collect();
+            let mut chaos_fields = String::new();
+            if chaos {
+                if let Some(f) = report.and_then(|r| r.fault) {
+                    chaos_fields.push_str(&format!(",\"injected_faults\":{}", f.injected_errors));
+                }
+                if let Some(r) = report.and_then(|r| r.retry) {
+                    chaos_fields.push_str(&format!(
+                        ",\"retries\":{},\"recovered\":{}",
+                        r.retries, r.recovered
+                    ));
+                }
+                if let Some(d) = report.and_then(|r| r.deadline) {
+                    chaos_fields.push_str(&format!(
+                        ",\"deadline_overruns\":{}",
+                        d.query_overruns + d.batch_overruns
+                    ));
+                }
+            }
+            println!(
+                "{{\"model\":\"{}\",\"iteration_latency_s\":{:.9},\"microbatches\":{},\
+                 \"num_queries\":{},\"stages\":[{}]{chaos_fields}}}",
+                model.kind.name(),
+                out.true_latency,
+                out.plan.microbatches,
+                out.num_queries,
+                stages.join(",")
             );
         }
     }
-    let bill = profiler.ledger().totals();
-    println!(
-        "profiling bill: {} stages, {:.0} simulated seconds",
-        bill.stages_profiled, bill.profiling_s
-    );
     if let Some(path) = args.flags.get("plan-out") {
         let json = serde_json::to_string(&out.plan).unwrap_or_else(|e| {
             eprintln!("plan serialization failed: {e}");
@@ -445,12 +638,20 @@ fn cmd_predict(args: &Args) {
             eprintln!("prediction failed: {e}");
             exit(1);
         });
-    println!(
-        "{}: predicted latency {:.6} s (source = {})",
-        stage.label(),
-        reply.seconds,
-        reply.source
-    );
+    match args.format() {
+        OutputFormat::Text => println!(
+            "{}: predicted latency {:.6} s (source = {})",
+            stage.label(),
+            reply.seconds,
+            reply.source
+        ),
+        OutputFormat::Json => println!(
+            "{{\"stage\":\"{}\",\"latency_s\":{:.9},\"source\":\"{}\"}}",
+            stage.label(),
+            reply.seconds,
+            reply.source
+        ),
+    }
 }
 
 fn main() {

@@ -62,6 +62,54 @@ fn unknown_command_fails_with_usage() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
 
+/// Golden `--help` output: the full flag reference, verbatim. Update
+/// this string deliberately whenever a flag is added or renamed — it is
+/// the CLI's compatibility contract.
+const GOLDEN_HELP: &str = "usage: predtop <command> [options]
+
+commands:
+  info                       list platforms, meshes, and benchmarks
+  profile                    simulate one stage's training latency
+  search                     optimize a full pipeline plan
+  fit -o FILE                fit a DAG-Transformer predictor, save JSON
+  predict -m FILE            predict a stage latency with a saved model
+                             (falls back to the analytic baseline if the
+                             model cannot be loaded; see `source = ...`)
+  help                       print this help (also --help / -h)
+
+options:
+  --model gpt3|moe           benchmark (default gpt3)
+  --platform 1|2             hardware platform (default 2)
+  --mesh NxG                 sub-mesh, e.g. 1x2 (default 1x1)
+  --dp D --mp M              parallelism config (default 1,1)
+  --stage A..B               layer range (default whole model)
+  --microbatches B           pipeline micro-batches (default 8)
+  --threads T                (search) evaluation worker threads
+  --format text|json         output format (default text)
+  --plan-out FILE            (search) write the chosen plan as JSON
+  --scaled                   shrink the benchmark for quick runs
+  --seed S                   simulator seed (default 7)
+
+fault tolerance (search):
+  --inject-fault-rate R      inject transient faults at rate R in [0,1]
+  --fault-seed S             fault-injection hash seed (default 0)
+  --retry N                  re-attempt transient failures up to N times
+  --deadline-ms MS           per-query latency budget in milliseconds
+";
+
+#[test]
+fn help_matches_the_golden_reference() {
+    for invocation in [&["help"][..], &["--help"][..], &["search", "-h"][..]] {
+        let out = predtop().args(invocation).output().expect("run help");
+        assert!(out.status.success(), "help exits 0 for {invocation:?}");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            GOLDEN_HELP,
+            "help text drifted from the golden reference ({invocation:?})"
+        );
+    }
+}
+
 #[test]
 fn fit_then_predict_roundtrip() {
     let model_path = std::env::temp_dir().join("predtop_cli_test_model.json");
@@ -168,6 +216,96 @@ fn search_finds_a_plan() {
     // the service stack's accounting is part of the report
     assert!(text.contains("memoize:"), "{text}");
     assert!(text.contains("service:"), "{text}");
+}
+
+#[test]
+fn search_with_injected_faults_recovers_and_reports() {
+    let baseline = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--threads",
+            "2",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("run clean predtop search");
+    assert!(baseline.status.success());
+
+    let out = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--threads",
+            "2",
+            "--format",
+            "json",
+            "--inject-fault-rate",
+            "0.2",
+            "--retry",
+            "3",
+        ])
+        .output()
+        .expect("run chaos predtop search");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let clean = String::from_utf8_lossy(&baseline.stdout);
+    let chaos = String::from_utf8_lossy(&out.stdout);
+    // the chaos run found the identical plan (the JSON line extends the
+    // clean one with the chaos counters)
+    let clean_core = clean.trim_end().trim_end_matches('}');
+    assert!(
+        chaos.starts_with(clean_core),
+        "chaos plan diverged:\n  clean: {clean}\n  chaos: {chaos}"
+    );
+    assert!(chaos.contains("\"injected_faults\":"), "{chaos}");
+    assert!(chaos.contains("\"retries\":"), "{chaos}");
+    // with rate 0.2 over a hundred-odd queries, some fault was injected
+    assert!(!chaos.contains("\"injected_faults\":0,"), "{chaos}");
+}
+
+#[test]
+fn search_with_zero_deadline_reports_a_structured_error() {
+    let out = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--deadline-ms",
+            "0",
+        ])
+        .output()
+        .expect("run predtop search");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("search failed (permanent)"), "{err}");
+    assert!(err.contains("deadline exceeded"), "{err}");
+    assert!(err.contains("hint:"), "{err}");
+}
+
+#[test]
+fn search_rejects_an_out_of_range_fault_rate() {
+    let out = predtop()
+        .args(["search", "--scaled", "--inject-fault-rate", "1.5"])
+        .output()
+        .expect("run predtop search");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("probability"));
 }
 
 #[test]

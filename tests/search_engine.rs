@@ -3,10 +3,9 @@
 //! may change the plan a search chooses, its reported latencies, or its
 //! query accounting.
 //!
-//! The deprecated `search_plan_cached*` / `CachedProvider` entry points
-//! are exercised on purpose: they must stay behaviorally identical to
-//! the `ServiceBuilder` stacks that replace them until they are removed.
-#![allow(deprecated)]
+//! All stacks are assembled through `ServiceBuilder` — the single
+//! latency API since the legacy `search_plan_cached*` / `CachedProvider`
+//! entry points were retired.
 
 use predtop::prelude::*;
 
@@ -54,7 +53,7 @@ fn search_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
-fn cached_search_never_changes_the_plan() {
+fn memoized_search_never_changes_the_plan() {
     let m = tiny_model();
     let cluster = MeshShape::new(2, 2);
     for threads in [1, 4] {
@@ -68,14 +67,12 @@ fn cached_search_never_changes_the_plan() {
             threads,
         );
         let profiler2 = SimProfiler::new(Platform::platform2(), 6);
-        let cached = predtop::core::search_plan_cached_with_threads(
-            m,
-            cluster,
-            &profiler2,
-            &profiler2,
-            opts(),
-            threads,
-        );
+        let stack = ServiceBuilder::new(&profiler2)
+            .memoize()
+            .batched(threads)
+            .finish();
+        let cached = search_plan_service(m, cluster, &stack, &profiler2, opts(), None)
+            .expect("simulator stack is infallible");
         assert_eq!(cached.plan, plain.plan);
         assert_eq!(
             cached.estimated_latency.to_bits(),
@@ -83,13 +80,13 @@ fn cached_search_never_changes_the_plan() {
         );
         assert_eq!(cached.true_latency.to_bits(), plain.true_latency.to_bits());
         assert_eq!(cached.num_queries, plain.num_queries);
-        let stats = cached.cache.expect("cached search reports stats");
+        let stats = cached.cache.expect("memoized search reports stats");
         assert_eq!(stats.queries(), cached.num_queries);
     }
 }
 
 #[test]
-fn cached_search_never_issues_more_underlying_queries() {
+fn memoized_search_never_issues_more_underlying_queries() {
     let m = tiny_model();
     let cluster = MeshShape::new(2, 2);
 
@@ -98,7 +95,12 @@ fn cached_search_never_issues_more_underlying_queries() {
     let uncached_queries = profiler.queries_issued();
 
     let profiler2 = SimProfiler::new(Platform::platform2(), 6);
-    let cached = search_plan_cached(m, cluster, &profiler2, &profiler2, opts());
+    let stack = ServiceBuilder::new(&profiler2)
+        .memoize()
+        .batched(configured_threads())
+        .finish();
+    let cached = search_plan_service(m, cluster, &stack, &profiler2, opts(), None)
+        .expect("simulator stack is infallible");
     assert!(
         profiler2.queries_issued() <= uncached_queries,
         "memoization increased the underlying query load: {} > {}",
@@ -112,18 +114,23 @@ fn cached_search_never_issues_more_underlying_queries() {
 }
 
 #[test]
-fn reusing_one_cache_across_searches_absorbs_repeat_traffic() {
+fn reusing_one_memoized_stack_across_searches_absorbs_repeat_traffic() {
     let m = tiny_model();
     let cluster = MeshShape::new(2, 2);
     let profiler = SimProfiler::new(Platform::platform2(), 6);
 
-    // a campaign: the same full search twice through one shared cache
-    // (the blanket &P provider impl makes the wrapper non-consuming)
-    let shared = CachedProvider::new(&profiler);
-    let first = search_plan(m, cluster, &shared, &profiler, opts());
-    let after_first = shared.stats();
-    let second = search_plan(m, cluster, &shared, &profiler, opts());
-    let after_second = shared.stats();
+    // a campaign: the same full search twice through one shared stack
+    // (the blanket &S service impl makes the layers non-consuming)
+    let stack = ServiceBuilder::new(&profiler)
+        .memoize()
+        .batched(configured_threads())
+        .finish();
+    let first = search_plan_service(m, cluster, &stack, &profiler, opts(), None)
+        .expect("simulator stack is infallible");
+    let after_first = stack.handles().cache.as_ref().unwrap().stats();
+    let second = search_plan_service(m, cluster, &stack, &profiler, opts(), None)
+        .expect("simulator stack is infallible");
+    let after_second = stack.handles().cache.as_ref().unwrap().stats();
 
     assert_eq!(first.plan, second.plan);
     // the second search's queries were all answered from the cache
