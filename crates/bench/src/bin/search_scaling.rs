@@ -1,17 +1,27 @@
-//! Wall-clock scaling of the parallel plan-search engine.
+//! Wall-clock scaling of the structural-memoized plan-search engine.
 //!
-//! Runs the same full-profiling inter-stage search at 1 worker thread
-//! and at the configured pool size (see `PREDTOP_THREADS`), verifies the
-//! outcomes are bit-identical, and prints both wall clocks — the
-//! engine's determinism contract made visible. A final cached pass shows
-//! the memoization layer's hit/miss accounting. End-to-end wall-clock
-//! results are also written as stable-schema JSON (default
-//! `BENCH_search.json`; override with `--out PATH`) so scaling can be
-//! tracked across commits alongside `bench_predictor`'s artifact.
+//! Runs one serial, non-memoized full-profiling search as the baseline,
+//! then the same search through the canonical structural stack
+//! (`memoize_structural` + chunked `batched`) at 1/2/4/8 worker
+//! threads. Every row is checked bit-identical to the baseline plan —
+//! the engine's determinism contract made visible — and reports the
+//! structural cache's hit/miss split, the interner's distinct-structure
+//! count, and the dispatcher's chunk geometry. Results are written as
+//! stable-schema JSON (default `BENCH_search.json`; override with
+//! `--out PATH`) so scaling can be tracked across commits alongside
+//! `bench_predictor`'s artifact.
+//!
+//! The default model is a 64-layer dense decoder with shrunk
+//! hyper-parameters: deep enough that structural sharing pays (2080
+//! layer windows per (mesh, config), only 189 distinct structures — the
+//! work-weighted sharing alone is a ~7× cut in simulator work). Every
+//! configuration is timed twice and the faster wall clock kept, so one
+//! scheduler hiccup cannot sink a row. `--smoke` switches to a 12-layer
+//! model for CI-speed runs.
 //!
 //! ```sh
 //! cargo run --release --bin search_scaling
-//! PREDTOP_THREADS=8 cargo run --release --bin search_scaling
+//! cargo run --release --bin search_scaling -- --smoke
 //! cargo run --release --bin search_scaling -- --out results/BENCH_search.json
 //! ```
 
@@ -19,119 +29,166 @@ use std::path::PathBuf;
 
 use predtop_bench::jsonout::{write_json_file, Json};
 use predtop_cluster::Platform;
-use predtop_core::{search_plan_service, search_plan_with_threads};
+use predtop_core::{search_plan_service, search_plan_with_threads, SearchOutcome};
 use predtop_models::ModelSpec;
 use predtop_parallel::{InterStageOptions, MeshShape};
-use predtop_runtime::configured_threads;
 use predtop_service::ServiceBuilder;
 use predtop_sim::SimProfiler;
 
-fn parse_out() -> PathBuf {
+const THREAD_ROWS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cli {
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_cli() -> Cli {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = PathBuf::from("BENCH_search.json");
+    let mut cli = Cli {
+        out: PathBuf::from("BENCH_search.json"),
+        smoke: false,
+    };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--out" => {
                 i += 1;
-                out = PathBuf::from(argv.get(i).expect("--out PATH"));
+                cli.out = PathBuf::from(argv.get(i).expect("--out PATH"));
             }
+            "--smoke" => cli.smoke = true,
             other => {
-                eprintln!("unknown argument `{other}`\nusage: [--out PATH]");
+                eprintln!("unknown argument `{other}`\nusage: [--smoke] [--out PATH]");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
-    out
+    cli
+}
+
+fn bench_model(smoke: bool) -> ModelSpec {
+    let mut model = ModelSpec::gpt3_1p3b(2);
+    model.seq_len = 32;
+    model.hidden = 32;
+    model.num_heads = 4;
+    model.vocab = 64;
+    model.num_layers = if smoke { 12 } else { 64 };
+    model
+}
+
+fn assert_bit_identical(label: &str, a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(
+        a.estimated_latency.to_bits(),
+        b.estimated_latency.to_bits(),
+        "{label} changed the estimated latency"
+    );
+    assert_eq!(a.num_queries, b.num_queries, "{label} changed the sweep");
+    assert_eq!(a.plan, b.plan, "{label} changed the chosen plan");
 }
 
 fn main() {
-    let out_path = parse_out();
-    let mut model = ModelSpec::gpt3_1p3b(2);
-    model.seq_len = 128;
-    model.hidden = 128;
-    model.num_heads = 8;
-    model.vocab = 2048;
-    model.num_layers = 8;
-
-    let platform = Platform::platform2();
-    let cluster = MeshShape::new(2, 2);
+    let cli = parse_cli();
+    let model = bench_model(cli.smoke);
+    let platform = Platform::platform1();
+    let cluster = MeshShape::new(1, 2);
     let opts = InterStageOptions {
-        microbatches: 8,
+        microbatches: 4,
         imbalance_tolerance: None,
     };
-    let pool = configured_threads();
 
-    // Fresh profilers per run: the profiler memoizes internally, so a
-    // shared one would hand the second run a fully warmed cache and the
-    // comparison would time hash lookups, not candidate evaluation.
-    let serial_profiler = SimProfiler::new(platform.clone(), 7);
-    let serial =
-        search_plan_with_threads(model, cluster, &serial_profiler, &serial_profiler, opts, 1);
+    // Best-of-two timing per configuration: one descheduling blip on a
+    // loaded runner must not sink a row or the gate built on it.
+    let reps = 2;
+
+    // Baseline: serial, no memoization — every candidate evaluated.
+    // Fresh profilers per run throughout: the profiler memoizes
+    // internally, so a shared one would hand later runs a fully warmed
+    // cache and the comparison would time hash lookups, not evaluation.
+    let baseline = (0..reps)
+        .map(|_| {
+            let p = SimProfiler::new(platform.clone(), 7);
+            search_plan_with_threads(model, cluster, &p, &p, opts, 1)
+        })
+        .min_by(|a, b| a.search_seconds.total_cmp(&b.search_seconds))
+        .expect("at least one baseline rep");
     println!(
-        "1 thread      : {:7.3}s wall, {} queries, plan latency {:.5}s",
-        serial.search_seconds, serial.num_queries, serial.true_latency
+        "baseline (serial, no memoize): {:7.3}s wall, {} queries, plan latency {:.5}s",
+        baseline.search_seconds, baseline.num_queries, baseline.true_latency
     );
 
-    let pool_profiler = SimProfiler::new(platform.clone(), 7);
-    let parallel =
-        search_plan_with_threads(model, cluster, &pool_profiler, &pool_profiler, opts, pool);
-    println!(
-        "{pool} thread(s)   : {:7.3}s wall, {} queries, plan latency {:.5}s  ({:.2}x speedup)",
-        parallel.search_seconds,
-        parallel.num_queries,
-        parallel.true_latency,
-        serial.search_seconds / parallel.search_seconds
-    );
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    let mut last_speedup = 0.0;
+    let mut last_hit_rate = 0.0;
+    for threads in THREAD_ROWS {
+        let out = (0..reps)
+            .map(|_| {
+                let profiler = SimProfiler::new(platform.clone(), 7);
+                let stack = ServiceBuilder::new(&profiler)
+                    .memoize_structural()
+                    .batched(threads)
+                    .finish();
+                let out = search_plan_service(model, cluster, &stack, &profiler, opts, None)
+                    .expect("the simulator stack serves every scenario");
+                assert_bit_identical("structural stack", &baseline, &out);
+                out
+            })
+            .min_by(|a, b| a.search_seconds.total_cmp(&b.search_seconds))
+            .expect("at least one rep per row");
+        all_identical = all_identical && out.plan == baseline.plan;
 
-    assert_eq!(
-        serial.estimated_latency.to_bits(),
-        parallel.estimated_latency.to_bits(),
-        "thread count changed the search result"
-    );
-    assert_eq!(serial.num_queries, parallel.num_queries);
-    assert_eq!(
-        serial.plan, parallel.plan,
-        "thread count changed the chosen plan"
-    );
+        let report = out.service.as_ref().expect("structural stack reports");
+        let cache = report.cache.expect("memoize layer installed");
+        let interner = report.interner.expect("interner rides along");
+        let batch = report.batch.expect("batched layer installed");
+        let speedup = baseline.search_seconds / out.search_seconds;
+        last_speedup = speedup;
+        last_hit_rate = cache.hit_rate();
+        println!(
+            "{threads} thread(s): {:7.3}s wall ({speedup:5.2}x), \
+             {} hits / {} misses ({:.0}% hit rate), \
+             {} structures, chunk size {} x {} chunks",
+            out.search_seconds,
+            cache.hits,
+            cache.misses,
+            100.0 * cache.hit_rate(),
+            interner.distinct,
+            batch.last_chunk_size,
+            batch.chunks,
+        );
 
-    let cached_profiler = SimProfiler::new(platform, 7);
-    let stack = ServiceBuilder::new(&cached_profiler)
-        .memoize()
-        .batched(pool)
-        .finish();
-    let cached = search_plan_service(model, cluster, &stack, &cached_profiler, opts, None)
-        .expect("the simulator stack serves every scenario");
-    let stats = cached.cache.expect("cached search reports stats");
-    assert_eq!(
-        cached.estimated_latency.to_bits(),
-        serial.estimated_latency.to_bits(),
-        "memoization changed the search result"
-    );
-    println!(
-        "cached, {pool} thr: {:7.3}s wall, {} hits / {} misses ({:.0}% hit rate)",
-        cached.search_seconds,
-        stats.hits,
-        stats.misses,
-        100.0 * stats.hit_rate()
-    );
+        rows.push(
+            Json::obj()
+                .field("threads", threads)
+                .field("seconds", out.search_seconds)
+                .field("speedup", speedup)
+                .field("plans_bit_identical", out.plan == baseline.plan)
+                .field("cache_hits", cache.hits)
+                .field("cache_misses", cache.misses)
+                .field("cache_hit_rate", cache.hit_rate())
+                .field("interner_lookups", interner.lookups)
+                .field("interner_distinct", interner.distinct)
+                .field("chunk_size", batch.last_chunk_size)
+                .field("chunks", batch.chunks)
+                .field("batches_dispatched", batch.dispatched)
+                .field("batches_inline", batch.inline),
+        );
+    }
     println!("all runs chose bit-identical plans — determinism holds");
 
     let doc = Json::obj()
-        .field("schema_version", 1u64)
+        .field("schema_version", 2u64)
         .field("benchmark", "search_scaling")
-        .field("parallel_threads", pool)
-        .field("num_queries", serial.num_queries)
-        .field("serial_seconds", serial.search_seconds)
-        .field("parallel_seconds", parallel.search_seconds)
-        .field("speedup", serial.search_seconds / parallel.search_seconds)
-        .field("cached_seconds", cached.search_seconds)
-        .field("cache_hits", stats.hits)
-        .field("cache_misses", stats.misses)
-        .field("cache_hit_rate", stats.hit_rate())
-        .field("plan_latency_seconds", serial.true_latency)
-        .field("plans_bit_identical", true);
-    write_json_file(&out_path, &doc);
-    println!("saved {}", out_path.display());
+        .field("mode", if cli.smoke { "smoke" } else { "full" })
+        .field("model_layers", model.num_layers)
+        .field("num_queries", baseline.num_queries)
+        .field("baseline_seconds", baseline.search_seconds)
+        .field("plan_latency_seconds", baseline.true_latency)
+        .field("rows", rows)
+        .field("max_threads", *THREAD_ROWS.last().unwrap())
+        .field("max_threads_speedup", last_speedup)
+        .field("max_threads_hit_rate", last_hit_rate)
+        .field("plans_bit_identical", all_identical);
+    write_json_file(&cli.out, &doc);
+    println!("saved {}", cli.out.display());
 }

@@ -19,12 +19,13 @@ use predtop_analyze::StaticLegality;
 use predtop_models::{ModelSpec, StageSpec};
 use predtop_parallel::{
     enumerate_candidates, solve_pipeline, CacheStats, EvaluatedCandidate, InterStageOptions,
-    MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
+    InternStats, MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
 };
 use predtop_runtime::configured_threads;
 use predtop_service::{
-    provider_stack, BreakerStats, DeadlineStats, FallbackStats, FaultStats, LatencyQuery,
-    LatencyService, RetryStats, ServiceError, ServiceMetrics, ServiceStack, StackHandles,
+    provider_stack, BatchStats, BreakerStats, DeadlineStats, FallbackStats, FaultStats,
+    LatencyQuery, LatencyService, RetryStats, ServiceError, ServiceMetrics, ServiceStack,
+    StackHandles,
 };
 use predtop_sim::SimProfiler;
 
@@ -35,6 +36,16 @@ use predtop_sim::SimProfiler;
 pub struct ServiceReport {
     /// Hit/miss counters of the `Memoize` layer, if installed.
     pub cache: Option<CacheStats>,
+    /// Lookup/distinct counters of the structural interner, when the
+    /// `Memoize` layer keys on structural equivalence classes
+    /// (`ServiceBuilder::memoize_structural`). `distinct` is the number
+    /// of genuinely different sub-problems the search contained;
+    /// `lookups − distinct` is the sharing a raw-keyed cache would miss.
+    pub interner: Option<InternStats>,
+    /// Chunked-dispatch counters of the `Batched` layer, if installed:
+    /// how many batches fanned out vs. ran inline, and how coarse the
+    /// worker chunks were.
+    pub batch: Option<BatchStats>,
     /// Query/batch/error counters and deterministic latency accounting
     /// of the `Instrumented` layer, if installed.
     pub metrics: Option<ServiceMetrics>,
@@ -57,6 +68,8 @@ impl ServiceReport {
     pub fn from_handles(h: &StackHandles) -> ServiceReport {
         ServiceReport {
             cache: h.cache.as_ref().map(|c| c.stats()),
+            interner: h.interner.as_ref().map(|i| i.stats()),
+            batch: h.batch.as_ref().map(|b| b.stats()),
             metrics: h.metrics.as_ref().map(|m| m.metrics()),
             fallback: h.fallback.as_ref().map(|f| f.stats()),
             fault: h.fault.as_ref().map(|f| f.stats()),
@@ -69,6 +82,8 @@ impl ServiceReport {
     /// True when at least one observable layer was installed.
     pub fn any_installed(&self) -> bool {
         self.cache.is_some()
+            || self.interner.is_some()
+            || self.batch.is_some()
             || self.metrics.is_some()
             || self.fallback.is_some()
             || self.fault.is_some()
@@ -148,11 +163,22 @@ pub fn search_plan_service<S: LatencyService>(
     let num_queries = worklist.len();
     let num_rejected = enumerated - num_queries;
 
-    // Phase 2: one batch through the stack.
+    // Phase 2: one batch through the stack. When the stack memoizes on
+    // structural keys, pre-assign every query's key serially over the
+    // canonical work-list first: interning is cheap (a hash of the
+    // stage descriptor), and doing it here makes key numbering — and
+    // hence the interner's `distinct` count observable in the report —
+    // a pure function of the work-list, independent of how the batch
+    // layer later chunks the queries across threads.
     let queries: Vec<LatencyQuery> = worklist
         .iter()
         .map(|&(stage, mesh, config)| LatencyQuery::new(stage, mesh, config))
         .collect();
+    if let Some(interner) = stack.handles().interner.as_ref() {
+        for q in &queries {
+            interner.warm(&q.stage, q.mesh, q.config);
+        }
+    }
     let replies = stack.query_batch(&queries);
     let mut cands: Vec<EvaluatedCandidate> = Vec::with_capacity(queries.len());
     for (q, reply) in queries.iter().zip(replies) {
@@ -366,6 +392,59 @@ mod tests {
         assert_eq!(report.cache, Some(stats));
         // never more work for the underlying provider than uncached
         assert!(profiler2.queries_issued() <= plain_underlying);
+    }
+
+    #[test]
+    fn structural_memoized_search_is_transparent_and_shares_work() {
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let plain = search_plan(tiny_model(), cluster, &profiler, &profiler, opts);
+        let plain_underlying = profiler.queries_issued();
+
+        let profiler2 = SimProfiler::new(Platform::platform1(), 7);
+        let stack = ServiceBuilder::new(&profiler2)
+            .memoize_structural()
+            .batched(2)
+            .finish();
+        let out = search_plan_service(tiny_model(), cluster, &stack, &profiler2, opts, None)
+            .expect("simulator stack is infallible");
+
+        // structural sharing must be invisible in the outcome: the
+        // simulator is a pure function of the stage graph, so an
+        // isomorphic window's cached reply is the bit-identical value
+        assert_eq!(out.plan, plain.plan);
+        assert_eq!(
+            out.estimated_latency.to_bits(),
+            plain.estimated_latency.to_bits()
+        );
+        assert_eq!(out.true_latency.to_bits(), plain.true_latency.to_bits());
+        assert_eq!(out.num_queries, plain.num_queries);
+
+        // the report shows the sharing: fewer distinct structures than
+        // queries, every reuse a cache hit, and the inner simulator
+        // consulted once per structure only
+        let report = out.service.expect("structural stack reports");
+        let interner = report.interner.expect("interner stats ride along");
+        assert_eq!(interner.lookups, out.num_queries);
+        assert!(
+            interner.distinct < out.num_queries,
+            "a 6-layer dense model must share interior windows ({} vs {})",
+            interner.distinct,
+            out.num_queries
+        );
+        let cache = out.cache.expect("structural stack reports cache stats");
+        assert_eq!(cache.queries(), out.num_queries);
+        assert_eq!(cache.misses, interner.distinct);
+        assert_eq!(cache.hits, out.num_queries - interner.distinct);
+        assert!(report.batch.is_some(), "batched layer reports dispatch");
+        assert!(
+            profiler2.queries_issued() < plain_underlying,
+            "structural sharing must cut underlying simulator work"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! optimization-cost comparison falls directly out of this module.
 
 use predtop_models::{ModelSpec, StageSpec};
-use predtop_runtime::{configured_threads, par_map_with};
+use predtop_runtime::{
+    configured_threads, par_map_chunked, DEFAULT_OVERSUBSCRIPTION, DEFAULT_SERIAL_THRESHOLD,
+};
 
 use crate::config::{table3_configs, MeshShape, ParallelConfig};
 use crate::plan::{PipelinePlan, PlannedStage};
@@ -218,10 +220,17 @@ where
     let num_queries = worklist.len();
     let num_rejected = enumerated - num_queries;
 
-    // Phase 2: fan the provider queries out across the worker pool.
-    // Each candidate's latency lands at its work-list index.
-    let cands: Vec<EvaluatedCandidate> =
-        par_map_with(worklist, threads, |(stage, mesh, config)| {
+    // Phase 2: fan the provider queries out across the worker pool in
+    // coarse chunks (`queries / (threads × oversubscription)` each) so
+    // per-task overhead amortizes; small work-lists skip thread dispatch
+    // entirely. Each candidate's latency still lands at its work-list
+    // index, so chunking never changes the candidate table.
+    let (cands, _dispatch) = par_map_chunked(
+        worklist,
+        threads,
+        DEFAULT_OVERSUBSCRIPTION,
+        DEFAULT_SERIAL_THRESHOLD,
+        |(stage, mesh, config)| {
             let seconds = provider.stage_latency(&stage, mesh, config);
             EvaluatedCandidate {
                 stage,
@@ -229,7 +238,8 @@ where
                 config,
                 seconds,
             }
-        });
+        },
+    );
 
     // Phase 3: the shared DP over the candidate table.
     let (latency, plan) = solve_pipeline(&cands, layers, total_dev, opts.microbatches)

@@ -20,6 +20,11 @@
 //! * [`cache`] — hit/miss [`CacheStats`] accounting, shared by the
 //!   `predtop-service` stack's memoization layer and the Fig. 10 cost
 //!   reporting.
+//! * [`intern`] — the [`StructuralInterner`]: hash-conses
+//!   (stage, sub-mesh, configuration) sub-problems into
+//!   [`StructuralKey`]s so memoization can key on *structure* (two
+//!   isomorphic interior layer windows share one key) instead of raw
+//!   query identity.
 //! * [`plan`] — end-to-end pipeline plans and the Eqn. 4 white-box
 //!   formula `T = Σ tᵢ + (B−1)·max tⱼ`.
 //!
@@ -33,6 +38,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod intern;
 pub mod interstage;
 pub mod intra;
 pub mod plan;
@@ -41,6 +47,7 @@ pub mod sharding;
 
 pub use cache::CacheStats;
 pub use config::{table3_configs, MeshShape, ParallelConfig};
+pub use intern::{InternStats, StructuralDescriptor, StructuralInterner, StructuralKey};
 pub use interstage::{
     enumerate_candidates, optimize_pipeline, optimize_pipeline_filtered_with_threads,
     optimize_pipeline_with_threads, solve_pipeline, EvaluatedCandidate, InterStageOptions,

@@ -15,4 +15,7 @@
 
 pub mod exec;
 
-pub use exec::{configured_threads, par_map, par_map_with};
+pub use exec::{
+    chunk_size_for, configured_threads, par_map, par_map_chunked, par_map_with, ChunkDispatch,
+    DEFAULT_OVERSUBSCRIPTION, DEFAULT_SERIAL_THRESHOLD,
+};

@@ -1,7 +1,9 @@
 //! [`ServiceBuilder`]: assemble a middleware stack layer by layer while
 //! keeping shared handles to each layer's counters.
 
-use crate::batched::Batched;
+use std::sync::Arc;
+
+use crate::batched::{BatchHandle, Batched, DispatchPolicy};
 use crate::breaker::{BreakerConfig, BreakerHandle, CircuitBreaker};
 use crate::bridge::ProviderService;
 use crate::deadline::{Deadline, DeadlineHandle, DeadlinePolicy};
@@ -13,7 +15,7 @@ use crate::retry::{Retry, RetryHandle, RetryPolicy};
 use crate::{
     FallbackHandle, LatencyQuery, LatencyReply, LatencyService, MetricsHandle, ServiceError,
 };
-use predtop_parallel::StageLatencyProvider;
+use predtop_parallel::{StageLatencyProvider, StructuralInterner};
 
 /// Shared handles onto the counters of the layers a [`ServiceBuilder`]
 /// installed. Cloneable and independent of the stack's lifetime, so an
@@ -22,6 +24,14 @@ use predtop_parallel::StageLatencyProvider;
 pub struct StackHandles {
     /// Hit/miss counters of the [`Memoize`] layer, if one was installed.
     pub cache: Option<CacheHandle>,
+    /// The structural interner behind the [`Memoize`] layer, if the
+    /// layer was installed in structural mode
+    /// ([`ServiceBuilder::memoize_structural`]). The search engine warms
+    /// it serially over the canonical work-list so key numbering is
+    /// thread-count independent.
+    pub interner: Option<Arc<StructuralInterner>>,
+    /// Dispatch counters of the [`Batched`] layer, if one was installed.
+    pub batch: Option<BatchHandle>,
     /// Counters of the [`Instrumented`] layer, if one was installed.
     pub metrics: Option<MetricsHandle>,
     /// Primary/secondary accounting of the [`Fallback`] layer, if one
@@ -96,20 +106,45 @@ impl<S: LatencyService> ServiceBuilder<S> {
         ServiceBuilder { svc, handles }
     }
 
-    /// Fan query batches across `threads` deterministic workers.
+    /// Memoize successful replies per *structural equivalence class*: a
+    /// fresh [`StructuralInterner`] hash-conses each query's
+    /// (stage, sub-mesh, configuration) structure, so isomorphic
+    /// sub-problems — e.g. interior layer windows of equal length —
+    /// share one cache entry and all but the first *hit*. Only sound
+    /// over structure-pure sources (every in-tree provider; see
+    /// [`Memoize`]). The interner rides along in
+    /// [`StackHandles::interner`].
+    pub fn memoize_structural(self) -> ServiceBuilder<Memoize<S>> {
+        let interner = Arc::new(StructuralInterner::new());
+        let svc = Memoize::structural(self.svc, interner.clone());
+        let mut handles = self.handles;
+        handles.cache = Some(svc.handle());
+        handles.interner = Some(interner);
+        ServiceBuilder { svc, handles }
+    }
+
+    /// Fan query batches across `threads` deterministic workers with
+    /// the default chunking policy.
     pub fn batched(self, threads: usize) -> ServiceBuilder<Batched<S>> {
-        ServiceBuilder {
-            svc: Batched::new(self.svc, threads),
-            handles: self.handles,
-        }
+        self.batched_with_policy(threads, DispatchPolicy::default())
     }
 
     /// Fan query batches across the `PREDTOP_THREADS`-configured pool.
     pub fn batched_auto(self) -> ServiceBuilder<Batched<S>> {
-        ServiceBuilder {
-            svc: Batched::auto(self.svc),
-            handles: self.handles,
-        }
+        self.batched(predtop_runtime::configured_threads())
+    }
+
+    /// Fan query batches across `threads` deterministic workers with an
+    /// explicit [`DispatchPolicy`].
+    pub fn batched_with_policy(
+        self,
+        threads: usize,
+        policy: DispatchPolicy,
+    ) -> ServiceBuilder<Batched<S>> {
+        let svc = Batched::with_policy(self.svc, threads, policy);
+        let mut handles = self.handles;
+        handles.batch = Some(svc.handle());
+        ServiceBuilder { svc, handles }
     }
 
     /// Inject deterministic hash-seeded faults (errors and latency
@@ -274,12 +309,38 @@ mod tests {
         let (svc, _) = counting_service();
         let stack = ServiceBuilder::new(svc).batched(2).finish();
         assert!(stack.handles().cache.is_none());
+        assert!(stack.handles().interner.is_none());
         assert!(stack.handles().metrics.is_none());
         assert!(stack.handles().fallback.is_none());
         assert!(stack.handles().fault.is_none());
         assert!(stack.handles().retry.is_none());
         assert!(stack.handles().deadline.is_none());
         assert!(stack.handles().breaker.is_none());
+        // batched itself was installed, so its handle is present
+        assert!(stack.handles().batch.is_some());
+    }
+
+    #[test]
+    fn structural_memoize_stack_hits_across_isomorphic_queries() {
+        // six 1-layer stages: the four interior ones are isomorphic
+        let qs = queries(6);
+        let (svc, calls) = counting_service();
+        let stack = ServiceBuilder::new(svc)
+            .memoize_structural()
+            .batched(2)
+            .finish();
+        let replies = stack.query_batch(&qs);
+        assert!(replies.iter().all(|r| r.is_ok()));
+        // classes: embedding-window, interior-window, head-window
+        let h = stack.handles();
+        let interner = h.interner.as_ref().unwrap();
+        assert_eq!(interner.len(), 3);
+        assert_eq!(
+            h.cache.as_ref().unwrap().stats(),
+            CacheStats { hits: 3, misses: 3 }
+        );
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
+        assert!(h.batch.is_some());
     }
 
     #[test]

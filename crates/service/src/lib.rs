@@ -59,7 +59,7 @@ pub mod memoize;
 pub mod query;
 pub mod retry;
 
-pub use batched::Batched;
+pub use batched::{BatchHandle, BatchStats, Batched, DispatchPolicy};
 pub use breaker::{BreakerConfig, BreakerHandle, BreakerStats, CircuitBreaker, CircuitState};
 pub use bridge::{plan_latency, provider_stack, AsProvider, ProviderService, Unavailable};
 pub use builder::{ServiceBuilder, ServiceStack, StackHandles};

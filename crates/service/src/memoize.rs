@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use predtop_parallel::CacheStats;
+use predtop_parallel::{CacheStats, StructuralInterner, StructuralKey};
 
 use crate::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
 
@@ -15,11 +15,31 @@ use crate::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
 /// is a mask; 16 comfortably exceeds any realistic `PREDTOP_THREADS`.
 const SHARDS: usize = 16;
 
+/// What a [`Memoize`] layer's cache is keyed on.
+///
+/// `Raw` is the historical behaviour: every distinct
+/// (stage, mesh, config) query is its own entry. `Structural` routes the
+/// query through a [`StructuralInterner`] first, so isomorphic
+/// sub-problems (e.g. interior layer windows of equal length in a dense
+/// model) collapse onto one entry — a query the stack has never seen
+/// verbatim can still *hit* if an isomorphic one was answered before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MemoKey {
+    /// Raw query identity.
+    Raw(LatencyQuery),
+    /// Structural equivalence class from the layer's interner.
+    Structural(StructuralKey),
+}
+
 /// Shared cache state, owned jointly by the [`Memoize`] layer and any
 /// [`CacheHandle`]s the builder handed out.
 #[derive(Debug)]
 pub(crate) struct MemoizeState {
-    shards: Vec<Mutex<HashMap<LatencyQuery, LatencyReply>>>,
+    shards: Vec<Mutex<HashMap<MemoKey, LatencyReply>>>,
+    /// Single-flight latches: one lock per in-progress key, so
+    /// concurrent workers racing on the same brand-new key block behind
+    /// the first instead of consulting the inner service redundantly.
+    inflight: Mutex<HashMap<MemoKey, Arc<Mutex<()>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -28,14 +48,15 @@ impl MemoizeState {
     fn new() -> MemoizeState {
         MemoizeState {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
     }
 
-    fn shard_of(q: &LatencyQuery) -> usize {
+    fn shard_of(k: &MemoKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        q.hash(&mut h);
+        k.hash(&mut h);
         (h.finish() as usize) & (SHARDS - 1)
     }
 
@@ -84,28 +105,63 @@ impl CacheHandle {
 /// [`crate::Fallback`] below keeps attributing per query.
 ///
 /// Concurrency note: the inner service is consulted *outside* the shard
-/// lock, so two threads racing on the same brand-new query may both
-/// consult it. The search engine's work-list contains each query at most
-/// once per search, so within one search this cannot happen; across
-/// sequential searches the inner-query count equals the number of
-/// distinct keys.
+/// lock, behind a per-key single-flight latch — when several workers
+/// race on the same brand-new key (which structural mode makes routine:
+/// distinct raw queries in one batch can share a key), exactly one
+/// consults the inner service and the rest block briefly and then hit.
+/// So for successful queries the inner-consultation count — and with it
+/// every hit/miss counter — is a pure function of the query multiset,
+/// deterministic at any thread count. Errors release the latch without
+/// caching, so each blocked waiter retries the inner service itself.
+///
+/// In *structural* mode ([`Memoize::structural`]) the cache keys on the
+/// interned [`StructuralKey`] of each query instead of the query itself,
+/// so isomorphic sub-problems share one entry. That is only sound when
+/// the inner service is a pure function of the stage *structure* — true
+/// of every in-tree provider (the simulator, the analytic model, and
+/// graph-fed predictors all consume the built stage graph, which
+/// isomorphic windows share bit-for-bit).
 pub struct Memoize<S> {
     inner: S,
     state: Arc<MemoizeState>,
+    interner: Option<Arc<StructuralInterner>>,
 }
 
 impl<S> Memoize<S> {
-    /// Wrap `inner` with an empty cache.
+    /// Wrap `inner` with an empty cache keyed on raw query identity.
     pub fn new(inner: S) -> Memoize<S> {
         Memoize {
             inner,
             state: Arc::new(MemoizeState::new()),
+            interner: None,
+        }
+    }
+
+    /// Wrap `inner` with an empty cache keyed on structural equivalence
+    /// classes from `interner` (see the type-level soundness note).
+    pub fn structural(inner: S, interner: Arc<StructuralInterner>) -> Memoize<S> {
+        Memoize {
+            inner,
+            state: Arc::new(MemoizeState::new()),
+            interner: Some(interner),
         }
     }
 
     /// The wrapped service.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// The structural interner, when this layer keys structurally.
+    pub fn interner(&self) -> Option<&Arc<StructuralInterner>> {
+        self.interner.as_ref()
+    }
+
+    fn key_of(&self, q: &LatencyQuery) -> MemoKey {
+        match &self.interner {
+            Some(i) => MemoKey::Structural(i.intern(&q.stage, q.mesh, q.config)),
+            None => MemoKey::Raw(*q),
+        }
     }
 
     /// A shareable handle onto this layer's counters.
@@ -125,17 +181,33 @@ impl<S: LatencyService> LatencyService for Memoize<S> {
     }
 
     fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
-        let shard = &self.state.shards[MemoizeState::shard_of(q)];
-        if let Some(&r) = shard.lock().get(q) {
+        let key = self.key_of(q);
+        let shard = &self.state.shards[MemoizeState::shard_of(&key)];
+        if let Some(&r) = shard.lock().get(&key) {
             self.state.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(r);
         }
-        // consult the inner service outside the lock: a slow inner query
-        // (the simulator compiles the whole stage) must not stall every
-        // other worker hashing into this shard
+        // single-flight: one latch per key, so only one worker computes
+        // a brand-new key while racers block behind it (and then hit on
+        // the re-check) instead of duplicating inner work
+        let latch = self
+            .state
+            .inflight
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone();
+        let _guard = latch.lock();
+        if let Some(&r) = shard.lock().get(&key) {
+            self.state.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(r);
+        }
+        // consult the inner service outside the shard lock: a slow inner
+        // query (the simulator compiles the whole stage) must not stall
+        // every other worker hashing into this shard
         let r = self.inner.query(q)?;
         self.state.misses.fetch_add(1, Ordering::Relaxed);
-        shard.lock().insert(*q, r);
+        shard.lock().insert(key, r);
         Ok(r)
     }
 }
@@ -204,6 +276,30 @@ mod tests {
             }
         );
         assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), distinct);
+    }
+
+    #[test]
+    fn structural_mode_hits_on_isomorphic_queries() {
+        let (svc, calls) = counting_service();
+        let interner = Arc::new(StructuralInterner::new());
+        let memo = Memoize::structural(svc, interner.clone());
+        // two isomorphic interior 1-layer windows: second is a hit even
+        // though the raw query was never seen before
+        let a = memo.query(&q(1, 2)).unwrap();
+        let b = memo.query(&q(2, 3)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(memo.stats(), CacheStats { hits: 1, misses: 1 });
+        // boundary windows are distinct classes and miss
+        memo.query(&q(0, 1)).unwrap();
+        memo.query(&q(3, 4)).unwrap();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
+        assert_eq!(memo.stats(), CacheStats { hits: 1, misses: 3 });
+        assert_eq!(memo.handle().len(), 3);
+        assert_eq!(interner.stats().lookups, 4);
+        assert_eq!(interner.len(), 3);
+        assert!(memo.interner().is_some());
+        assert!(Memoize::new(counting_service().0).interner().is_none());
     }
 
     #[test]

@@ -77,13 +77,14 @@ pub mod prelude {
     pub use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
     pub use predtop_models::{enumerate_stages, sample_stages, ModelSpec, StageSpec};
     pub use predtop_parallel::{
-        optimize_pipeline, table3_configs, CacheStats, InterStageOptions, MeshShape,
-        ParallelConfig, PipelinePlan, StageLatencyProvider,
+        optimize_pipeline, table3_configs, CacheStats, InterStageOptions, InternStats, MeshShape,
+        ParallelConfig, PipelinePlan, StageLatencyProvider, StructuralInterner, StructuralKey,
     };
     pub use predtop_runtime::configured_threads;
     pub use predtop_service::{
-        BreakerConfig, DeadlinePolicy, FaultConfig, LatencyQuery, LatencyReply, LatencyService,
-        RetryPolicy, Retryability, ServiceBuilder, ServiceError, ServiceStack, Unavailable,
+        BatchStats, BreakerConfig, DeadlinePolicy, DispatchPolicy, FaultConfig, LatencyQuery,
+        LatencyReply, LatencyService, RetryPolicy, Retryability, ServiceBuilder, ServiceError,
+        ServiceStack, Unavailable,
     };
     pub use predtop_sim::{DeviceCostModel, SimProfiler};
 }

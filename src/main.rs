@@ -47,6 +47,8 @@ options:
   --threads T                (search) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
+  --raw-cache                (search) memoize on raw query identity
+                             instead of structural equivalence classes
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
@@ -92,7 +94,7 @@ fn parse_args() -> Args {
         if matches!(key.as_str(), "help" | "h") {
             help();
         }
-        if matches!(key.as_str(), "scaled") {
+        if matches!(key.as_str(), "scaled" | "raw-cache") {
             switches.push(key);
         } else {
             i += 1;
@@ -391,17 +393,23 @@ fn cmd_search(args: &Args) {
     // loop absorbs transient failures, and only then do memoization,
     // fan-out, and instrumentation see the (now reliable) service. With
     // the default flags every fault-tolerance layer is a pass-through.
-    let stack = ServiceBuilder::new(&profiler)
+    // structural memoization is the default: the simulator is a pure
+    // function of the stage graph, so isomorphic layer windows share
+    // one cache entry. `--raw-cache` restores raw query-identity keys.
+    let raw_cache = args.switches.iter().any(|s| s == "raw-cache");
+    let builder = ServiceBuilder::new(&profiler)
         .inject_faults(FaultConfig::errors(fault_seed, fault_rate))
         .deadline(DeadlinePolicy {
             per_query_seconds: deadline,
             per_batch_seconds: None,
         })
-        .retry(RetryPolicy::retries(retries))
-        .memoize()
-        .batched(threads)
-        .instrumented()
-        .finish();
+        .retry(RetryPolicy::retries(retries));
+    let builder = if raw_cache {
+        builder.memoize()
+    } else {
+        builder.memoize_structural()
+    };
+    let stack = builder.batched(threads).instrumented().finish();
     let out = match search_plan_service(model, cluster, &stack, &profiler, opts, None) {
         Ok(out) => out,
         Err(e) => die_service_error(e),
@@ -424,7 +432,28 @@ fn cmd_search(args: &Args) {
             );
             if let Some(report) = report {
                 if let Some(c) = report.cache {
-                    println!("memoize: {} hits / {} misses", c.hits, c.misses);
+                    println!(
+                        "memoize: {} hits / {} misses ({:.1}% hit rate)",
+                        c.hits,
+                        c.misses,
+                        c.hit_rate() * 100.0
+                    );
+                }
+                if let Some(i) = report.interner {
+                    println!(
+                        "structural keys: {} distinct structures over {} lookups \
+                         ({:.1}% reuse)",
+                        i.distinct,
+                        i.lookups,
+                        i.reuse_rate() * 100.0
+                    );
+                }
+                if let Some(b) = report.batch {
+                    println!(
+                        "dispatch: {} batches ({} fanned out, {} inline), \
+                         {} chunks, last chunk size {}",
+                        b.batches, b.dispatched, b.inline, b.chunks, b.last_chunk_size
+                    );
                 }
                 if let Some(m) = &report.metrics {
                     println!(
@@ -478,6 +507,16 @@ fn cmd_search(args: &Args) {
                     )
                 })
                 .collect();
+            let mut svc_fields = String::new();
+            if let Some(c) = report.and_then(|r| r.cache) {
+                svc_fields.push_str(&format!(
+                    ",\"cache_hits\":{},\"cache_misses\":{}",
+                    c.hits, c.misses
+                ));
+            }
+            if let Some(i) = report.and_then(|r| r.interner) {
+                svc_fields.push_str(&format!(",\"distinct_structures\":{}", i.distinct));
+            }
             let mut chaos_fields = String::new();
             if chaos {
                 if let Some(f) = report.and_then(|r| r.fault) {
@@ -498,7 +537,7 @@ fn cmd_search(args: &Args) {
             }
             println!(
                 "{{\"model\":\"{}\",\"iteration_latency_s\":{:.9},\"microbatches\":{},\
-                 \"num_queries\":{},\"stages\":[{}]{chaos_fields}}}",
+                 \"num_queries\":{},\"stages\":[{}]{svc_fields}{chaos_fields}}}",
                 model.kind.name(),
                 out.true_latency,
                 out.plan.microbatches,

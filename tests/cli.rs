@@ -87,6 +87,8 @@ options:
   --threads T                (search) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
+  --raw-cache                (search) memoize on raw query identity
+                             instead of structural equivalence classes
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
@@ -216,6 +218,55 @@ fn search_finds_a_plan() {
     // the service stack's accounting is part of the report
     assert!(text.contains("memoize:"), "{text}");
     assert!(text.contains("service:"), "{text}");
+}
+
+#[test]
+fn search_raw_cache_switch_changes_only_the_accounting() {
+    let structural = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+        ])
+        .output()
+        .expect("run structural predtop search");
+    assert!(structural.status.success());
+    let structural = String::from_utf8_lossy(&structural.stdout);
+    assert!(structural.contains("structural keys:"), "{structural}");
+
+    let raw = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--raw-cache",
+        ])
+        .output()
+        .expect("run raw-cache predtop search");
+    assert!(
+        raw.status.success(),
+        "{}",
+        String::from_utf8_lossy(&raw.stderr)
+    );
+    let raw = String::from_utf8_lossy(&raw.stdout);
+    // raw-identity keys never dedup within one search, and the
+    // interner line disappears with them
+    assert!(raw.contains("memoize: 0 hits"), "{raw}");
+    assert!(!raw.contains("structural keys:"), "{raw}");
+    // both runs land on the identical plan and latency
+    let plan_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("GPT-3[") || l.contains("iteration latency"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(plan_lines(&structural), plan_lines(&raw));
 }
 
 #[test]

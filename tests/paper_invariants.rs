@@ -222,7 +222,10 @@ fn dag_transformer_beats_baselines_on_one_scenario() {
             arch.heads = 2;
         }
         let mut net = arch.build(5);
-        let (scaler, _) = train(net.as_mut(), &ds, &split, &TrainConfig::quick(30));
+        // 40 epochs: at 30 the transformer's loss is still mid-descent
+        // on this stream of the vendored RNG and its MRE hovers right
+        // at the 40% bar; ten more epochs put it comfortably inside
+        let (scaler, _) = train(net.as_mut(), &ds, &split, &TrainConfig::quick(40));
         mres.insert(
             kind.label(),
             eval_mre(net.as_ref(), &scaler, &ds, &split.test),

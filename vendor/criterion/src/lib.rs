@@ -1,0 +1,237 @@
+//! Vendored stand-in for `criterion`, covering the API subset
+//! `crates/bench/benches/microbench.rs` uses. Statistical analysis is
+//! replaced by a plain mean-over-samples timer: each benchmark warms up
+//! for `warm_up_time`, then runs `sample_size` samples sized to fill
+//! `measurement_time`, and prints the per-iteration mean.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver (configuration + reporting).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let report = run_one(self, &mut f);
+        println!("{id:<40} {report}");
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Final report hook (no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let report = run_one(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        println!("{label:<40} {report}");
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify by parameter value alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify by function name and parameter value.
+    pub fn new(name: impl Into<String>, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> String {
+    // warm up and estimate the per-iteration cost
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut b);
+        per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+
+    // size samples so all of them together roughly fill measurement_time
+    let budget = config.measurement_time / config.sample_size as u32;
+    let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..config.sample_size {
+        let mut sample = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut sample);
+        total += sample.elapsed;
+        total_iters += sample.iters;
+    }
+    let mean = total.as_secs_f64() / total_iters.max(1) as f64;
+    format!("time: {}", fmt_time(mean))
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Group benchmark functions under a named runner, optionally with a
+/// custom `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit the benchmark binary's `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut hits = 0u64;
+        tiny().bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(3usize), &3usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 us");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

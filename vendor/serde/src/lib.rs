@@ -1,0 +1,73 @@
+//! Vendored stand-in for `serde`.
+//!
+//! `Serialize` / `Deserialize` are marker traits: they carry no methods,
+//! and the companion `serde_json` stand-in serializes every value to a
+//! placeholder and rejects every parse (see `vendor/README.md`). The
+//! workspace is written against exactly this degraded contract — every
+//! JSON-dependent assertion is gated on
+//! `serde_json::from_str::<u32>("1").is_ok()`.
+
+/// Marker for types the (stubbed) serializer accepts.
+pub trait Serialize {}
+
+/// Marker for types the (stubbed) deserializer accepts.
+pub trait Deserialize {}
+
+// The derive macros live in the macro namespace, the traits above in the
+// type namespace, so the same names can be re-exported side by side.
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! markers {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+markers!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    String,
+    ()
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! tuple_markers {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<$($n: Deserialize),+> Deserialize for ($($n,)+) {}
+    )*};
+}
+
+tuple_markers!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+));
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}

@@ -1,0 +1,57 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace's vendored `serde` defines `Serialize` / `Deserialize`
+//! as marker traits (see `vendor/README.md`), so the derives only need
+//! to emit empty trait impls. The input is parsed directly from the
+//! token stream — no `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive the `serde::Serialize` marker for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derive the `serde::Deserialize` marker for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Extract the type name from a `struct`/`enum` item and emit
+/// `impl ::serde::<Trait> for <Name> {}`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input)
+        .unwrap_or_else(|| panic!("serde_derive stub: could not find struct/enum name"));
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        // Generic derived types would need the parameter
+                        // list threaded through the impl; nothing in the
+                        // workspace derives on generics, so reject them
+                        // loudly instead of emitting broken code.
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!("serde_derive stub: generic type `{name}` is not supported");
+                            }
+                        }
+                        return Some(name.to_string());
+                    }
+                    _ => return None,
+                }
+            }
+        }
+    }
+    None
+}
