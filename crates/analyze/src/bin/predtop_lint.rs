@@ -1,9 +1,11 @@
 //! `predtop-lint` — run every static-analysis pass over the benchmark
-//! model graphs and/or persisted graph files.
+//! model graphs, persisted artifacts, and the search service stack.
 //!
 //! ```text
 //! predtop-lint [--format text|json] [--models both|gpt3|moe|none]
-//!              [--plan FILE]... [--inject-fault] [FILE...]
+//!              [--plan FILE]... [--fix] [--stack]
+//!              [--inject-fault] [--inject-plan-fault]
+//!              [--inject-stack-fault] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the built-in benchmark models (GPT-3 1.3B
@@ -12,8 +14,26 @@
 //! as persisted `Graph` JSON and graph-passes linted. `--plan FILE`
 //! arguments are parsed as persisted `PipelinePlan` JSON (e.g. written
 //! by `predtop search --plan-out`) and plan-passes linted against the
-//! model embedded in the plan's stages. `--inject-fault` appends a
-//! deliberately broken graph so CI can verify the error path.
+//! model embedded in the plan's stages.
+//!
+//! `--fix` applies every machine-applicable fix attached to plan
+//! findings, re-analyzing to a fixpoint: plan files are rewritten in
+//! place and the report shows what remains. Fixes are absolute edits,
+//! so a second `--fix` run applies nothing — the binary verifies this
+//! after every fix and CI diffs the twice-fixed file to pin it.
+//!
+//! `--stack` lints the layer ordering of the canonical search service
+//! stacks (the same `P2xxx` rules `predtop search` asserts on the
+//! stack it actually builds; see DESIGN.md §10 and §12).
+//!
+//! The three `--inject-*` flags append deliberately broken subjects so
+//! CI can verify each error path without fixture files: a graph with a
+//! shape error (`--inject-fault`), a plan with divisibility errors
+//! that `--fix` can repair (`--inject-plan-fault`), and a misordered
+//! service stack (`--inject-stack-fault`).
+//!
+//! Graph-pass results are memoized on `Graph::structural_hash()`; the
+//! cache's hit/miss accounting is printed to stderr after the reports.
 //!
 //! Exit status: 0 clean (no `Error` findings), 1 at least one `Error`
 //! finding, 2 usage / IO / parse failure.
@@ -21,12 +41,13 @@
 use std::process::ExitCode;
 
 use predtop_analyze::{
-    analyze_graph, analyze_plan, has_errors, render_json, render_text, Diagnostic,
-    PlanCheckOptions, Severity,
+    analyze_plan, analyze_stack, fix_plan, has_errors, render_json, render_text, Diagnostic,
+    GraphLintCache, PlanCheckOptions, Severity, Span,
 };
 use predtop_ir::{DType, Graph, GraphBuilder, OpKind, Shape};
 use predtop_models::{ModelSpec, StageSpec};
 use predtop_parallel::{MeshShape, ParallelConfig, PipelinePlan, PlannedStage};
+use predtop_service::{LayerTag, StackSpec};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -45,20 +66,45 @@ enum Models {
 struct Args {
     format: Format,
     models: Option<Models>,
+    fix: bool,
+    stack: bool,
     inject_fault: bool,
+    inject_plan_fault: bool,
+    inject_stack_fault: bool,
     files: Vec<String>,
     plans: Vec<String>,
 }
 
 const USAGE: &str = "usage: predtop-lint [--format text|json] \
                      [--models both|gpt3|moe|none] [--plan FILE]... \
-                     [--inject-fault] [FILE...]";
+                     [--fix] [--stack] [--inject-fault] \
+                     [--inject-plan-fault] [--inject-stack-fault] \
+                     [FILE...]";
+
+/// The structured usage diagnostic for a bad `--models` value: the
+/// same renderer and code-table discipline as every analysis finding
+/// (`P0901`, DESIGN.md §12), so scripts can grep one format.
+fn bad_models_value(got: Option<&str>) -> String {
+    let got = got.map_or("nothing".to_string(), |g| format!("`{g}`"));
+    let d = Diagnostic::new(
+        901,
+        Severity::Error,
+        Span::Graph,
+        format!("--models expects both|gpt3|moe|none, got {got}"),
+    )
+    .with_suggestion("pass --models both to lint every benchmark model");
+    format!("{}{USAGE}", render_text(&[d]))
+}
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         format: Format::Text,
         models: None,
+        fix: false,
+        stack: false,
         inject_fault: false,
+        inject_plan_fault: false,
+        inject_stack_fault: false,
         files: Vec::new(),
         plans: Vec::new(),
     };
@@ -82,14 +128,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some("gpt3") => Models::Gpt3,
                     Some("moe") => Models::Moe,
                     Some("none") => Models::None,
-                    other => {
-                        return Err(format!(
-                            "--models expects both|gpt3|moe|none, got {other:?}"
-                        ))
-                    }
+                    other => return Err(bad_models_value(other)),
                 })
             }
+            "--fix" => args.fix = true,
+            "--stack" => args.stack = true,
             "--inject-fault" => args.inject_fault = true,
+            "--inject-plan-fault" => args.inject_plan_fault = true,
+            "--inject-stack-fault" => args.inject_stack_fault = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             f if f.starts_with('-') => return Err(format!("unknown flag {f}\n{USAGE}")),
             f => args.files.push(f.to_string()),
@@ -122,15 +168,68 @@ fn faulty_graph() -> Graph {
     b.finish(&[bad]).expect("fault graph has an output")
 }
 
+/// A plan whose every error carries a machine-applicable fix: the
+/// micro-batch count does not divide the batch (`P1301`) and the stage
+/// configuration overshards the head count (`P1303`). `--fix` repairs
+/// both; without it the subject exits 1 — CI drives both paths.
+fn faulty_plan() -> (PipelinePlan, ModelSpec) {
+    let mut m = ModelSpec::gpt3_1p3b(8);
+    m.num_layers = 4;
+    m.num_heads = 2;
+    let plan = PipelinePlan {
+        stages: vec![PlannedStage {
+            stage: StageSpec::new(m, 0, m.num_layers),
+            mesh: MeshShape::new(1, 4),
+            config: ParallelConfig::new(1, 4),
+        }],
+        microbatches: 3,
+    };
+    (plan, m)
+}
+
+/// The layer ordering `predtop search` installs (see `cmd_search`):
+/// faults innermost, deadline policing each attempt, retry absorbing
+/// transient failures, then memoization, fan-out, instrumentation.
+/// `predtop search` asserts its *actual* built stack through the same
+/// `analyze_stack` rules, so this mirror cannot silently drift into
+/// legality.
+fn search_stack_spec(raw_cache: bool) -> StackSpec {
+    StackSpec::from_layers([
+        LayerTag::FaultInject,
+        LayerTag::Deadline,
+        LayerTag::Retry,
+        if raw_cache {
+            LayerTag::Memoize
+        } else {
+            LayerTag::MemoizeStructural
+        },
+        LayerTag::Batched,
+        LayerTag::Instrumented,
+    ])
+}
+
+/// A deliberately misordered stack — retry trapped inside the fault
+/// injector and the deadline outside the batcher — so CI can assert
+/// the `P2xxx` error path.
+fn misordered_stack_spec() -> StackSpec {
+    StackSpec::from_layers([
+        LayerTag::Retry,
+        LayerTag::FaultInject,
+        LayerTag::Batched,
+        LayerTag::Deadline,
+        LayerTag::Instrumented,
+    ])
+}
+
 /// One linted subject: its display name and merged, sorted findings.
 struct Report {
     subject: String,
     diags: Vec<Diagnostic>,
 }
 
-fn lint_model(model: ModelSpec, name: &str) -> Report {
+fn lint_model(cache: &GraphLintCache, model: ModelSpec, name: &str) -> Report {
     let graph = StageSpec::new(model, 0, model.num_layers).build_graph();
-    let mut diags = analyze_graph(&graph);
+    let mut diags = cache.analyze(&graph).as_ref().clone();
     diags.extend(analyze_plan(
         &trivial_plan(model),
         &model,
@@ -162,7 +261,7 @@ fn skipped_report(path: &str, what: &str) -> Report {
     }
 }
 
-fn lint_file(path: &str) -> Result<Report, String> {
+fn lint_file(cache: &GraphLintCache, path: &str) -> Result<Report, String> {
     let body =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
     if stub_placeholder(&body) {
@@ -172,11 +271,35 @@ fn lint_file(path: &str) -> Result<Report, String> {
         serde_json::from_str(&body).map_err(|e| format!("{path}: not a persisted graph: {e}"))?;
     Ok(Report {
         subject: path.to_string(),
-        diags: analyze_graph(&graph),
+        diags: cache.analyze(&graph).as_ref().clone(),
     })
 }
 
-fn lint_plan_file(path: &str) -> Result<Report, String> {
+/// Fix `plan` to a fixpoint and verify idempotence: re-fixing the
+/// output must apply zero edits (fix edits are absolute, DESIGN.md
+/// §12). Returns the fixed plan and the findings that remain.
+fn fix_and_verify(
+    plan: &PipelinePlan,
+    model: &ModelSpec,
+    subject: &str,
+) -> (PipelinePlan, Vec<Diagnostic>) {
+    let out = fix_plan(plan, model, &PlanCheckOptions::default());
+    eprintln!(
+        "fix: {subject}: {} edit round(s) over {} analyze round(s), {} finding(s) remain",
+        out.applied,
+        out.rounds,
+        out.remaining.len()
+    );
+    let again = fix_plan(&out.plan, model, &PlanCheckOptions::default());
+    if again.applied != 0 || again.plan != out.plan {
+        eprintln!("fix: {subject}: NOT idempotent — second pass changed the plan");
+    } else {
+        eprintln!("fix: {subject}: idempotent (second pass applied 0 edits)");
+    }
+    (out.plan, out.remaining)
+}
+
+fn lint_plan_file(path: &str, fix: bool) -> Result<Report, String> {
     let body =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
     if stub_placeholder(&body) {
@@ -191,6 +314,20 @@ fn lint_plan_file(path: &str) -> Result<Report, String> {
         .ok_or_else(|| format!("{path}: plan has no stages"))?
         .stage
         .model;
+    if fix {
+        let (fixed, remaining) = fix_and_verify(&plan, &model, path);
+        if fixed != plan {
+            let body = serde_json::to_string(&fixed)
+                .map_err(|e| format!("{path}: cannot serialize fixed plan: {e}"))?;
+            std::fs::write(path, body)
+                .map_err(|e| format!("{path}: cannot write fixed plan: {e}"))?;
+            eprintln!("fix: {path}: rewrote plan file");
+        }
+        return Ok(Report {
+            subject: format!("{path} (plan, fixed)"),
+            diags: remaining,
+        });
+    }
     Ok(Report {
         subject: format!("{path} (plan)"),
         diags: analyze_plan(&plan, &model, &PlanCheckOptions::default()),
@@ -242,24 +379,26 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // default: lint the benchmark models, unless files were given
-    let models = args
-        .models
-        .unwrap_or(if args.files.is_empty() && args.plans.is_empty() {
+    // default: lint the benchmark models, unless files were given or
+    // the run only targets the service stacks
+    let models = args.models.unwrap_or(
+        if args.files.is_empty() && args.plans.is_empty() && !args.stack {
             Models::Both
         } else {
             Models::None
-        });
+        },
+    );
 
+    let cache = GraphLintCache::new();
     let mut reports = Vec::new();
     if matches!(models, Models::Both | Models::Gpt3) {
-        reports.push(lint_model(ModelSpec::gpt3_1p3b(8), "gpt3-1.3b"));
+        reports.push(lint_model(&cache, ModelSpec::gpt3_1p3b(8), "gpt3-1.3b"));
     }
     if matches!(models, Models::Both | Models::Moe) {
-        reports.push(lint_model(ModelSpec::moe_2p6b(8), "moe-2.6b"));
+        reports.push(lint_model(&cache, ModelSpec::moe_2p6b(8), "moe-2.6b"));
     }
     for f in &args.files {
-        match lint_file(f) {
+        match lint_file(&cache, f) {
             Ok(r) => reports.push(r),
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -268,7 +407,7 @@ fn main() -> ExitCode {
         }
     }
     for f in &args.plans {
-        match lint_plan_file(f) {
+        match lint_plan_file(f, args.fix) {
             Ok(r) => reports.push(r),
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -276,10 +415,43 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.stack {
+        for (name, raw_cache) in [("stack:default-search", false), ("stack:raw-cache", true)] {
+            let spec = search_stack_spec(raw_cache);
+            eprintln!("stack: {name}: {}", spec.label());
+            reports.push(Report {
+                subject: name.to_string(),
+                diags: analyze_stack(&spec),
+            });
+        }
+    }
     if args.inject_fault {
         reports.push(Report {
             subject: "fault-injection".to_string(),
-            diags: analyze_graph(&faulty_graph()),
+            diags: analyze_graph_cached(&cache, &faulty_graph()),
+        });
+    }
+    if args.inject_plan_fault {
+        let (plan, model) = faulty_plan();
+        reports.push(if args.fix {
+            let (_, remaining) = fix_and_verify(&plan, &model, "plan-fault-injection");
+            Report {
+                subject: "plan-fault-injection (fixed)".to_string(),
+                diags: remaining,
+            }
+        } else {
+            Report {
+                subject: "plan-fault-injection".to_string(),
+                diags: analyze_plan(&plan, &model, &PlanCheckOptions::default()),
+            }
+        });
+    }
+    if args.inject_stack_fault {
+        let spec = misordered_stack_spec();
+        eprintln!("stack: stack-fault-injection: {}", spec.label());
+        reports.push(Report {
+            subject: "stack-fault-injection".to_string(),
+            diags: analyze_stack(&spec),
         });
     }
     if reports.is_empty() {
@@ -291,10 +463,18 @@ fn main() -> ExitCode {
         Format::Text => emit_text(&reports),
         Format::Json => emit_json(&reports),
     }
+    let stats = cache.stats();
+    if stats.hits + stats.misses > 0 {
+        eprintln!("lint cache: {} hits, {} misses", stats.hits, stats.misses);
+    }
 
     if reports.iter().any(|r| has_errors(&r.diags)) {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn analyze_graph_cached(cache: &GraphLintCache, graph: &Graph) -> Vec<Diagnostic> {
+    cache.analyze(graph).as_ref().clone()
 }

@@ -58,6 +58,8 @@ pub enum Span {
     Stage(usize),
     /// The whole pipeline plan.
     Plan,
+    /// One layer of a service stack (by position, innermost first).
+    Layer(usize),
 }
 
 impl Span {
@@ -70,6 +72,7 @@ impl Span {
             Span::Node(id) => (1, id.0 as u64),
             Span::Stage(i) => (2, i as u64),
             Span::Plan => (3, 0),
+            Span::Layer(i) => (4, i as u64),
         }
     }
 }
@@ -81,8 +84,55 @@ impl std::fmt::Display for Span {
             Span::Node(id) => write!(f, "node {}", id.0),
             Span::Stage(i) => write!(f, "stage {i}"),
             Span::Plan => f.write_str("plan"),
+            Span::Layer(i) => write!(f, "layer {i}"),
         }
     }
+}
+
+/// A machine-applicable structured edit to a `PipelinePlan`, in the
+/// spirit of rustc's `MachineApplicable` suggestions: precise enough
+/// that `predtop-lint --fix` can apply it without human judgement.
+/// Every variant sets fields to explicit values (rather than deltas),
+/// so re-applying an edit is a no-op — the root of the fix loop's
+/// idempotence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixEdit {
+    /// Set the plan's micro-batch count.
+    SetMicrobatches {
+        /// The new count.
+        value: usize,
+    },
+    /// Set one stage's `(dp, mp)` parallel configuration.
+    SetStageConfig {
+        /// Stage index.
+        stage: usize,
+        /// New data-parallel degree.
+        dp: usize,
+        /// New model-parallel degree.
+        mp: usize,
+    },
+    /// Set one stage's sub-mesh shape and matching configuration.
+    SetStageMesh {
+        /// Stage index.
+        stage: usize,
+        /// New node count.
+        nodes: usize,
+        /// New GPUs per node.
+        gpus_per_node: usize,
+        /// New data-parallel degree (must fill the mesh with `mp`).
+        dp: usize,
+        /// New model-parallel degree.
+        mp: usize,
+    },
+}
+
+/// A machine-applicable fix attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// What applying the edit does, in imperative mood.
+    pub description: String,
+    /// The structured edit itself.
+    pub edit: FixEdit,
 }
 
 /// One finding of one pass.
@@ -98,6 +148,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional remediation hint, rendered as a `help:` line.
     pub suggestion: Option<String>,
+    /// Optional machine-applicable fix, applied by `predtop-lint --fix`.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -114,12 +166,22 @@ impl Diagnostic {
             span,
             message: message.into(),
             suggestion: None,
+            fix: None,
         }
     }
 
     /// Attach a remediation hint.
     pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
         self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Attach a machine-applicable fix.
+    pub fn with_fix(mut self, description: impl Into<String>, edit: FixEdit) -> Diagnostic {
+        self.fix = Some(Fix {
+            description: description.into(),
+            edit,
+        });
         self
     }
 }

@@ -1,0 +1,239 @@
+//! Applying machine-applicable fixes: the engine behind
+//! `predtop-lint --fix`.
+//!
+//! A [`crate::diag::FixEdit`] is a structured, absolute edit to a
+//! `PipelinePlan` — it *sets* fields rather than adjusting them, so
+//! applying the same edit twice is a no-op. [`fix_plan`] drives the
+//! analyze → apply loop to a fixpoint: each round re-runs the full plan
+//! analysis, applies every attached edit, and stops as soon as a round
+//! changes nothing. Because edits are absolute and every pass is a pure
+//! function of the plan, a second [`fix_plan`] invocation on the output
+//! is guaranteed to apply zero edits — idempotence by construction,
+//! which CI asserts by fixing twice and diffing.
+
+use predtop_models::ModelSpec;
+use predtop_parallel::{MeshShape, ParallelConfig, PipelinePlan};
+
+use crate::diag::{Diagnostic, FixEdit};
+use crate::pass::PlanCheckOptions;
+use crate::registry::analyze_plan;
+
+/// Apply one edit; `true` iff the plan changed.
+pub fn apply_edit(plan: &mut PipelinePlan, edit: FixEdit) -> bool {
+    match edit {
+        FixEdit::SetMicrobatches { value } => {
+            let changed = plan.microbatches != value;
+            plan.microbatches = value;
+            changed
+        }
+        FixEdit::SetStageConfig { stage, dp, mp } => match plan.stages.get_mut(stage) {
+            Some(ps) => {
+                let next = ParallelConfig::new(dp, mp);
+                let changed = ps.config != next;
+                ps.config = next;
+                changed
+            }
+            None => false,
+        },
+        FixEdit::SetStageMesh {
+            stage,
+            nodes,
+            gpus_per_node,
+            dp,
+            mp,
+        } => match plan.stages.get_mut(stage) {
+            Some(ps) => {
+                let mesh = MeshShape::new(nodes, gpus_per_node);
+                let config = ParallelConfig::new(dp, mp);
+                let changed = ps.mesh != mesh || ps.config != config;
+                ps.mesh = mesh;
+                ps.config = config;
+                changed
+            }
+            None => false,
+        },
+    }
+}
+
+/// The unique edits attached to `diags`, first-seen order preserved.
+/// Several diagnostics on one stage typically carry the same edit (the
+/// `P1302`/`P1303`/`P1304` family all point at one replacement config);
+/// deduplicating keeps the applied-edit count meaningful.
+pub fn collect_edits(diags: &[Diagnostic]) -> Vec<FixEdit> {
+    let mut out: Vec<FixEdit> = Vec::new();
+    for d in diags {
+        if let Some(f) = &d.fix {
+            if !out.contains(&f.edit) {
+                out.push(f.edit);
+            }
+        }
+    }
+    out
+}
+
+/// What one [`fix_plan`] run did.
+#[derive(Debug, Clone)]
+pub struct FixOutcome {
+    /// The fixed plan.
+    pub plan: PipelinePlan,
+    /// Analyze → apply rounds executed (1 = already clean of fixable
+    /// findings).
+    pub rounds: usize,
+    /// Edits that actually changed the plan, summed over rounds.
+    pub applied: usize,
+    /// Findings of the final analysis (whatever has no machine fix).
+    pub remaining: Vec<Diagnostic>,
+}
+
+/// Bound on analyze → apply rounds. Each round either changes the plan
+/// or terminates the loop, and every edit family strictly reduces its
+/// own violation class, so real plans settle in one or two rounds —
+/// the cap is a backstop against a (hypothetically) cyclic fix set.
+pub const MAX_FIX_ROUNDS: usize = 8;
+
+/// Run the analyzer and apply every machine-applicable fix, repeating
+/// until a round changes nothing (or [`MAX_FIX_ROUNDS`] is hit).
+pub fn fix_plan(plan: &PipelinePlan, model: &ModelSpec, options: &PlanCheckOptions) -> FixOutcome {
+    let mut plan = plan.clone();
+    let mut applied = 0usize;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let diags = analyze_plan(&plan, model, options);
+        let mut changed = false;
+        for edit in collect_edits(&diags) {
+            changed |= apply_edit(&mut plan, edit);
+        }
+        if changed {
+            applied += 1;
+        }
+        if !changed || rounds >= MAX_FIX_ROUNDS {
+            let remaining = if changed {
+                analyze_plan(&plan, model, options)
+            } else {
+                diags
+            };
+            return FixOutcome {
+                plan,
+                rounds,
+                applied,
+                remaining,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use predtop_models::StageSpec;
+    use predtop_parallel::PlannedStage;
+
+    fn small_model() -> ModelSpec {
+        let mut m = ModelSpec::gpt3_1p3b(8);
+        m.num_layers = 4;
+        m
+    }
+
+    fn options(cluster: MeshShape) -> PlanCheckOptions {
+        PlanCheckOptions {
+            cluster: Some(cluster),
+            gpu: None,
+            headroom_frac: 0.1,
+        }
+    }
+
+    /// A plan whose stage config oversharded the head count: dp=1, mp=4
+    /// on a 4-device mesh with only 2 heads.
+    fn broken_config_plan(m: ModelSpec) -> PipelinePlan {
+        PipelinePlan {
+            stages: vec![PlannedStage {
+                stage: StageSpec::new(m, 0, m.num_layers),
+                mesh: MeshShape::new(1, 4),
+                config: ParallelConfig::new(1, 4),
+            }],
+            microbatches: 4,
+        }
+    }
+
+    #[test]
+    fn fix_repairs_an_oversharded_config() {
+        let mut m = small_model();
+        m.num_heads = 2;
+        let plan = broken_config_plan(m);
+        let opts = options(MeshShape::new(1, 4));
+        assert!(has_errors(&analyze_plan(&plan, &m, &opts)));
+
+        let out = fix_plan(&plan, &m, &opts);
+        assert!(out.applied >= 1);
+        assert!(
+            !has_errors(&out.remaining),
+            "fixed plan still errors: {:?}",
+            out.remaining
+        );
+        // the mesh still holds 4 devices and the config fills it
+        assert_eq!(out.plan.stages[0].config.num_devices(), 4);
+    }
+
+    #[test]
+    fn fix_repairs_a_bad_microbatch_count() {
+        let m = small_model(); // batch 8
+        let mut plan = broken_config_plan(m);
+        plan.stages[0].config = ParallelConfig::new(4, 1);
+        plan.microbatches = 3; // 8 % 3 != 0
+        let opts = options(MeshShape::new(1, 4));
+
+        let out = fix_plan(&plan, &m, &opts);
+        assert_eq!(out.plan.microbatches, 2, "largest dividing count ≤ 3");
+        assert!(!has_errors(&out.remaining), "{:?}", out.remaining);
+    }
+
+    #[test]
+    fn fix_clamps_an_oversized_submesh() {
+        let m = small_model();
+        let mut plan = broken_config_plan(m);
+        plan.stages[0].mesh = MeshShape::new(2, 4); // cluster is 1×4
+        plan.stages[0].config = ParallelConfig::new(2, 4);
+        let opts = options(MeshShape::new(1, 4));
+
+        let out = fix_plan(&plan, &m, &opts);
+        assert_eq!(out.plan.stages[0].mesh, MeshShape::new(1, 4));
+        assert!(!has_errors(&out.remaining), "{:?}", out.remaining);
+    }
+
+    #[test]
+    fn fix_is_idempotent() {
+        for (heads, mb) in [(2, 4), (8, 3), (2, 3)] {
+            let mut m = small_model();
+            m.num_heads = heads;
+            let mut plan = broken_config_plan(m);
+            plan.microbatches = mb;
+            let opts = options(MeshShape::new(1, 4));
+
+            let once = fix_plan(&plan, &m, &opts);
+            let twice = fix_plan(&once.plan, &m, &opts);
+            assert_eq!(twice.plan, once.plan, "second fix changed the plan");
+            assert_eq!(twice.applied, 0, "second fix applied edits");
+            assert_eq!(twice.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn clean_plans_pass_through_untouched() {
+        let m = small_model();
+        let plan = PipelinePlan {
+            stages: vec![PlannedStage {
+                stage: StageSpec::new(m, 0, m.num_layers),
+                mesh: MeshShape::new(1, 1),
+                config: ParallelConfig::SERIAL,
+            }],
+            microbatches: 1,
+        };
+        let opts = options(MeshShape::new(1, 4));
+        let out = fix_plan(&plan, &m, &opts);
+        assert_eq!(out.plan, plan);
+        assert_eq!(out.applied, 0);
+        assert_eq!(out.rounds, 1);
+    }
+}

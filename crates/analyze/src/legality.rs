@@ -7,6 +7,7 @@
 //! *before* they ever reach the latency provider.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -31,6 +32,8 @@ pub struct StaticLegality {
     gpu: Option<GpuSpec>,
     headroom_frac: f64,
     graphs: Mutex<HashMap<(usize, usize), Arc<Graph>>>,
+    rejected: AtomicUsize,
+    rejected_memory: AtomicUsize,
 }
 
 impl StaticLegality {
@@ -42,6 +45,8 @@ impl StaticLegality {
             gpu: None,
             headroom_frac: 0.1,
             graphs: Mutex::new(HashMap::new()),
+            rejected: AtomicUsize::new(0),
+            rejected_memory: AtomicUsize::new(0),
         }
     }
 
@@ -72,7 +77,7 @@ impl StaticLegality {
         _mesh: MeshShape,
         config: ParallelConfig,
     ) -> Vec<Diagnostic> {
-        let mut out = divisibility_diags(&self.model, self.microbatches, config, Span::Plan);
+        let mut out = divisibility_diags(&self.model, self.microbatches, config, Span::Plan, None);
         // only pay for a graph build when the cheap rules pass
         if out.is_empty() {
             if let Some(gpu) = &self.gpu {
@@ -96,7 +101,26 @@ impl StaticLegality {
     /// ("no covering partition survived the filter") — check `P1301`
     /// up front when the micro-batch count is user-supplied.
     pub fn is_legal(&self, stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> bool {
-        !has_errors(&self.candidate_diagnostics(stage, mesh, config))
+        let diags = self.candidate_diagnostics(stage, mesh, config);
+        if !has_errors(&diags) {
+            return true;
+        }
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        if diags.iter().any(|d| d.code.0 == 1401) {
+            self.rejected_memory.fetch_add(1, Ordering::Relaxed);
+        }
+        false
+    }
+
+    /// How many candidates [`Self::is_legal`] has rejected so far.
+    pub fn rejections(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// How many of those rejections were the liveness-tight `P1401`
+    /// memory-fit rule (as opposed to pure divisibility arithmetic).
+    pub fn memory_rejections(&self) -> usize {
+        self.rejected_memory.load(Ordering::Relaxed)
     }
 }
 

@@ -22,19 +22,30 @@
 
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod diag;
+pub mod fix;
 pub mod graph_passes;
 pub mod legality;
 pub mod pass;
 pub mod plan_passes;
 pub mod registry;
 pub mod render;
+pub mod stack_passes;
 
-pub use diag::{has_errors, max_severity, sort_diagnostics, Code, Diagnostic, Severity, Span};
+pub use dataflow::{
+    peak_resident_bytes, resident_sets, solve, BitSet, Direction, Fixpoint, FlowGraph, Lattice,
+    LiveBuffers, LivenessPass,
+};
+pub use diag::{
+    has_errors, max_severity, sort_diagnostics, Code, Diagnostic, Fix, FixEdit, Severity, Span,
+};
+pub use fix::{apply_edit, collect_edits, fix_plan, FixOutcome};
 pub use legality::StaticLegality;
 pub use pass::{GraphPass, PlanCheckOptions, PlanContext, PlanPass};
 pub use registry::{
     analyze_graph, analyze_graph_with_threads, analyze_plan, analyze_plan_with_threads,
-    default_graph_passes, default_plan_passes,
+    default_graph_passes, default_plan_passes, GraphLintCache, LintCacheStats,
 };
 pub use render::{render_json, render_text};
+pub use stack_passes::analyze_stack;

@@ -6,10 +6,11 @@ use predtop_ir::Graph;
 use predtop_models::ModelSpec;
 use predtop_parallel::intra::IntraPlan;
 use predtop_parallel::sharding::Sharding;
-use predtop_parallel::{ParallelConfig, PlanRule};
-use predtop_sim::memory::{estimate_stage_memory, fits_on, MemoryEstimate};
+use predtop_parallel::{table3_configs, MeshShape, ParallelConfig, PlanRule};
+use predtop_sim::memory::{activation_profile, estimate_stage_memory, fits_on, MemoryEstimate};
 
-use crate::diag::{Diagnostic, Severity, Span};
+use crate::dataflow::peak_resident_bytes;
+use crate::diag::{Diagnostic, FixEdit, Severity, Span};
 use crate::pass::{PlanContext, PlanPass};
 
 /// Stable code for one [`PlanRule`] (the `P11xx` block).
@@ -88,7 +89,7 @@ impl PlanPass for DeviceBudgetPass {
         }
         for (i, ps) in ctx.plan.stages.iter().enumerate() {
             if ps.mesh.nodes > cluster.nodes || ps.mesh.gpus_per_node > cluster.gpus_per_node {
-                out.push(Diagnostic::new(
+                let mut d = Diagnostic::new(
                     1202,
                     Severity::Error,
                     Span::Stage(i),
@@ -97,25 +98,95 @@ impl PlanPass for DeviceBudgetPass {
                         ps.mesh.label(),
                         cluster.label()
                     ),
-                ));
+                );
+                // machine-applicable: clamp the sub-mesh to the cluster
+                // and re-fill it with the nearest legal configuration
+                let clamped = MeshShape::new(
+                    ps.mesh.nodes.min(cluster.nodes),
+                    ps.mesh.gpus_per_node.min(cluster.gpus_per_node),
+                );
+                if let Some(c) =
+                    nearest_legal_config(ctx.model, ctx.plan.microbatches, clamped, ps.config)
+                {
+                    d = d.with_fix(
+                        format!(
+                            "clamp stage {i} to sub-mesh {} with dp={}, mp={}",
+                            clamped.label(),
+                            c.dp,
+                            c.mp
+                        ),
+                        FixEdit::SetStageMesh {
+                            stage: i,
+                            nodes: clamped.nodes,
+                            gpus_per_node: clamped.gpus_per_node,
+                            dp: c.dp,
+                            mp: c.mp,
+                        },
+                    );
+                }
+                out.push(d);
             }
         }
         out
     }
 }
 
+/// The mesh-filling configuration closest to `current` that passes
+/// every divisibility rule, or `None` when no Table III configuration
+/// of `mesh` is legal (or the micro-batch split itself is broken).
+/// Distance is `|dp−dp'| + |mp−mp'|` with a deterministic `(mp, dp)`
+/// tie-break, so fix-its are reproducible.
+pub fn nearest_legal_config(
+    model: &ModelSpec,
+    microbatches: usize,
+    mesh: MeshShape,
+    current: ParallelConfig,
+) -> Option<ParallelConfig> {
+    if microbatches == 0 || !model.batch.is_multiple_of(microbatches) {
+        return None;
+    }
+    let per_mb = model.batch / microbatches;
+    table3_configs(mesh)
+        .into_iter()
+        .filter(|c| {
+            (c.dp <= 1 || per_mb.is_multiple_of(c.dp))
+                && (c.mp <= 1
+                    || (model.hidden.is_multiple_of(c.mp) && model.num_heads.is_multiple_of(c.mp)))
+        })
+        .min_by_key(|c| {
+            (
+                c.dp.abs_diff(current.dp) + c.mp.abs_diff(current.mp),
+                c.mp,
+                c.dp,
+            )
+        })
+}
+
 /// The sharding/microbatch divisibility rules for one candidate
 /// configuration, codes `P1301`–`P1304`. Shared by the
 /// [`DivisibilityPass`] (per planned stage) and the checked search's
 /// [`crate::StaticLegality`] filter (per enumerated candidate).
+///
+/// When `mesh` is known and the span names a stage, each degree
+/// violation carries a machine-applicable fix: replace the stage's
+/// configuration with the [`nearest_legal_config`] of its mesh (the
+/// "round down to the nearest legal divisor" edit, kept mesh-filling so
+/// the fix never trades a `P13xx` for a `P1104`).
 pub fn divisibility_diags(
     model: &ModelSpec,
     microbatches: usize,
     config: ParallelConfig,
     span: Span,
+    mesh: Option<MeshShape>,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if microbatches == 0 || !model.batch.is_multiple_of(microbatches) {
+        // machine-applicable: the largest dividing count not above the
+        // requested one (explicit value => idempotent)
+        let value = (1..=microbatches.max(1))
+            .rev()
+            .find(|v| *v <= model.batch && model.batch.is_multiple_of(*v))
+            .unwrap_or(1);
         out.push(
             Diagnostic::new(
                 1301,
@@ -126,13 +197,35 @@ pub fn divisibility_diags(
                     model.batch
                 ),
             )
-            .with_suggestion("pick a micro-batch count dividing the global batch"),
+            .with_suggestion("pick a micro-batch count dividing the global batch")
+            .with_fix(
+                format!("set micro-batch count to {value}"),
+                FixEdit::SetMicrobatches { value },
+            ),
         );
         return out; // per-microbatch rules are meaningless without a split
     }
+    let config_fix = match (mesh, span) {
+        (Some(mesh), Span::Stage(i)) => nearest_legal_config(model, microbatches, mesh, config)
+            .map(|c| {
+                (
+                    format!("set stage {i} config to dp={}, mp={}", c.dp, c.mp),
+                    FixEdit::SetStageConfig {
+                        stage: i,
+                        dp: c.dp,
+                        mp: c.mp,
+                    },
+                )
+            }),
+        _ => None,
+    };
+    let with_config_fix = |d: Diagnostic| match &config_fix {
+        Some((desc, edit)) => d.with_fix(desc.clone(), *edit),
+        None => d,
+    };
     let per_mb = model.batch / microbatches;
     if config.dp > 1 && !per_mb.is_multiple_of(config.dp) {
-        out.push(
+        out.push(with_config_fix(
             Diagnostic::new(
                 1302,
                 Severity::Error,
@@ -143,11 +236,11 @@ pub fn divisibility_diags(
                 ),
             )
             .with_suggestion("lower dp or the micro-batch count"),
-        );
+        ));
     }
     if config.mp > 1 {
         if !model.hidden.is_multiple_of(config.mp) {
-            out.push(Diagnostic::new(
+            out.push(with_config_fix(Diagnostic::new(
                 1303,
                 Severity::Error,
                 span,
@@ -155,10 +248,10 @@ pub fn divisibility_diags(
                     "hidden size {} does not shard {}-way model parallel",
                     model.hidden, config.mp
                 ),
-            ));
+            )));
         }
         if !model.num_heads.is_multiple_of(config.mp) {
-            out.push(Diagnostic::new(
+            out.push(with_config_fix(Diagnostic::new(
                 1304,
                 Severity::Error,
                 span,
@@ -166,7 +259,7 @@ pub fn divisibility_diags(
                     "{} attention heads do not shard {}-way model parallel",
                     model.num_heads, config.mp
                 ),
-            ));
+            )));
         }
     }
     out
@@ -194,6 +287,7 @@ impl PlanPass for DivisibilityPass {
                 ctx.plan.microbatches,
                 ParallelConfig::SERIAL,
                 Span::Plan,
+                None,
             ));
             return out;
         }
@@ -203,6 +297,7 @@ impl PlanPass for DivisibilityPass {
                 ctx.plan.microbatches,
                 ps.config,
                 Span::Stage(i),
+                Some(ps.mesh),
             ));
         }
         out
@@ -216,20 +311,45 @@ impl PlanPass for DivisibilityPass {
 /// use **more** memory, so rejecting on this bound never rejects a
 /// feasible candidate.
 pub fn stage_memory_lower_bound(graph: &Graph, config: ParallelConfig) -> MemoryEstimate {
-    let all_sharded = IntraPlan {
+    estimate_stage_memory(graph, &all_sharded_plan(graph, config))
+}
+
+fn all_sharded_plan(graph: &Graph, config: ParallelConfig) -> IntraPlan {
+    IntraPlan {
         config,
         sharding: vec![Sharding::ColSharded; graph.len()],
         compute_time: 0.0,
         comm_time: 0.0,
         grad_sync_time: 0.0,
         total: 0.0,
-    };
-    estimate_stage_memory(graph, &all_sharded)
+    }
 }
 
-/// One memory-fit diagnostic (`P1401`) if even the lower-bound estimate
-/// overflows `gpu`, else `None`. Shared by the [`MemoryFitPass`] and the
-/// checked search's [`crate::StaticLegality`] filter.
+/// The liveness-tight refinement of [`stage_memory_lower_bound`]: same
+/// parameter/gradient/optimizer terms, but activations are the **peak
+/// resident set** over the execution schedule
+/// ([`crate::dataflow::peak_resident_bytes`] with
+/// `sim::memory::activation_profile` weights) instead of the
+/// retain-everything sum. Transient buffers (prunable-op outputs) only
+/// count while live, so this bound is provably ≤ the legacy bound —
+/// every resident set is a subset of all buffers and the weights are
+/// the same addends — while retained buffers keep it sound w.r.t.
+/// `sim::memory`'s backward-pass model.
+pub fn stage_memory_liveness_bound(graph: &Graph, config: ParallelConfig) -> MemoryEstimate {
+    let plan = all_sharded_plan(graph, config);
+    let legacy = estimate_stage_memory(graph, &plan);
+    let weights = activation_profile(graph, &plan);
+    let (peak, _) = peak_resident_bytes(graph, &weights);
+    MemoryEstimate {
+        activations: peak.min(legacy.activations),
+        ..legacy
+    }
+}
+
+/// One memory-fit diagnostic (`P1401`) if even the liveness-tight
+/// lower-bound estimate overflows `gpu`, else `None`. Shared by the
+/// [`MemoryFitPass`] and the checked search's [`crate::StaticLegality`]
+/// filter.
 pub fn memory_fit_diag(
     graph: &Graph,
     config: ParallelConfig,
@@ -237,7 +357,7 @@ pub fn memory_fit_diag(
     headroom_frac: f64,
     span: Span,
 ) -> Option<Diagnostic> {
-    let est = stage_memory_lower_bound(graph, config);
+    let est = stage_memory_liveness_bound(graph, config);
     if fits_on(gpu, &est, headroom_frac) {
         return None;
     }
@@ -247,8 +367,8 @@ pub fn memory_fit_diag(
             Severity::Error,
             span,
             format!(
-                "stage needs at least {:.1} GiB per device, {} has {:.1} GiB \
-                 ({:.0}% headroom)",
+                "stage needs at least {:.1} GiB per device (liveness peak), \
+                 {} has {:.1} GiB ({:.0}% headroom)",
                 est.total() as f64 / (1u64 << 30) as f64,
                 gpu.name,
                 gpu.memory_gib,
@@ -259,8 +379,9 @@ pub fn memory_fit_diag(
     )
 }
 
-/// `memory-fit` — each stage's memory lower bound must fit the target
-/// device. Skipped when [`crate::PlanCheckOptions::gpu`] is `None`.
+/// `memory-fit` — each stage's liveness-tight memory lower bound must
+/// fit the target device. Skipped when [`crate::PlanCheckOptions::gpu`]
+/// is `None`.
 pub struct MemoryFitPass;
 
 impl PlanPass for MemoryFitPass {
@@ -290,5 +411,38 @@ impl PlanPass for MemoryFitPass {
             }
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predtop_models::{ModelSpec, StageSpec};
+
+    /// The liveness bound never exceeds the legacy retain-everything
+    /// bound, and on real transformer stages (which contain transient
+    /// reshape/convert buffers) it is strictly tighter — the property
+    /// the checked search's extra pruning rides on.
+    #[test]
+    fn liveness_bound_is_tighter_on_benchmark_stages() {
+        for (model, name) in [
+            (ModelSpec::gpt3_1p3b(8), "gpt3"),
+            (ModelSpec::moe_2p6b(8), "moe"),
+        ] {
+            let g = StageSpec::new(model, 0, 2.min(model.num_layers)).build_graph();
+            for config in [ParallelConfig::SERIAL, ParallelConfig::new(2, 1)] {
+                let legacy = stage_memory_lower_bound(&g, config);
+                let live = stage_memory_liveness_bound(&g, config);
+                assert_eq!(live.params, legacy.params, "{name}");
+                assert_eq!(live.grads, legacy.grads, "{name}");
+                assert_eq!(live.optimizer, legacy.optimizer, "{name}");
+                assert!(
+                    live.activations < legacy.activations,
+                    "{name}: expected strict tightening, got {} vs {}",
+                    live.activations,
+                    legacy.activations
+                );
+            }
+        }
     }
 }

@@ -4,10 +4,10 @@
 //! an explicit, stable contract (golden-file tested) and the output is
 //! byte-identical regardless of the serialization backend.
 
-use crate::diag::{Diagnostic, Span};
+use crate::diag::{Diagnostic, FixEdit, Span};
 
-/// Render diagnostics in rustc style, one finding per line plus an
-/// optional `= help:` continuation:
+/// Render diagnostics in rustc style, one finding per line plus
+/// optional `= help:` / `= fix:` continuations:
 ///
 /// ```text
 /// error[P0107]: node 12: add operand 1 has shape [8, 4] ...
@@ -25,6 +25,9 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
         ));
         if let Some(s) = &d.suggestion {
             out.push_str(&format!("  = help: {s}\n"));
+        }
+        if let Some(f) = &d.fix {
+            out.push_str(&format!("  = fix: {}\n", f.description));
         }
     }
     out
@@ -53,6 +56,27 @@ fn json_span(span: Span) -> String {
         Span::Node(id) => format!(r#"{{"kind":"node","id":{}}}"#, id.0),
         Span::Stage(i) => format!(r#"{{"kind":"stage","index":{i}}}"#),
         Span::Plan => r#"{"kind":"plan"}"#.to_string(),
+        Span::Layer(i) => format!(r#"{{"kind":"layer","index":{i}}}"#),
+    }
+}
+
+fn json_edit(edit: FixEdit) -> String {
+    match edit {
+        FixEdit::SetMicrobatches { value } => {
+            format!(r#"{{"kind":"set_microbatches","value":{value}}}"#)
+        }
+        FixEdit::SetStageConfig { stage, dp, mp } => {
+            format!(r#"{{"kind":"set_stage_config","stage":{stage},"dp":{dp},"mp":{mp}}}"#)
+        }
+        FixEdit::SetStageMesh {
+            stage,
+            nodes,
+            gpus_per_node,
+            dp,
+            mp,
+        } => format!(
+            r#"{{"kind":"set_stage_mesh","stage":{stage},"nodes":{nodes},"gpus_per_node":{gpus_per_node},"dp":{dp},"mp":{mp}}}"#
+        ),
     }
 }
 
@@ -61,10 +85,12 @@ fn json_span(span: Span) -> String {
 /// ```json
 /// [
 ///   {"code":"P0107","severity":"error","span":{"kind":"node","id":12},
-///    "message":"...","suggestion":null}
+///    "message":"...","suggestion":null,"fix":null}
 /// ]
 /// ```
 ///
+/// A machine-applicable fix renders as
+/// `{"description":"...","edit":{"kind":"set_stage_config",...}}`.
 /// The array is pretty-printed one finding per line; an empty report is
 /// `[]`. Field order and formatting are stable (golden-file tested).
 pub fn render_json(diags: &[Diagnostic]) -> String {
@@ -77,13 +103,22 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
             Some(s) => format!("\"{}\"", json_escape(s)),
             None => "null".to_string(),
         };
+        let fix = match &d.fix {
+            Some(f) => format!(
+                "{{\"description\":\"{}\",\"edit\":{}}}",
+                json_escape(&f.description),
+                json_edit(f.edit)
+            ),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":\"{}\",\"suggestion\":{}}}{}\n",
+            "  {{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":\"{}\",\"suggestion\":{},\"fix\":{}}}{}\n",
             d.code,
             d.severity.label(),
             json_span(d.span),
             json_escape(&d.message),
             suggestion,
+            fix,
             if i + 1 < diags.len() { "," } else { "" }
         ));
     }
@@ -101,8 +136,12 @@ mod tests {
         vec![
             Diagnostic::new(107, Severity::Error, Span::Node(NodeId(3)), "bad \"shape\"")
                 .with_suggestion("fix it"),
-            Diagnostic::new(1301, Severity::Error, Span::Plan, "batch\tissue"),
+            Diagnostic::new(1301, Severity::Error, Span::Plan, "batch\tissue").with_fix(
+                "set microbatches to 4",
+                FixEdit::SetMicrobatches { value: 4 },
+            ),
             Diagnostic::new(203, Severity::Info, Span::Graph, "fold me"),
+            Diagnostic::new(2101, Severity::Error, Span::Layer(2), "misplaced retry"),
         ]
     }
 
@@ -112,6 +151,8 @@ mod tests {
         assert!(t.contains("error[P0107]: node 3: bad \"shape\""));
         assert!(t.contains("  = help: fix it"));
         assert!(t.contains("info[P0203]: graph: fold me"));
+        assert!(t.contains("  = fix: set microbatches to 4"));
+        assert!(t.contains("error[P2101]: layer 2: misplaced retry"));
     }
 
     #[test]
@@ -123,6 +164,11 @@ mod tests {
         assert!(j.contains(r#""message":"batch\tissue""#));
         assert!(j.contains(r#""span":{"kind":"node","id":3}"#));
         assert!(j.contains(r#""suggestion":null"#));
+        assert!(j.contains(r#""fix":null"#));
+        assert!(j.contains(
+            r#""fix":{"description":"set microbatches to 4","edit":{"kind":"set_microbatches","value":4}}"#
+        ));
+        assert!(j.contains(r#""span":{"kind":"layer","index":2}"#));
         assert_eq!(render_json(&[]), "[]\n");
     }
 }

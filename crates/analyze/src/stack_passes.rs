@@ -1,0 +1,324 @@
+//! Stack-ordering lints (`P2xxx`): check a service middleware
+//! composition against DESIGN.md §10's ordering rules.
+//!
+//! `predtop-service`'s layers are value-transparent but *not*
+//! order-insensitive: a [`Retry`](predtop_service::Retry) installed
+//! inside [`FaultInject`](predtop_service::FaultInject) never sees the
+//! injected faults it exists to absorb, and a
+//! [`Memoize`](predtop_service::Memoize) inside
+//! [`Retry`](predtop_service::Retry) caches each query before the retry
+//! loop can scrub transient failures out of it. The canonical resilient
+//! order, innermost first, is
+//!
+//! ```text
+//! FaultInject → Deadline → [CircuitBreaker] → Retry → Memoize → Batched → Instrumented
+//! ```
+//!
+//! [`analyze_stack`] checks a [`StackSpec`] — either one built live by
+//! `ServiceBuilder` (each combinator records its tag) or one written
+//! down with [`StackSpec::from_layers`] — and reports violations as
+//! ordinary [`Diagnostic`]s with [`Span::Layer`] locations:
+//!
+//! | code    | severity | rule |
+//! |---------|----------|------|
+//! | `P2001` | error    | duplicate layer family |
+//! | `P2101` | error    | `Retry` inside `FaultInject` |
+//! | `P2102` | error    | `CircuitBreaker` outside `Retry` |
+//! | `P2103` | error    | `Memoize` inside `Retry` |
+//! | `P2104` | error    | `Deadline` outside `Batched` |
+//! | `P2105` | error    | `Memoize` outside `Batched` |
+//! | `P2201` | warning  | `Instrumented` not outermost |
+//! | `P2202` | warning  | `Retry` without a `Deadline` budget |
+//!
+//! `predtop-lint --stack` runs these over the stacks the CLI search
+//! actually builds, and the CLI asserts a clean report on its own stack
+//! before searching.
+
+use predtop_service::{LayerTag, StackSpec};
+
+use crate::diag::{sort_diagnostics, Diagnostic, Severity, Span};
+
+/// Innermost position of a layer in `tags` matching `tag`'s family
+/// (so either memoize mode satisfies a `Memoize` probe).
+fn position(tags: &[LayerTag], tag: LayerTag) -> Option<usize> {
+    tags.iter().position(|t| t.same_family(tag))
+}
+
+/// Emit an ordering error: the layer at `outer` must sit *inside* the
+/// layer at `inner` for the stack to behave, but was installed outside.
+fn misordered(
+    code: u16,
+    tags: &[LayerTag],
+    outer: usize,
+    inner: usize,
+    consequence: &str,
+) -> Diagnostic {
+    Diagnostic::new(
+        code,
+        Severity::Error,
+        Span::Layer(outer),
+        format!(
+            "{} (layer {}) is installed outside {} (layer {}): {}",
+            tags[outer].label(),
+            outer,
+            tags[inner].label(),
+            inner,
+            consequence
+        ),
+    )
+    .with_suggestion(format!(
+        "wrap {} before {} when building the stack",
+        tags[outer].label(),
+        tags[inner].label()
+    ))
+}
+
+/// Check `spec` against the DESIGN.md §10 ordering rules. Layer indices
+/// in the returned [`Span::Layer`] spans count from the innermost layer
+/// (position 0 sits directly over the base source). An empty report
+/// means the composition is canonical-compatible.
+pub fn analyze_stack(spec: &StackSpec) -> Vec<Diagnostic> {
+    let tags = spec.layers();
+    let mut out = Vec::new();
+
+    // P2001: one layer family installed twice. The outer copy either
+    // shadows the inner (double caching) or double-applies a policy.
+    for (j, tag) in tags.iter().enumerate() {
+        if let Some(i) = tags[..j].iter().position(|t| t.same_family(*tag)) {
+            out.push(
+                Diagnostic::new(
+                    2001,
+                    Severity::Error,
+                    Span::Layer(j),
+                    format!(
+                        "duplicate {} layer: already installed at layer {} ({})",
+                        tag.label(),
+                        i,
+                        tags[i].label()
+                    ),
+                )
+                .with_suggestion("install each layer family at most once"),
+            );
+        }
+    }
+
+    let fault = position(tags, LayerTag::FaultInject);
+    let deadline = position(tags, LayerTag::Deadline);
+    let breaker = position(tags, LayerTag::CircuitBreaker);
+    let retry = position(tags, LayerTag::Retry);
+    let memoize = position(tags, LayerTag::Memoize);
+    let batched = position(tags, LayerTag::Batched);
+    let instrumented = position(tags, LayerTag::Instrumented);
+
+    // P2101: Retry must wrap FaultInject — a retry loop below the fault
+    // layer re-attempts nothing, because faults are injected above it.
+    if let (Some(r), Some(f)) = (retry, fault) {
+        if r < f {
+            out.push(misordered(
+                2101,
+                tags,
+                f,
+                r,
+                "injected faults bypass the retry loop entirely",
+            ));
+        }
+    }
+
+    // P2102: CircuitBreaker sits inside Retry, shielding the source —
+    // outside Retry it trips on the pre-retry failure stream and sheds
+    // queries the retry loop would have recovered.
+    if let (Some(b), Some(r)) = (breaker, retry) {
+        if b > r {
+            out.push(misordered(
+                2102,
+                tags,
+                b,
+                r,
+                "the breaker counts pre-retry failures and sheds recoverable load",
+            ));
+        }
+    }
+
+    // P2103: Memoize goes outside Retry so only scrubbed successes are
+    // cached; inside, the cache takes a miss per transient failure.
+    if let (Some(m), Some(r)) = (memoize, retry) {
+        if m < r {
+            out.push(misordered(
+                2103,
+                tags,
+                r,
+                m,
+                "transient failures reach the cache before the retry loop scrubs them",
+            ));
+        }
+    }
+
+    // P2104: Deadline goes inside Batched so per-query budgets apply to
+    // each worker's slice; outside, one budget spans the whole batch.
+    if let (Some(d), Some(b)) = (deadline, batched) {
+        if d > b {
+            out.push(misordered(
+                2104,
+                tags,
+                d,
+                b,
+                "one wall-clock budget spans the whole fanned-out batch",
+            ));
+        }
+    }
+
+    // P2105: Memoize goes inside Batched — outside, workers race to the
+    // source for the same key and batch-level hits are never counted.
+    if let (Some(m), Some(b)) = (memoize, batched) {
+        if m > b {
+            out.push(misordered(
+                2105,
+                tags,
+                m,
+                b,
+                "batch fan-out bypasses the cache, so repeat queries recompute",
+            ));
+        }
+    }
+
+    // P2201: Instrumented should be outermost — anywhere lower it
+    // under-counts what the caller actually observes.
+    if let Some(i) = instrumented {
+        if i + 1 != tags.len() {
+            out.push(
+                Diagnostic::new(
+                    2201,
+                    Severity::Warn,
+                    Span::Layer(i),
+                    format!(
+                        "Instrumented (layer {}) is not the outermost layer: its counters miss \
+                         the {} layer(s) above it",
+                        i,
+                        tags.len() - 1 - i
+                    ),
+                )
+                .with_suggestion("call .instrumented() last, just before .finish()"),
+            );
+        }
+    }
+
+    // P2202: Retry without a Deadline has no wall-clock bound on its
+    // backoff loop — a persistently failing source stalls the search.
+    if let (Some(r), None) = (retry, deadline) {
+        out.push(
+            Diagnostic::new(
+                2202,
+                Severity::Warn,
+                Span::Layer(r),
+                "Retry is installed without a Deadline: the backoff loop has no wall-clock bound",
+            )
+            .with_suggestion("add .deadline(DeadlinePolicy::..) beneath the retry layer"),
+        );
+    }
+
+    sort_diagnostics(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<u16> {
+        diags.iter().map(|d| d.code.0).collect()
+    }
+
+    #[test]
+    fn canonical_chaos_stack_lints_clean() {
+        let spec = StackSpec::from_layers([
+            LayerTag::FaultInject,
+            LayerTag::Deadline,
+            LayerTag::CircuitBreaker,
+            LayerTag::Retry,
+            LayerTag::Memoize,
+            LayerTag::Batched,
+            LayerTag::Instrumented,
+        ]);
+        assert_eq!(analyze_stack(&spec), vec![]);
+    }
+
+    #[test]
+    fn default_search_stack_lints_clean() {
+        let spec = StackSpec::from_layers([
+            LayerTag::MemoizeStructural,
+            LayerTag::Batched,
+            LayerTag::Instrumented,
+        ]);
+        assert_eq!(analyze_stack(&spec), vec![]);
+    }
+
+    #[test]
+    fn misordered_chaos_stack_is_rejected() {
+        // Retry under FaultInject, Deadline over Batched
+        let spec = StackSpec::from_layers([
+            LayerTag::Retry,
+            LayerTag::FaultInject,
+            LayerTag::Batched,
+            LayerTag::Deadline,
+            LayerTag::Instrumented,
+        ]);
+        let diags = analyze_stack(&spec);
+        assert!(has_errors(&diags));
+        assert_eq!(codes(&diags), vec![2101, 2104]);
+        assert_eq!(diags[0].span, Span::Layer(1));
+        assert_eq!(diags[1].span, Span::Layer(3));
+    }
+
+    #[test]
+    fn duplicate_memoize_modes_are_one_family() {
+        let spec = StackSpec::from_layers([
+            LayerTag::MemoizeStructural,
+            LayerTag::Memoize,
+            LayerTag::Batched,
+        ]);
+        let diags = analyze_stack(&spec);
+        assert_eq!(codes(&diags), vec![2001]);
+        assert_eq!(diags[0].span, Span::Layer(1));
+    }
+
+    #[test]
+    fn breaker_and_cache_misplacement_are_errors() {
+        // breaker outside retry; memoize inside retry
+        let spec = StackSpec::from_layers([
+            LayerTag::Memoize,
+            LayerTag::Deadline,
+            LayerTag::Retry,
+            LayerTag::CircuitBreaker,
+            LayerTag::Batched,
+        ]);
+        let diags = analyze_stack(&spec);
+        assert_eq!(codes(&diags), vec![2103, 2102]);
+        assert_eq!(diags[0].span, Span::Layer(2));
+        assert_eq!(diags[1].span, Span::Layer(3));
+    }
+
+    #[test]
+    fn memoize_outside_batched_is_an_error() {
+        let spec = StackSpec::from_layers([LayerTag::Batched, LayerTag::Memoize]);
+        assert_eq!(codes(&analyze_stack(&spec)), vec![2105]);
+    }
+
+    #[test]
+    fn retry_without_deadline_warns() {
+        let spec = StackSpec::from_layers([
+            LayerTag::FaultInject,
+            LayerTag::Retry,
+            LayerTag::Memoize,
+            LayerTag::Batched,
+        ]);
+        let diags = analyze_stack(&spec);
+        assert_eq!(codes(&diags), vec![2202]);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn empty_spec_is_trivially_clean() {
+        assert_eq!(analyze_stack(&StackSpec::new()), vec![]);
+    }
+}

@@ -108,6 +108,10 @@ pub struct SearchOutcome {
     /// Number of enumerated candidates a static-legality filter rejected
     /// *before* any latency evaluation (0 for unchecked searches).
     pub num_rejected: usize,
+    /// How many of those rejections came from the memory-capacity rule
+    /// (`P1401`, the liveness-tight per-device lower bound) rather than
+    /// sharding arithmetic. Always ≤ `num_rejected`.
+    pub num_rejected_memory: usize,
     /// Wall-clock seconds the search itself took.
     pub search_seconds: f64,
     /// Hit/miss counters of the memoization layer, when one was
@@ -153,6 +157,9 @@ pub fn search_plan_service<S: LatencyService>(
     // engine's phase 1 — same order, same rejections).
     let full = enumerate_candidates(model, cluster, opts);
     let enumerated = full.len();
+    // the legality counters are cumulative over the filter's lifetime,
+    // so delta-snapshot them around this search's phase 1
+    let memory_before = legality.map_or(0, |l| l.memory_rejections());
     let worklist: Vec<(StageSpec, MeshShape, ParallelConfig)> = match legality {
         Some(l) => full
             .into_iter()
@@ -162,6 +169,7 @@ pub fn search_plan_service<S: LatencyService>(
     };
     let num_queries = worklist.len();
     let num_rejected = enumerated - num_queries;
+    let num_rejected_memory = legality.map_or(0, |l| l.memory_rejections()) - memory_before;
 
     // Phase 2: one batch through the stack. When the stack memoizes on
     // structural keys, pre-assign every query's key serially over the
@@ -210,6 +218,7 @@ pub fn search_plan_service<S: LatencyService>(
         true_latency,
         num_queries,
         num_rejected,
+        num_rejected_memory,
         search_seconds,
         cache,
         service,
@@ -558,6 +567,74 @@ mod tests {
         for ps in &checked.plan.stages {
             assert!(ps.config.dp != 4 && ps.config.mp != 4);
         }
+    }
+
+    #[test]
+    fn memory_rejections_prune_without_changing_the_optimum() {
+        use predtop_analyze::plan_passes::stage_memory_liveness_bound;
+        use predtop_cluster::GpuSpec;
+        use predtop_parallel::ParallelConfig;
+
+        let model = tiny_model();
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 2,
+            imbalance_tolerance: None,
+        };
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let plain = search_plan(model, cluster, &profiler, &profiler, opts);
+        assert_eq!(plain.num_rejected_memory, 0);
+
+        // liveness-bound per-device requirement of a candidate
+        let req = |stage: &StageSpec, config: ParallelConfig| {
+            stage_memory_liveness_bound(&stage.build_graph(), config).total()
+        };
+        // hungriest always-divisible candidate: some serial stage
+        let max_serial = enumerate_candidates(model, cluster, opts)
+            .iter()
+            .filter(|(_, _, c)| *c == ParallelConfig::SERIAL)
+            .map(|(s, _, c)| req(s, *c))
+            .max()
+            .unwrap();
+        // hungriest stage of the plan the unchecked search chose
+        let max_chosen = plain
+            .plan
+            .stages
+            .iter()
+            .map(|ps| req(&ps.stage, ps.config))
+            .max()
+            .unwrap();
+        assert!(
+            max_chosen < max_serial,
+            "test needs headroom between the optimum ({max_chosen} B) and the \
+             hungriest serial candidate ({max_serial} B)"
+        );
+
+        // a GPU sized between the two: the optimum fits with 10%
+        // headroom, the serial full-model candidate does not
+        let budget_bytes = (max_chosen + max_serial) as f64 / 2.0 / 0.9;
+        let gpu = GpuSpec {
+            name: "tiny-test-gpu",
+            memory_gib: budget_bytes / (1u64 << 30) as f64,
+            ..GpuSpec::a40()
+        };
+        let legality = StaticLegality::new(model, opts.microbatches).with_memory_check(gpu, 0.1);
+        let stack = provider_stack(&profiler, "provider", 2);
+        let checked = search_plan_service(model, cluster, &stack, &profiler, opts, Some(&legality))
+            .expect("simulator stack is infallible");
+
+        // the memory rule did real pruning...
+        assert!(checked.num_rejected_memory > 0, "no memory rejections");
+        assert!(checked.num_rejected_memory <= checked.num_rejected);
+        assert_eq!(legality.memory_rejections(), checked.num_rejected_memory);
+        assert!(checked.num_queries < plain.num_queries);
+        // ...without disturbing the chosen plan or its latency
+        assert_eq!(checked.plan, plain.plan);
+        assert_eq!(
+            checked.estimated_latency.to_bits(),
+            plain.estimated_latency.to_bits()
+        );
+        assert_eq!(checked.true_latency.to_bits(), plain.true_latency.to_bits());
     }
 
     #[test]

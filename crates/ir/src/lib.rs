@@ -29,6 +29,7 @@ pub mod dtype;
 pub mod error;
 pub mod features;
 pub mod graph;
+pub mod live;
 pub mod op;
 pub mod prune;
 pub mod reach;

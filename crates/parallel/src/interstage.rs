@@ -141,6 +141,25 @@ pub struct InterStageResult {
     /// How many enumerated candidates a static-legality filter rejected
     /// *before* latency evaluation (0 for the unfiltered entry points).
     pub num_rejected: usize,
+    /// How many of those rejections the filter attributed to the
+    /// memory-capacity rule (the liveness-tight `P1401` bound) rather
+    /// than pure sharding arithmetic. Only the classified entry point
+    /// ([`optimize_pipeline_classified_with_threads`]) distinguishes;
+    /// the boolean-filter paths report 0.
+    pub num_rejected_memory: usize,
+}
+
+/// How a classifying candidate filter judged one (stage, mesh, config)
+/// triple — a three-way refinement of the boolean filter that lets the
+/// search report *why* candidates were dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateVerdict {
+    /// Statically legal: evaluate its latency.
+    Accept,
+    /// Rejected by a non-memory rule (sharding divisibility etc.).
+    Reject,
+    /// Rejected because the per-device memory lower bound cannot fit.
+    RejectMemory,
 }
 
 /// Run the inter-stage DP for `model` on `cluster`, evaluating
@@ -206,6 +225,42 @@ where
     P: StageLatencyProvider,
     F: Fn(&StageSpec, MeshShape, ParallelConfig) -> bool + Sync,
 {
+    optimize_pipeline_classified_with_threads(
+        model,
+        cluster,
+        provider,
+        opts,
+        threads,
+        &|stage, mesh, config| {
+            if filter(stage, mesh, config) {
+                CandidateVerdict::Accept
+            } else {
+                CandidateVerdict::Reject
+            }
+        },
+    )
+}
+
+/// [`optimize_pipeline_filtered_with_threads`] with a *classifying*
+/// filter: the filter says not just whether a candidate is dropped but
+/// why ([`CandidateVerdict`]), and memory-rule rejections are reported
+/// separately in [`InterStageResult::num_rejected_memory`]. Same
+/// determinism contract as the boolean entry point.
+///
+/// # Panics
+/// Panics if no covering partition survives the filter.
+pub fn optimize_pipeline_classified_with_threads<P, F>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    provider: &P,
+    opts: InterStageOptions,
+    threads: usize,
+    classify: &F,
+) -> InterStageResult
+where
+    P: StageLatencyProvider,
+    F: Fn(&StageSpec, MeshShape, ParallelConfig) -> CandidateVerdict + Sync,
+{
     let layers = model.num_layers;
     let total_dev = cluster.num_devices();
 
@@ -213,9 +268,19 @@ where
     // drop statically illegal candidates before any latency evaluation.
     let full = enumerate_candidates(model, cluster, opts);
     let enumerated = full.len();
+    let mut num_rejected_memory = 0usize;
     let worklist: Vec<_> = full
         .into_iter()
-        .filter(|(stage, mesh, config)| filter(stage, *mesh, *config))
+        .filter(
+            |(stage, mesh, config)| match classify(stage, *mesh, *config) {
+                CandidateVerdict::Accept => true,
+                CandidateVerdict::Reject => false,
+                CandidateVerdict::RejectMemory => {
+                    num_rejected_memory += 1;
+                    false
+                }
+            },
+        )
         .collect();
     let num_queries = worklist.len();
     let num_rejected = enumerated - num_queries;
@@ -249,6 +314,7 @@ where
         latency,
         num_queries,
         num_rejected,
+        num_rejected_memory,
     }
 }
 
@@ -698,6 +764,42 @@ mod tests {
         for ps in &filtered.plan.stages {
             assert_eq!(ps.config.mp, 1, "filtered-out candidate chosen: {ps:?}");
         }
+    }
+
+    #[test]
+    fn classified_filter_splits_rejections_by_cause() {
+        let m = tiny_model();
+        let cluster = MeshShape::new(2, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        // call mp-sharding a plain rejection and long single-device
+        // stages a memory rejection
+        let classify = |stage: &StageSpec, mesh: MeshShape, config: ParallelConfig| {
+            if config.mp > 1 {
+                CandidateVerdict::Reject
+            } else if mesh.num_devices() == 1 && stage.num_layers() > 4 {
+                CandidateVerdict::RejectMemory
+            } else {
+                CandidateVerdict::Accept
+            }
+        };
+        let r =
+            optimize_pipeline_classified_with_threads(m, cluster, &SynthLat, opts, 2, &classify);
+        r.plan.validate(&m).unwrap();
+        assert!(r.num_rejected_memory > 0);
+        assert!(r.num_rejected > r.num_rejected_memory);
+        let enumerated = enumerate_candidates(m, cluster, opts).len();
+        assert_eq!(r.num_queries + r.num_rejected, enumerated);
+        // the boolean path reports zero memory rejections by definition
+        let b =
+            optimize_pipeline_filtered_with_threads(m, cluster, &SynthLat, opts, 2, &|s, me, c| {
+                classify(s, me, c) == CandidateVerdict::Accept
+            });
+        assert_eq!(b.num_rejected_memory, 0);
+        assert_eq!(b.num_rejected, r.num_rejected);
+        assert_eq!(b.plan, r.plan);
     }
 
     #[test]

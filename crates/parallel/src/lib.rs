@@ -49,9 +49,9 @@ pub use cache::CacheStats;
 pub use config::{table3_configs, MeshShape, ParallelConfig};
 pub use intern::{InternStats, StructuralDescriptor, StructuralInterner, StructuralKey};
 pub use interstage::{
-    enumerate_candidates, optimize_pipeline, optimize_pipeline_filtered_with_threads,
-    optimize_pipeline_with_threads, solve_pipeline, EvaluatedCandidate, InterStageOptions,
-    InterStageResult,
+    enumerate_candidates, optimize_pipeline, optimize_pipeline_classified_with_threads,
+    optimize_pipeline_filtered_with_threads, optimize_pipeline_with_threads, solve_pipeline,
+    CandidateVerdict, EvaluatedCandidate, InterStageOptions, InterStageResult,
 };
 pub use intra::{IntraPlan, OpCost};
 pub use plan::{pipeline_latency, PipelinePlan, PlanError, PlanRule, PlanViolation, PlannedStage};

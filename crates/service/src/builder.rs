@@ -17,6 +17,103 @@ use crate::{
 };
 use predtop_parallel::{StageLatencyProvider, StructuralInterner};
 
+/// The kind of one middleware layer, as recorded by [`StackSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerTag {
+    /// [`Fallback`] — degrade to a secondary service on error.
+    Fallback,
+    /// [`Memoize`] in per-query mode.
+    Memoize,
+    /// [`Memoize`] in structural-equivalence mode.
+    MemoizeStructural,
+    /// [`Batched`] — fan batches across the worker pool.
+    Batched,
+    /// [`FaultInject`] — deterministic chaos injection.
+    FaultInject,
+    /// [`Deadline`] — wall-clock budgets.
+    Deadline,
+    /// [`CircuitBreaker`] — load shedding on persistent failure.
+    CircuitBreaker,
+    /// [`Retry`] — transient-failure re-attempts.
+    Retry,
+    /// [`Instrumented`] — query/batch/error counters.
+    Instrumented,
+}
+
+impl LayerTag {
+    /// The layer's display name (matches the wrapping combinator).
+    pub fn label(self) -> &'static str {
+        match self {
+            LayerTag::Fallback => "Fallback",
+            LayerTag::Memoize => "Memoize",
+            LayerTag::MemoizeStructural => "MemoizeStructural",
+            LayerTag::Batched => "Batched",
+            LayerTag::FaultInject => "FaultInject",
+            LayerTag::Deadline => "Deadline",
+            LayerTag::CircuitBreaker => "CircuitBreaker",
+            LayerTag::Retry => "Retry",
+            LayerTag::Instrumented => "Instrumented",
+        }
+    }
+
+    /// Do two tags denote the same layer family? The two memoize modes
+    /// are one family — installing both is double caching.
+    pub fn same_family(self, other: LayerTag) -> bool {
+        let fam = |t| match t {
+            LayerTag::MemoizeStructural => LayerTag::Memoize,
+            t => t,
+        };
+        fam(self) == fam(other)
+    }
+}
+
+/// An introspection record of a built middleware stack: the installed
+/// layer tags in wrap order, **innermost first** (index 0 sits directly
+/// over the base source). [`ServiceBuilder`] pushes one tag per
+/// combinator call, so the spec is exactly the stack that was actually
+/// composed — this is what `predtop-analyze`'s stack-ordering lints
+/// (`P2xxx`, DESIGN.md §10) check, statically for configs and live for
+/// the stack the CLI search builds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StackSpec {
+    layers: Vec<LayerTag>,
+}
+
+impl StackSpec {
+    /// An empty spec (a bare base service).
+    pub fn new() -> StackSpec {
+        StackSpec::default()
+    }
+
+    /// A spec from explicit tags, innermost first — for linting a stack
+    /// *description* without building the stack.
+    pub fn from_layers(layers: impl IntoIterator<Item = LayerTag>) -> StackSpec {
+        StackSpec {
+            layers: layers.into_iter().collect(),
+        }
+    }
+
+    /// Record one more (outer) layer.
+    pub fn push(&mut self, tag: LayerTag) {
+        self.layers.push(tag);
+    }
+
+    /// Installed layers, innermost first.
+    pub fn layers(&self) -> &[LayerTag] {
+        &self.layers
+    }
+
+    /// Human-readable wrap order, innermost first:
+    /// `FaultInject → Retry → Batched`.
+    pub fn label(&self) -> String {
+        self.layers
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
 /// Shared handles onto the counters of the layers a [`ServiceBuilder`]
 /// installed. Cloneable and independent of the stack's lifetime, so an
 /// outcome struct can carry them out of the search that built the stack.
@@ -70,6 +167,7 @@ pub struct StackHandles {
 pub struct ServiceBuilder<S> {
     svc: S,
     handles: StackHandles,
+    spec: StackSpec,
 }
 
 impl<P: StageLatencyProvider> ServiceBuilder<ProviderService<P>> {
@@ -86,6 +184,7 @@ impl<S: LatencyService> ServiceBuilder<S> {
         ServiceBuilder {
             svc,
             handles: StackHandles::default(),
+            spec: StackSpec::new(),
         }
     }
 
@@ -94,7 +193,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Fallback::new(self.svc, secondary);
         let mut handles = self.handles;
         handles.fallback = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Fallback);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Memoize successful replies per query (sharded, with
@@ -103,7 +204,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Memoize::new(self.svc);
         let mut handles = self.handles;
         handles.cache = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Memoize);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Memoize successful replies per *structural equivalence class*: a
@@ -120,7 +223,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let mut handles = self.handles;
         handles.cache = Some(svc.handle());
         handles.interner = Some(interner);
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::MemoizeStructural);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Fan query batches across `threads` deterministic workers with
@@ -144,7 +249,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Batched::with_policy(self.svc, threads, policy);
         let mut handles = self.handles;
         handles.batch = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Batched);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Inject deterministic hash-seeded faults (errors and latency
@@ -155,7 +262,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = FaultInject::new(self.svc, config);
         let mut handles = self.handles;
         handles.fault = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::FaultInject);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Enforce wall-clock budgets on the current stack, converting
@@ -166,7 +275,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Deadline::new(self.svc, policy);
         let mut handles = self.handles;
         handles.deadline = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Deadline);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Shed load off the current stack when it keeps failing, via a
@@ -175,7 +286,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = CircuitBreaker::new(self.svc, config);
         let mut handles = self.handles;
         handles.breaker = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::CircuitBreaker);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Re-attempt transient failures of the current stack, with
@@ -187,7 +300,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Retry::new(self.svc, policy);
         let mut handles = self.handles;
         handles.retry = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Retry);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Count queries, batches, errors, and served seconds at this point
@@ -196,7 +311,9 @@ impl<S: LatencyService> ServiceBuilder<S> {
         let svc = Instrumented::new(self.svc);
         let mut handles = self.handles;
         handles.metrics = Some(svc.handle());
-        ServiceBuilder { svc, handles }
+        let mut spec = self.spec;
+        spec.push(LayerTag::Instrumented);
+        ServiceBuilder { svc, handles, spec }
     }
 
     /// Seal the stack.
@@ -204,6 +321,7 @@ impl<S: LatencyService> ServiceBuilder<S> {
         ServiceStack {
             svc: self.svc,
             handles: self.handles,
+            spec: self.spec,
         }
     }
 }
@@ -213,12 +331,19 @@ impl<S: LatencyService> ServiceBuilder<S> {
 pub struct ServiceStack<S> {
     svc: S,
     handles: StackHandles,
+    spec: StackSpec,
 }
 
 impl<S> ServiceStack<S> {
     /// Handles to the installed layers' counters.
     pub fn handles(&self) -> &StackHandles {
         &self.handles
+    }
+
+    /// The layer composition this stack was built with, innermost
+    /// first — feed to `predtop_analyze`'s stack-ordering lints.
+    pub fn spec(&self) -> &StackSpec {
+        &self.spec
     }
 
     /// The composed service.
@@ -341,6 +466,30 @@ mod tests {
         );
         assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 3);
         assert!(h.batch.is_some());
+    }
+
+    #[test]
+    fn spec_records_layers_in_wrap_order() {
+        let (svc, _) = counting_service();
+        let stack = ServiceBuilder::new(svc)
+            .memoize_structural()
+            .batched(2)
+            .instrumented()
+            .finish();
+        assert_eq!(
+            stack.spec().layers(),
+            &[
+                LayerTag::MemoizeStructural,
+                LayerTag::Batched,
+                LayerTag::Instrumented
+            ]
+        );
+        assert_eq!(
+            stack.spec().label(),
+            "MemoizeStructural → Batched → Instrumented"
+        );
+        assert!(LayerTag::Memoize.same_family(LayerTag::MemoizeStructural));
+        assert!(!LayerTag::Memoize.same_family(LayerTag::Batched));
     }
 
     #[test]

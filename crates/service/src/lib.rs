@@ -62,7 +62,7 @@ pub mod retry;
 pub use batched::{BatchHandle, BatchStats, Batched, DispatchPolicy};
 pub use breaker::{BreakerConfig, BreakerHandle, BreakerStats, CircuitBreaker, CircuitState};
 pub use bridge::{plan_latency, provider_stack, AsProvider, ProviderService, Unavailable};
-pub use builder::{ServiceBuilder, ServiceStack, StackHandles};
+pub use builder::{LayerTag, ServiceBuilder, ServiceStack, StackHandles, StackSpec};
 pub use deadline::{Deadline, DeadlineHandle, DeadlinePolicy, DeadlineStats};
 pub use fallback::{Fallback, FallbackHandle, FallbackStats};
 pub use fault::{FaultConfig, FaultHandle, FaultInject, FaultStats};

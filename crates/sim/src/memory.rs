@@ -50,20 +50,54 @@ impl MemoryEstimate {
 /// mixed-precision Adam (fp32 master + m + v over bf16 storage).
 pub const OPTIMIZER_FACTOR: u64 = 6;
 
+/// Per-node activation bytes of `graph` under `plan`, indexed by
+/// `NodeId`: the exact per-buffer terms whose sum is
+/// [`estimate_stage_memory`]'s `activations` field. Parameter inputs
+/// (and non-float bookkeeping nodes) contribute `0` — their bytes are
+/// accounted in the `params`/`grads`/`optimizer` fields instead.
+///
+/// Exposing the addends (rather than only their sum) lets a liveness
+/// analysis weigh *subsets* of buffers — the peak resident set — with
+/// byte-exact agreement against this module's retain-everything model,
+/// which is what keeps a peak-over-live-sets bound provably ≤ the sum
+/// bound.
+pub fn activation_profile(graph: &Graph, plan: &IntraPlan) -> Vec<u64> {
+    let mp = plan.config.mp as u64;
+    let dp = plan.config.dp as u64;
+    graph
+        .nodes()
+        .iter()
+        .map(|node| match node.kind {
+            // the incoming activation of a non-embedding stage (mirrors
+            // `param_bytes`); weight inputs are not activations
+            NodeKind::Input
+                if node.dtype.is_float() && node.id.index() == 0 && node.shape.rank() == 2 =>
+            {
+                node.output_bytes() / dp
+            }
+            NodeKind::Operator(_) => {
+                let frac_num = match plan.sharding[node.id.index()] {
+                    Sharding::Replicated | Sharding::PartialSum => mp,
+                    Sharding::BatchSharded | Sharding::ColSharded => 1,
+                };
+                // storage_fraction = frac_num / mp; batch axis / dp
+                node.output_bytes() * frac_num / mp / dp
+            }
+            _ => 0,
+        })
+        .collect()
+}
+
 /// Estimate the per-device memory of `graph` under `plan`.
 pub fn estimate_stage_memory(graph: &Graph, plan: &IntraPlan) -> MemoryEstimate {
     let mp = plan.config.mp as u64;
-    let dp = plan.config.dp as u64;
 
     let mut params = 0u64;
-    let mut activations = 0u64;
     for node in graph.nodes() {
         match node.kind {
             NodeKind::Input if node.dtype.is_float() => {
-                // the incoming activation of a non-embedding stage is not
-                // a parameter (mirrors `param_bytes`)
+                // the stage's incoming activation is not a parameter
                 if node.id.index() == 0 && node.shape.rank() == 2 {
-                    activations += node.output_bytes() / dp;
                     continue;
                 }
                 // a weight is sharded iff some consuming contraction runs
@@ -82,17 +116,10 @@ pub fn estimate_stage_memory(graph: &Graph, plan: &IntraPlan) -> MemoryEstimate 
                     node.output_bytes()
                 };
             }
-            NodeKind::Operator(_) => {
-                let frac_num = match plan.sharding[node.id.index()] {
-                    Sharding::Replicated | Sharding::PartialSum => mp,
-                    Sharding::BatchSharded | Sharding::ColSharded => 1,
-                };
-                // storage_fraction = frac_num / mp; batch axis / dp
-                activations += node.output_bytes() * frac_num / mp / dp;
-            }
             _ => {}
         }
     }
+    let activations = activation_profile(graph, plan).iter().sum();
 
     MemoryEstimate {
         params,
@@ -206,6 +233,28 @@ mod tests {
             activations: 4 << 30,
         };
         assert!(!fits_on(&gpu, &big, 0.1)); // 36 GiB > 24 GiB
+    }
+
+    #[test]
+    fn activation_profile_sums_to_the_estimate() {
+        let g = stage_graph(3);
+        for (mesh, config) in [
+            (MeshShape::new(1, 1), ParallelConfig::SERIAL),
+            (MeshShape::new(1, 2), ParallelConfig::new(2, 1)),
+            (MeshShape::new(1, 2), ParallelConfig::new(1, 2)),
+        ] {
+            let plan = plan_for(&g, mesh, config);
+            let profile = activation_profile(&g, &plan);
+            assert_eq!(profile.len(), g.len());
+            let est = estimate_stage_memory(&g, &plan);
+            assert_eq!(profile.iter().sum::<u64>(), est.activations);
+            // weight inputs never contribute activation bytes
+            for n in g.nodes() {
+                if n.kind == NodeKind::Input && n.id.index() != 0 {
+                    assert_eq!(profile[n.id.index()], 0, "weight {:?}", n.id);
+                }
+            }
+        }
     }
 
     #[test]

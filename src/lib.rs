@@ -49,10 +49,12 @@
 //! | [`tensor`] | matrices, autodiff tape, Adam, schedules, losses |
 //! | [`gnn`] | GCN / GAT / DAG-Transformer predictors, training loop |
 //! | [`service`] | `LatencyService` trait + memoize/batch/instrument/fallback/fault-tolerance middleware |
+//! | [`analyze`] | fixpoint dataflow engine, graph/plan/stack lints, machine-applicable fixes |
 //! | [`core`] | the gray-box workflow and plan-search use case |
 
 #![warn(missing_docs)]
 
+pub use predtop_analyze as analyze;
 pub use predtop_cluster as cluster;
 pub use predtop_core as core;
 pub use predtop_gnn as gnn;
@@ -66,6 +68,7 @@ pub use predtop_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use predtop_analyze::{analyze_stack, has_errors, render_text, StaticLegality};
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
     pub use predtop_core::{
         pipeline_latency, search_legality, search_plan, search_plan_checked, search_plan_service,

@@ -49,6 +49,10 @@ options:
   --plan-out FILE            (search) write the chosen plan as JSON
   --raw-cache                (search) memoize on raw query identity
                              instead of structural equivalence classes
+  --checked                  (search) reject statically illegal
+                             candidates (sharding divisibility + the
+                             liveness-tight memory bound) before any
+                             latency evaluation
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
@@ -94,7 +98,7 @@ fn parse_args() -> Args {
         if matches!(key.as_str(), "help" | "h") {
             help();
         }
-        if matches!(key.as_str(), "scaled" | "raw-cache") {
+        if matches!(key.as_str(), "scaled" | "raw-cache" | "checked") {
             switches.push(key);
         } else {
             i += 1;
@@ -410,7 +414,36 @@ fn cmd_search(args: &Args) {
         builder.memoize_structural()
     };
     let stack = builder.batched(threads).instrumented().finish();
-    let out = match search_plan_service(model, cluster, &stack, &profiler, opts, None) {
+    // the stack we just built must satisfy the DESIGN §10 ordering
+    // rules — the same P2xxx lints `predtop-lint --stack` runs
+    let stack_diags = analyze_stack(stack.spec());
+    if has_errors(&stack_diags) {
+        eprintln!("internal error: the search service stack is misordered");
+        eprint!("{}", render_text(&stack_diags));
+        exit(1);
+    }
+    let checked = args.switches.iter().any(|s| s == "checked");
+    if checked && (opts.microbatches == 0 || !model.batch.is_multiple_of(opts.microbatches)) {
+        // P1301 rejects *every* candidate, so a checked search can never
+        // find a covering partition — fail up front with the structured
+        // diagnostic (and its machine-applicable fix) instead.
+        let diags = predtop::analyze::plan_passes::divisibility_diags(
+            &model,
+            opts.microbatches,
+            ParallelConfig::new(1, 1),
+            predtop::analyze::Span::Plan,
+            None,
+        );
+        eprintln!(
+            "checked search rejected up front: no candidate can satisfy \
+             the micro-batch divisibility rule"
+        );
+        eprint!("{}", render_text(&diags));
+        exit(2);
+    }
+    let legality = checked.then(|| search_legality(model, &profiler, opts));
+    let out = match search_plan_service(model, cluster, &stack, &profiler, opts, legality.as_ref())
+    {
         Ok(out) => out,
         Err(e) => die_service_error(e),
     };
@@ -430,6 +463,13 @@ fn cmd_search(args: &Args) {
                 "iteration latency: {:.6} s (B = {})",
                 out.true_latency, out.plan.microbatches
             );
+            if checked {
+                println!(
+                    "legality: {} candidates rejected before evaluation \
+                     ({} by the liveness memory bound)",
+                    out.num_rejected, out.num_rejected_memory
+                );
+            }
             if let Some(report) = report {
                 if let Some(c) = report.cache {
                     println!(
@@ -508,6 +548,12 @@ fn cmd_search(args: &Args) {
                 })
                 .collect();
             let mut svc_fields = String::new();
+            if checked {
+                svc_fields.push_str(&format!(
+                    ",\"num_rejected\":{},\"num_rejected_memory\":{}",
+                    out.num_rejected, out.num_rejected_memory
+                ));
+            }
             if let Some(c) = report.and_then(|r| r.cache) {
                 svc_fields.push_str(&format!(
                     ",\"cache_hits\":{},\"cache_misses\":{}",

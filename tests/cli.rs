@@ -89,6 +89,10 @@ options:
   --plan-out FILE            (search) write the chosen plan as JSON
   --raw-cache                (search) memoize on raw query identity
                              instead of structural equivalence classes
+  --checked                  (search) reject statically illegal
+                             candidates (sharding divisibility + the
+                             liveness-tight memory bound) before any
+                             latency evaluation
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
@@ -267,6 +271,100 @@ fn search_raw_cache_switch_changes_only_the_accounting() {
             .collect()
     };
     assert_eq!(plan_lines(&structural), plan_lines(&raw));
+}
+
+#[test]
+fn search_checked_reports_legality_and_keeps_the_plan() {
+    // the scaled benchmark has batch 2, so 2 micro-batches divide evenly
+    let plain = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "2",
+        ])
+        .output()
+        .expect("run plain predtop search");
+    assert!(plain.status.success());
+    let plain = String::from_utf8_lossy(&plain.stdout);
+    assert!(!plain.contains("legality:"), "{plain}");
+
+    let checked = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "2",
+            "--checked",
+        ])
+        .output()
+        .expect("run checked predtop search");
+    assert!(
+        checked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&checked.stderr)
+    );
+    let checked = String::from_utf8_lossy(&checked.stdout);
+    assert!(checked.contains("legality:"), "{checked}");
+    assert!(
+        checked.contains("by the liveness memory bound"),
+        "{checked}"
+    );
+    // static pruning never changes the chosen plan or its latency
+    let plan_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("GPT-3[") || l.contains("iteration latency"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(plan_lines(&plain), plan_lines(&checked));
+    // and the JSON report carries the counters
+    let json = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "2",
+            "--checked",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("run checked json predtop search");
+    assert!(json.status.success());
+    let json = String::from_utf8_lossy(&json.stdout);
+    assert!(json.contains("\"num_rejected\":"), "{json}");
+    assert!(json.contains("\"num_rejected_memory\":"), "{json}");
+}
+
+#[test]
+fn search_checked_rejects_indivisible_microbatches_up_front() {
+    // batch 2 cannot split into 4 micro-batches: P1301 rejects every
+    // candidate, so the checked search must exit 2 with the structured
+    // diagnostic instead of panicking mid-search
+    let out = predtop()
+        .args([
+            "search",
+            "--scaled",
+            "--platform",
+            "1",
+            "--microbatches",
+            "4",
+            "--checked",
+        ])
+        .output()
+        .expect("run indivisible checked predtop search");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("P1301"), "{stderr}");
+    assert!(stderr.contains("does not divide"), "{stderr}");
+    assert!(stderr.contains("fix:"), "{stderr}");
 }
 
 #[test]
