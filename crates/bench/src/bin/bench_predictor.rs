@@ -5,15 +5,23 @@
 //! Emits stable-schema JSON (see `jsonout`) so CI and dashboards can
 //! track regressions by field name:
 //!
-//! * `kernels[]` — GFLOP/s of the cache-blocked matmul kernels vs their
-//!   naive references, plus a bit-exactness check of each pair.
+//! * `threads` / `timing` / `kernel_config` — run provenance: worker
+//!   count, the best-of-N timing policy, and the dispatched kernel tier
+//!   (ISA, micro-kernel geometry, KC/NC panel constants).
+//! * `kernels[]` — GFLOP/s of the packed register-tiled matmul kernels
+//!   vs their naive references, a bit-exactness check of each pair, and
+//!   the per-call packing/tile counters (panels packed, floats packed,
+//!   full vs edge micro-tiles, parallel dispatches, grid tiles).
+//! * `kernel_summary[]` — roofline-style per-op rollup: best observed
+//!   blocked and reference GFLOP/s across sizes and the worst speedup.
 //! * `training` — epoch wall-clock of the GPT-3 sample-set training at
 //!   1 thread vs the parallel worker count, with the FNV-1a weight
 //!   fingerprints of both runs (`checksums_match` must be `true`: the
 //!   fixed-order gradient-reduction tree makes trained weights
 //!   bit-identical at any thread count).
 //! * `inference` — mean per-query latency of the trained predictor and
-//!   the serve-tape buffer-pool hit rate.
+//!   the serve-tape buffer-pool hit rate (must be positive: a zero hit
+//!   rate means a tape op regressed to per-call allocation).
 //!
 //! ```sh
 //! cargo run --release --bin bench_predictor              # full protocol
@@ -35,7 +43,7 @@ use predtop_models::sample_stages;
 use predtop_parallel::{MeshShape, ParallelConfig, StageLatencyProvider};
 use predtop_runtime::configured_threads;
 use predtop_sim::SimProfiler;
-use predtop_tensor::Matrix;
+use predtop_tensor::{active_isa, available_isas, kernel_stats, reset_kernel_stats, Matrix};
 
 struct Args {
     smoke: bool,
@@ -93,8 +101,23 @@ fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn kernel_section(sizes: &[usize], reps: usize, failures: &mut Vec<String>) -> Json {
+/// Per-op rollup across measured sizes, for the roofline-style summary.
+#[derive(Clone, Copy)]
+struct OpRollup {
+    name: &'static str,
+    best_blocked_gflops: f64,
+    best_reference_gflops: f64,
+    min_speedup: f64,
+}
+
+fn kernel_section(sizes: &[usize], reps: usize, failures: &mut Vec<String>) -> (Json, Json) {
     let mut rows = Vec::new();
+    let mut rollups: [OpRollup; 3] = ["matmul", "matmul_nt", "matmul_tn"].map(|name| OpRollup {
+        name,
+        best_blocked_gflops: 0.0,
+        best_reference_gflops: 0.0,
+        min_speedup: f64::INFINITY,
+    });
     for &n in sizes {
         let a = lcg_matrix(n, n, 11);
         let b = lcg_matrix(n, n, 23);
@@ -109,8 +132,12 @@ fn kernel_section(sizes: &[usize], reps: usize, failures: &mut Vec<String>) -> J
             ("matmul_nt", Matrix::matmul_nt, Matrix::matmul_nt_ref),
             ("matmul_tn", Matrix::matmul_tn, Matrix::matmul_tn_ref),
         ];
-        for (name, blocked, reference) in ops {
+        for (op_idx, (name, blocked, reference)) in ops.into_iter().enumerate() {
+            // exactness + per-call packing/tile counters from a single
+            // instrumented call, outside the timed loop
+            reset_kernel_stats();
             let got = blocked(&a, &b);
+            let stats = kernel_stats();
             let want = reference(&a, &b);
             let exact = got == want;
             if !exact {
@@ -122,24 +149,47 @@ fn kernel_section(sizes: &[usize], reps: usize, failures: &mut Vec<String>) -> J
             let t_ref = time_best(reps, || {
                 std::hint::black_box(reference(&a, &b));
             });
+            let (blocked_gflops, reference_gflops) = (flops / t_blocked / 1e9, flops / t_ref / 1e9);
+            let speedup = t_ref / t_blocked;
+            let r = &mut rollups[op_idx];
+            r.best_blocked_gflops = r.best_blocked_gflops.max(blocked_gflops);
+            r.best_reference_gflops = r.best_reference_gflops.max(reference_gflops);
+            r.min_speedup = r.min_speedup.min(speedup);
             eprintln!(
-                "[kernels] {name:<10} n={n:<4} blocked {:7.2} GFLOP/s  reference {:7.2} GFLOP/s  ({:.2}x)",
-                flops / t_blocked / 1e9,
-                flops / t_ref / 1e9,
-                t_ref / t_blocked
+                "[kernels] {name:<10} n={n:<4} blocked {blocked_gflops:7.2} GFLOP/s  reference {reference_gflops:7.2} GFLOP/s  ({speedup:.2}x)",
             );
             rows.push(
                 Json::obj()
                     .field("op", name)
                     .field("size", n)
-                    .field("blocked_gflops", flops / t_blocked / 1e9)
-                    .field("reference_gflops", flops / t_ref / 1e9)
-                    .field("speedup", t_ref / t_blocked)
-                    .field("exact_match", exact),
+                    .field("blocked_gflops", blocked_gflops)
+                    .field("reference_gflops", reference_gflops)
+                    .field("speedup", speedup)
+                    .field("exact_match", exact)
+                    .field("pack_panels", stats.pack_panels)
+                    .field("packed_floats", stats.packed_floats)
+                    .field("micro_full_tiles", stats.micro_full_tiles)
+                    .field("micro_edge_tiles", stats.micro_edge_tiles)
+                    .field("parallel_dispatches", stats.parallel_dispatches)
+                    .field("grid_tiles", stats.grid_tiles),
             );
         }
     }
-    Json::Arr(rows)
+    let summary = rollups
+        .iter()
+        .map(|r| {
+            eprintln!(
+                "[roofline] {:<10} best blocked {:7.2} GFLOP/s  best reference {:7.2} GFLOP/s  worst speedup {:.2}x",
+                r.name, r.best_blocked_gflops, r.best_reference_gflops, r.min_speedup
+            );
+            Json::obj()
+                .field("op", r.name)
+                .field("best_blocked_gflops", r.best_blocked_gflops)
+                .field("best_reference_gflops", r.best_reference_gflops)
+                .field("min_speedup", r.min_speedup)
+        })
+        .collect();
+    (Json::Arr(rows), Json::Arr(summary))
 }
 
 fn main() {
@@ -151,9 +201,32 @@ fn main() {
     let (sizes, reps): (&[usize], usize) = if args.smoke {
         (&[48, 96], 2)
     } else {
-        (&[64, 128, 256], 3)
+        (&[64, 128, 256, 512], 3)
     };
-    let kernels = kernel_section(sizes, reps, &mut failures);
+    let isa = active_isa();
+    eprintln!(
+        "[kernels] isa {} ({} micro-kernel), available: {}",
+        isa.name(),
+        isa.microkernel(),
+        available_isas()
+            .iter()
+            .map(|i| i.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let (kernels, kernel_summary) = kernel_section(sizes, reps, &mut failures);
+    let kernel_config = Json::obj()
+        .field("isa", isa.name())
+        .field("microkernel", isa.microkernel())
+        .field("kc", predtop_tensor::kernel::KC)
+        .field("nc", predtop_tensor::kernel::NC)
+        .field(
+            "available_isas",
+            available_isas()
+                .iter()
+                .map(|i| Json::from(i.name()))
+                .collect::<Vec<_>>(),
+        );
 
     // --- training: GPT-3 sample set, 1 thread vs N ------------------
     let mut proto = Protocol::default_scaled();
@@ -244,7 +317,12 @@ fn main() {
     }
     let per_query_us = t.elapsed().as_secs_f64() / queries as f64 * 1e6;
     let pool = with_serve_tape(|tape| tape.pool_stats());
-    let hit_rate = pool.hits as f64 / (pool.hits + pool.misses).max(1) as f64;
+    let hit_rate = pool.hit_rate();
+    if hit_rate <= 0.0 {
+        failures.push(format!(
+            "serve-tape pool hit rate is {hit_rate} after {queries} queries — a tape op regressed to per-call allocation"
+        ));
+    }
     eprintln!(
         "[inference] {queries} queries, {per_query_us:.1} µs/query, pool hit rate {:.1}%",
         100.0 * hit_rate
@@ -258,10 +336,17 @@ fn main() {
 
     // --- artifact ---------------------------------------------------
     let doc = Json::obj()
-        .field("schema_version", 1u64)
+        .field("schema_version", 2u64)
         .field("benchmark", "bench_predictor")
         .field("smoke", args.smoke)
+        .field("threads", parallel_threads)
+        .field(
+            "timing",
+            Json::obj().field("policy", "best_of").field("reps", reps),
+        )
+        .field("kernel_config", kernel_config)
         .field("kernels", kernels)
+        .field("kernel_summary", kernel_summary)
         .field("training", training)
         .field("inference", inference);
     write_json_file(&args.out, &doc);

@@ -238,6 +238,35 @@ mod tests {
     }
 
     #[test]
+    fn serve_path_allocates_nothing_at_steady_state() {
+        use crate::model::with_serve_tape;
+        let m = DagTransformer::new(tiny_cfg(), 5);
+        let s = sample_pe(16);
+        let run = || {
+            with_serve_tape(|tape| {
+                let out = m.forward(tape, &s);
+                tape.value(out).get(0, 0)
+            })
+        };
+        // warm the tape's buffer pool, then every later forward must be
+        // served entirely from recycled buffers — a rising miss count
+        // means an op regressed to per-call allocation
+        let baseline = run();
+        run();
+        let warm = with_serve_tape(|tape| tape.pool_stats());
+        assert!(warm.hits > 0, "serve tape pool never hit during warmup");
+        for _ in 0..10 {
+            assert_eq!(run(), baseline, "serve path is not deterministic");
+        }
+        let steady = with_serve_tape(|tape| tape.pool_stats());
+        assert_eq!(
+            steady.misses, warm.misses,
+            "steady-state forwards allocated fresh buffers"
+        );
+        assert!(steady.hit_rate() > 0.5, "hit rate {}", steady.hit_rate());
+    }
+
+    #[test]
     fn paper_config_structure() {
         let m = DagTransformer::paper(0);
         assert_eq!(m.layers.len(), 4);

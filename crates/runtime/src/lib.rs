@@ -14,8 +14,10 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod tile;
 
 pub use exec::{
     chunk_size_for, configured_threads, par_map, par_map_chunked, par_map_with, ChunkDispatch,
     DEFAULT_OVERSUBSCRIPTION, DEFAULT_SERIAL_THRESHOLD,
 };
+pub use tile::{par_tiles, tile_grid, Tile, TileGrid};

@@ -1,0 +1,916 @@
+//! Register-tiled, panel-packed GEMM kernels behind the [`Matrix`]
+//! matmul family.
+//!
+//! All three matmul variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) funnel into one
+//! driver parameterized by how `A` is strided and how `B` is read:
+//!
+//! * the active `B` panel (`KC` reduction rows × up to `NC` output
+//!   columns) is packed **once** into a contiguous, tile-major scratch
+//!   buffer and reused across the entire row sweep of the output region
+//!   (the old kernels re-strided `B` from the source matrix on every
+//!   block);
+//! * each full `MR × NR` output tile is accumulated in a fixed array of
+//!   named register accumulators by a micro-kernel chosen at runtime
+//!   from the CPU's capabilities (AVX-512 8×32, AVX2 4×16, or a
+//!   portable scalar 4×8 register tile), with partial tiles handled by
+//!   a scalar edge kernel over the same packed panel;
+//! * parallel runs decompose the output into a deterministic 2-D
+//!   [`predtop_runtime::tile_grid`] (rows first, column strips only when
+//!   row panels alone cannot occupy every worker) and each tile is
+//!   computed by the same serial driver.
+//!
+//! # Bit-identity invariant
+//!
+//! Every optimization here preserves the naive references' per-output-
+//! element accumulation order, so the fast kernels are **bit-for-bit**
+//! equal to [`Matrix::matmul_ref`] et al. at any ISA and thread count:
+//!
+//! * each output element's reduction is a single ascending chain over
+//!   `p` — micro-kernels **load their accumulators from `out`** at the
+//!   start of every `KC` panel and store them back at the end, so the
+//!   chain *continues* across panels instead of being split into
+//!   partial sums;
+//! * SIMD lanes run across output **columns** (`j`), never across the
+//!   reduction, and per-lane `mul`/`add` round exactly like their
+//!   scalar counterparts under IEEE-754; FMA contraction is never used
+//!   (neither by intrinsic nor by the compiler — Rust does not contract
+//!   `a*b + c`);
+//! * the references' skip-zero rule (`A` element `== 0.0` contributes
+//!   nothing — adjacency/mask matrices are sparse in exact zeros) is
+//!   replicated as a branch, not as a multiply-by-zero, so even
+//!   non-finite `B` values behave identically (`matmul`/`matmul_tn`
+//!   skip; `matmul_nt` does not, matching its reference);
+//! * ISA selection (auto-detected, or forced via the
+//!   `PREDTOP_KERNEL_ISA=scalar|avx2|avx512` environment variable)
+//!   therefore changes only speed, never a single bit of the result.
+//!
+//! The packed panel stores `B` tiles of `NR` consecutive columns
+//! (`[tile][p][lane]` order) so the micro-kernel reads one contiguous
+//! `NR`-wide row per `p` step; lanes past a partial tile's width are
+//! left unwritten and are never read (partial tiles go to the edge
+//! kernel, which bounds its lane loop by the real width).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(doc)]
+use crate::matrix::Matrix;
+
+/// Reduction panel length: rows of `B` packed (and rows of the
+/// accumulator chain advanced) per panel. `KC · NR · 4` bytes of packed
+/// `B` per tile column stay L1-resident across the row sweep.
+pub const KC: usize = 256;
+/// Column strip width: at most this many output columns are packed per
+/// panel, bounding the pack scratch at `KC × NC` floats (512 KiB).
+pub const NC: usize = 512;
+/// Row quantum for the parallel tile grid — the largest micro-kernel
+/// row count, so grid row panels never fragment full row tiles.
+pub(crate) const GRID_ROW_QUANTUM: usize = 8;
+/// Column quantum for the parallel tile grid — the widest micro-kernel
+/// lane count, so column strips keep whole SIMD tiles.
+pub(crate) const GRID_COL_QUANTUM: usize = 32;
+
+// ---------------------------------------------------------------------
+// ISA selection
+// ---------------------------------------------------------------------
+
+/// Instruction-set tier a kernel dispatch can run at. The tier affects
+/// only throughput: all tiers compute bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelIsa {
+    /// Portable scalar 4×8 register tile (autovectorizes to the build's
+    /// baseline, SSE2 on x86-64).
+    Scalar,
+    /// AVX2 4×16 micro-kernel (two 256-bit accumulators per row).
+    Avx2,
+    /// AVX-512 8×32 micro-kernel (two 512-bit accumulators per row).
+    Avx512,
+}
+
+impl KernelIsa {
+    /// Stable lower-case name (matches the `PREDTOP_KERNEL_ISA` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelIsa::Scalar => "scalar",
+            KernelIsa::Avx2 => "avx2",
+            KernelIsa::Avx512 => "avx512",
+        }
+    }
+
+    /// Micro-kernel geometry summary for this tier, e.g. `"8x32"`.
+    pub fn microkernel(self) -> &'static str {
+        match self {
+            KernelIsa::Scalar => "4x8",
+            KernelIsa::Avx2 => "4x16",
+            KernelIsa::Avx512 => "8x32",
+        }
+    }
+}
+
+/// Parse a `PREDTOP_KERNEL_ISA` value (case-insensitive).
+pub(crate) fn parse_isa(raw: &str) -> Option<KernelIsa> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(KernelIsa::Scalar),
+        "avx2" => Some(KernelIsa::Avx2),
+        "avx512" => Some(KernelIsa::Avx512),
+        _ => None,
+    }
+}
+
+/// ISA tiers this CPU can actually run, narrowest first. [`Scalar`]
+/// (always present) is the floor; AVX tiers appear when the CPU
+/// advertises them at runtime (the crate itself is compiled for the
+/// baseline target, which is what keeps the reference kernels honest).
+///
+/// [`Scalar`]: KernelIsa::Scalar
+pub fn available_isas() -> Vec<KernelIsa> {
+    let mut isas = vec![KernelIsa::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            isas.push(KernelIsa::Avx2);
+            if is_x86_feature_detected!("avx512f") {
+                isas.push(KernelIsa::Avx512);
+            }
+        }
+    }
+    isas
+}
+
+static ACTIVE_ISA: OnceLock<KernelIsa> = OnceLock::new();
+
+/// The ISA tier the dispatched matmul kernels run at: the widest
+/// available tier, unless `PREDTOP_KERNEL_ISA` pins one. Pinning an
+/// unavailable or unknown tier warns once on stderr and falls back to
+/// auto-detection — never to silently wrong results, since every tier
+/// computes identical bits anyway.
+pub fn active_isa() -> KernelIsa {
+    *ACTIVE_ISA.get_or_init(|| {
+        let available = available_isas();
+        let widest = *available.last().expect("scalar tier always present");
+        if let Some(v) = std::env::var_os("PREDTOP_KERNEL_ISA") {
+            let raw = v.to_string_lossy();
+            match parse_isa(&raw) {
+                Some(want) if available.contains(&want) => return want,
+                Some(want) => eprintln!(
+                    "warning: PREDTOP_KERNEL_ISA={} is not available on this CPU; \
+                     using {}",
+                    want.name(),
+                    widest.name()
+                ),
+                None => eprintln!(
+                    "warning: PREDTOP_KERNEL_ISA={raw:?} is not one of \
+                     scalar|avx2|avx512; using {}",
+                    widest.name()
+                ),
+            }
+        }
+        widest
+    })
+}
+
+// ---------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static PACK_PANELS: AtomicU64 = AtomicU64::new(0);
+static PACKED_FLOATS: AtomicU64 = AtomicU64::new(0);
+static MICRO_FULL: AtomicU64 = AtomicU64::new(0);
+static MICRO_EDGE: AtomicU64 = AtomicU64::new(0);
+static PAR_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static GRID_TILES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative packing/tile counters for the process (all threads), for
+/// the roofline accounting in `bench_predictor`. Counters are advisory
+/// observability — they never influence the computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// GEMM driver invocations (one per `matmul{,_nt,_tn}_into` call
+    /// that reached the kernels).
+    pub calls: u64,
+    /// `B` panels packed into tile-major scratch.
+    pub pack_panels: u64,
+    /// Source floats copied into packed panels.
+    pub packed_floats: u64,
+    /// Full `MR × NR` register-tile micro-kernel invocations.
+    pub micro_full_tiles: u64,
+    /// Partial-tile (edge) kernel invocations.
+    pub micro_edge_tiles: u64,
+    /// Calls that fanned out over the parallel tile grid.
+    pub parallel_dispatches: u64,
+    /// Tiles enumerated by those parallel grids.
+    pub grid_tiles: u64,
+}
+
+/// Snapshot the cumulative [`KernelStats`].
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        calls: CALLS.load(Ordering::Relaxed),
+        pack_panels: PACK_PANELS.load(Ordering::Relaxed),
+        packed_floats: PACKED_FLOATS.load(Ordering::Relaxed),
+        micro_full_tiles: MICRO_FULL.load(Ordering::Relaxed),
+        micro_edge_tiles: MICRO_EDGE.load(Ordering::Relaxed),
+        parallel_dispatches: PAR_DISPATCHES.load(Ordering::Relaxed),
+        grid_tiles: GRID_TILES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the cumulative [`KernelStats`] to zero (per-section benchmark
+/// accounting).
+pub fn reset_kernel_stats() {
+    for c in [
+        &CALLS,
+        &PACK_PANELS,
+        &PACKED_FLOATS,
+        &MICRO_FULL,
+        &MICRO_EDGE,
+        &PAR_DISPATCHES,
+        &GRID_TILES,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-region counters accumulated locally and flushed to the atomics
+/// once per region (the hot loops never touch shared state).
+#[derive(Default)]
+struct LocalStats {
+    pack_panels: u64,
+    packed_floats: u64,
+    micro_full: u64,
+    micro_edge: u64,
+}
+
+impl LocalStats {
+    fn flush(&self) {
+        PACK_PANELS.fetch_add(self.pack_panels, Ordering::Relaxed);
+        PACKED_FLOATS.fetch_add(self.packed_floats, Ordering::Relaxed);
+        MICRO_FULL.fetch_add(self.micro_full, Ordering::Relaxed);
+        MICRO_EDGE.fetch_add(self.micro_edge, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Micro-kernel geometry selection
+// ---------------------------------------------------------------------
+
+/// A concrete micro-kernel geometry the driver can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Micro {
+    /// Portable scalar 4×8 register tile.
+    S4x8,
+    /// AVX2 4×16.
+    V4x16,
+    /// AVX-512 8×32.
+    V8x32,
+}
+
+impl Micro {
+    fn mr(self) -> usize {
+        match self {
+            Micro::S4x8 => 4,
+            Micro::V4x16 => 4,
+            Micro::V8x32 => 8,
+        }
+    }
+
+    fn nr(self) -> usize {
+        match self {
+            Micro::S4x8 => 8,
+            Micro::V4x16 => 16,
+            Micro::V8x32 => 32,
+        }
+    }
+
+    /// Measured throughput per output lane relative to the scalar edge
+    /// kernel (used only by the width chooser, so miscalibration can
+    /// cost speed, never correctness).
+    fn lane_rate(self) -> f64 {
+        match self {
+            Micro::S4x8 => 1.6,
+            Micro::V4x16 => 3.2,
+            Micro::V8x32 => 5.0,
+        }
+    }
+}
+
+/// Geometries `isa` can run, widest first.
+fn candidates(isa: KernelIsa) -> &'static [Micro] {
+    match isa {
+        KernelIsa::Scalar => &[Micro::S4x8],
+        KernelIsa::Avx2 => &[Micro::V4x16, Micro::S4x8],
+        KernelIsa::Avx512 => &[Micro::V8x32, Micro::V4x16, Micro::S4x8],
+    }
+}
+
+/// Pick the geometry minimizing estimated time for a region of `width`
+/// output columns: wide tiles are fastest per lane, but columns past the
+/// last full tile fall to the edge kernel, so narrow matrices (e.g. the
+/// 16-wide attention head projections) prefer a narrower kernel over an
+/// all-edge schedule. Pure function of `(isa, width)` — deterministic.
+fn select_micro(isa: KernelIsa, width: usize) -> Micro {
+    let mut best = Micro::S4x8;
+    let mut best_cost = f64::INFINITY;
+    for &c in candidates(isa) {
+        let full = width / c.nr() * c.nr();
+        let edge = width - full;
+        let cost = full as f64 / c.lane_rate() + edge as f64;
+        if cost < best_cost {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// Panel packing
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread pack scratch, reused across every GEMM this thread
+    /// runs (capped at `KC × NC` floats by the driver's strip bounds).
+    /// Parallel workers are scoped threads, so theirs live for one
+    /// dispatch — a single allocation amortized over ≥2²⁰ multiply-adds
+    /// (the parallelism threshold).
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pack logical `B[p0..p1, j0..j1]` into `buf` in tile-major order:
+/// tiles of `nr` consecutive columns, each tile storing its `kc` rows
+/// contiguously (`buf[tile·kc·nr + (p−p0)·nr + lane]`). `trans = false`
+/// reads a row-major `… × ldb` source (`b[p·ldb + j]`, the `A·B` /
+/// `Aᵀ·B` case); `trans = true` reads the transposed source
+/// (`b[j·ldb + p]`, the `A·Bᵀ` case). Returns the tile count.
+///
+/// Lanes past a partial final tile's width are left stale; the edge
+/// kernel bounds its lane loop by the true width and never reads them.
+#[allow(clippy::too_many_arguments)]
+fn pack_panel(
+    b: &[f32],
+    trans: bool,
+    ldb: usize,
+    p0: usize,
+    p1: usize,
+    j0: usize,
+    j1: usize,
+    nr: usize,
+    buf: &mut Vec<f32>,
+) -> usize {
+    let kc = p1 - p0;
+    let width = j1 - j0;
+    let ntiles = width.div_ceil(nr);
+    let need = ntiles * kc * nr;
+    if buf.len() < need {
+        buf.resize(need, 0.0);
+    }
+    if !trans {
+        for p in p0..p1 {
+            let row = &b[p * ldb + j0..p * ldb + j1];
+            let mut done = 0;
+            let mut t = 0;
+            while done < width {
+                let take = nr.min(width - done);
+                let dst = t * kc * nr + (p - p0) * nr;
+                buf[dst..dst + take].copy_from_slice(&row[done..done + take]);
+                done += take;
+                t += 1;
+            }
+        }
+    } else {
+        for (t, tj) in (j0..j1).step_by(nr).enumerate() {
+            let w = nr.min(j1 - tj);
+            for lane in 0..w {
+                let col = &b[(tj + lane) * ldb + p0..(tj + lane) * ldb + p1];
+                let base = t * kc * nr + lane;
+                for (pi, &v) in col.iter().enumerate() {
+                    buf[base + pi * nr] = v;
+                }
+            }
+        }
+    }
+    ntiles
+}
+
+// ---------------------------------------------------------------------
+// Micro-kernels
+// ---------------------------------------------------------------------
+//
+// Shared contract: `a` points at element (row 0, reduction 0) of the
+// tile's A access pattern, strided `a_r` between rows and `a_p` along
+// the reduction; `bp` at the tile's packed panel (`kc` rows × `nr`
+// lanes, contiguous); `out` at the tile's first output element, rows
+// `ldo` apart. Accumulators are LOADED from `out` first and STORED back
+// last, so the per-element `p` chain continues across `KC` panels.
+// `SKIP` kernels branch past rows whose A element is exactly 0.0,
+// matching the references' skip-zero rule term-for-term.
+
+/// Generate the AVX-512 8×32 micro-kernel (`$skip` = skip-zero rule).
+/// Two zmm accumulators per row, broadcast `A` element, per-lane
+/// mul-then-add (never FMA — contraction would change rounding).
+#[cfg(target_arch = "x86_64")]
+macro_rules! mk_avx512_8x32 {
+    ($name:ident, $skip:literal) => {
+        #[target_feature(enable = "avx512f")]
+        #[allow(clippy::missing_safety_doc)]
+        unsafe fn $name(
+            a: *const f32,
+            a_r: usize,
+            a_p: usize,
+            bp: *const f32,
+            kc: usize,
+            out: *mut f32,
+            ldo: usize,
+        ) {
+            use std::arch::x86_64::*;
+            let mut acc: [[__m512; 2]; 8] = [[_mm512_setzero_ps(); 2]; 8];
+            for r in 0..8 {
+                acc[r][0] = _mm512_loadu_ps(out.add(r * ldo));
+                acc[r][1] = _mm512_loadu_ps(out.add(r * ldo + 16));
+            }
+            for p in 0..kc {
+                let b0 = _mm512_loadu_ps(bp.add(p * 32));
+                let b1 = _mm512_loadu_ps(bp.add(p * 32 + 16));
+                for r in 0..8 {
+                    let av = *a.add(r * a_r + p * a_p);
+                    if $skip && av == 0.0 {
+                        continue;
+                    }
+                    let avv = _mm512_set1_ps(av);
+                    acc[r][0] = _mm512_add_ps(acc[r][0], _mm512_mul_ps(avv, b0));
+                    acc[r][1] = _mm512_add_ps(acc[r][1], _mm512_mul_ps(avv, b1));
+                }
+            }
+            for r in 0..8 {
+                _mm512_storeu_ps(out.add(r * ldo), acc[r][0]);
+                _mm512_storeu_ps(out.add(r * ldo + 16), acc[r][1]);
+            }
+        }
+    };
+}
+
+/// Generate the AVX2 4×16 micro-kernel (two ymm accumulators per row;
+/// same contract as the AVX-512 kernel).
+#[cfg(target_arch = "x86_64")]
+macro_rules! mk_avx2_4x16 {
+    ($name:ident, $skip:literal) => {
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::missing_safety_doc)]
+        unsafe fn $name(
+            a: *const f32,
+            a_r: usize,
+            a_p: usize,
+            bp: *const f32,
+            kc: usize,
+            out: *mut f32,
+            ldo: usize,
+        ) {
+            use std::arch::x86_64::*;
+            let mut acc: [[__m256; 2]; 4] = [[_mm256_setzero_ps(); 2]; 4];
+            for r in 0..4 {
+                acc[r][0] = _mm256_loadu_ps(out.add(r * ldo));
+                acc[r][1] = _mm256_loadu_ps(out.add(r * ldo + 8));
+            }
+            for p in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add(p * 16));
+                let b1 = _mm256_loadu_ps(bp.add(p * 16 + 8));
+                for r in 0..4 {
+                    let av = *a.add(r * a_r + p * a_p);
+                    if $skip && av == 0.0 {
+                        continue;
+                    }
+                    let avv = _mm256_set1_ps(av);
+                    acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(avv, b0));
+                    acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(avv, b1));
+                }
+            }
+            for r in 0..4 {
+                _mm256_storeu_ps(out.add(r * ldo), acc[r][0]);
+                _mm256_storeu_ps(out.add(r * ldo + 8), acc[r][1]);
+            }
+        }
+    };
+}
+
+/// Generate the portable scalar 4×8 register-tile micro-kernel: fixed
+/// `[f32; 8]` accumulator rows the autovectorizer maps onto the build's
+/// baseline vectors. Same contract as the SIMD kernels.
+macro_rules! mk_scalar_4x8 {
+    ($name:ident, $skip:literal) => {
+        #[allow(clippy::missing_safety_doc)]
+        unsafe fn $name(
+            a: *const f32,
+            a_r: usize,
+            a_p: usize,
+            bp: *const f32,
+            kc: usize,
+            out: *mut f32,
+            ldo: usize,
+        ) {
+            let mut acc = [[0.0f32; 8]; 4];
+            for r in 0..4 {
+                for l in 0..8 {
+                    acc[r][l] = *out.add(r * ldo + l);
+                }
+            }
+            for p in 0..kc {
+                let brow = bp.add(p * 8);
+                for r in 0..4 {
+                    let av = *a.add(r * a_r + p * a_p);
+                    if $skip && av == 0.0 {
+                        continue;
+                    }
+                    for l in 0..8 {
+                        acc[r][l] += av * *brow.add(l);
+                    }
+                }
+            }
+            for r in 0..4 {
+                for l in 0..8 {
+                    *out.add(r * ldo + l) = acc[r][l];
+                }
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+mk_avx512_8x32!(mk8x32_skip, true);
+#[cfg(target_arch = "x86_64")]
+mk_avx512_8x32!(mk8x32_noskip, false);
+#[cfg(target_arch = "x86_64")]
+mk_avx2_4x16!(mk4x16_skip, true);
+#[cfg(target_arch = "x86_64")]
+mk_avx2_4x16!(mk4x16_noskip, false);
+mk_scalar_4x8!(mk4x8_skip, true);
+mk_scalar_4x8!(mk4x8_noskip, false);
+
+/// Dispatch one full `MR × NR` tile to `micro`'s kernel.
+///
+/// # Safety
+/// Caller guarantees the pointer/stride contract in the micro-kernel
+/// block comment, a full `micro.mr() × micro.nr()` tile in bounds, and
+/// that the CPU supports `micro` (upheld by [`available_isas`]-gated
+/// selection).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_full(
+    micro: Micro,
+    skip: bool,
+    a: *const f32,
+    a_r: usize,
+    a_p: usize,
+    bp: *const f32,
+    kc: usize,
+    out: *mut f32,
+    ldo: usize,
+) {
+    match micro {
+        #[cfg(target_arch = "x86_64")]
+        Micro::V8x32 => {
+            if skip {
+                mk8x32_skip(a, a_r, a_p, bp, kc, out, ldo)
+            } else {
+                mk8x32_noskip(a, a_r, a_p, bp, kc, out, ldo)
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Micro::V4x16 => {
+            if skip {
+                mk4x16_skip(a, a_r, a_p, bp, kc, out, ldo)
+            } else {
+                mk4x16_noskip(a, a_r, a_p, bp, kc, out, ldo)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Micro::V8x32 | Micro::V4x16 => unreachable!("SIMD tiers gated by available_isas"),
+        Micro::S4x8 => {
+            if skip {
+                mk4x8_skip(a, a_r, a_p, bp, kc, out, ldo)
+            } else {
+                mk4x8_noskip(a, a_r, a_p, bp, kc, out, ldo)
+            }
+        }
+    }
+}
+
+/// Partial-tile kernel: `mr × w` outputs over the packed tile at `bp`
+/// (`nr`-lane rows), accumulating straight into `out` memory — the `p`
+/// loop still ascends per element, so the chain order matches the full
+/// kernels and the references exactly.
+///
+/// # Safety
+/// Same pointer/stride contract as the full kernels, with `mr` rows and
+/// `w ≤ nr` lanes in bounds.
+#[allow(clippy::too_many_arguments)]
+unsafe fn mk_edge(
+    a: *const f32,
+    a_r: usize,
+    a_p: usize,
+    bp: *const f32,
+    nr: usize,
+    kc: usize,
+    out: *mut f32,
+    ldo: usize,
+    mr: usize,
+    w: usize,
+    skip: bool,
+) {
+    for r in 0..mr {
+        let orow = out.add(r * ldo);
+        for p in 0..kc {
+            let av = *a.add(r * a_r + p * a_p);
+            if skip && av == 0.0 {
+                continue;
+            }
+            let brow = bp.add(p * nr);
+            for l in 0..w {
+                *orow.add(l) += av * *brow.add(l);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Which matmul the driver is computing; fixes `A` striding, `B`
+/// layout, and the skip-zero rule to match the matching reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Variant {
+    /// `A·B`: `a` is `m × k`, `b` is `k × n`; skips zero `A` elements.
+    Mm,
+    /// `A·Bᵀ`: `a` is `m × k`, `b` is `n × k`; no skip (the reference
+    /// dot product multiplies every term).
+    Nt,
+    /// `Aᵀ·B`: `a` is `k × m`, `b` is `k × n`; skips zero `A` elements.
+    Tn,
+}
+
+/// Serial GEMM over output rows `[0, rows)` (already offset into `a`
+/// and `out`) and absolute columns `[c0, c1)`.
+///
+/// Loop nest: column strip (`NC`) → reduction panel (`KC`, packed once)
+/// → full row sweep of micro-tiles, so the packed panel is reused
+/// across every row of the region while it is cache-hot.
+///
+/// # Safety
+/// `a`/`out` must be valid for the strided region accesses described in
+/// the micro-kernel contract; `out` rows are `ldo` apart and columns
+/// `c0..c1` must be in bounds.
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_region(
+    a: *const f32,
+    a_r: usize,
+    a_p: usize,
+    b: &[f32],
+    trans: bool,
+    ldb: usize,
+    out: *mut f32,
+    ldo: usize,
+    rows: usize,
+    k: usize,
+    c0: usize,
+    c1: usize,
+    skip: bool,
+    isa: KernelIsa,
+) {
+    let micro = select_micro(isa, c1 - c0);
+    let (mr, nr) = (micro.mr(), micro.nr());
+    let mut ls = LocalStats::default();
+    PACK_BUF.with(|cell| {
+        let buf = &mut *cell.borrow_mut();
+        for jc in (c0..c1).step_by(NC) {
+            let jce = (jc + NC).min(c1);
+            for pc in (0..k).step_by(KC) {
+                let pce = (pc + KC).min(k);
+                let kc = pce - pc;
+                let ntiles = pack_panel(b, trans, ldb, pc, pce, jc, jce, nr, buf);
+                ls.pack_panels += 1;
+                ls.packed_floats += ((jce - jc) * kc) as u64;
+                for ir in (0..rows).step_by(mr) {
+                    let mrr = mr.min(rows - ir);
+                    let a_ir = a.add(ir * a_r + pc * a_p);
+                    for t in 0..ntiles {
+                        let j = jc + t * nr;
+                        let w = nr.min(jce - j);
+                        let o = out.add(ir * ldo + j);
+                        let bp = buf.as_ptr().add(t * kc * nr);
+                        if mrr == mr && w == nr {
+                            run_full(micro, skip, a_ir, a_r, a_p, bp, kc, o, ldo);
+                            ls.micro_full += 1;
+                        } else {
+                            mk_edge(a_ir, a_r, a_p, bp, nr, kc, o, ldo, mrr, w, skip);
+                            ls.micro_edge += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    ls.flush();
+}
+
+/// `*mut f32` that may cross a scoped-thread boundary: each parallel
+/// tile writes a disjoint output region (guaranteed by the
+/// [`predtop_runtime::tile_grid`] partition), so shared mutable access
+/// never aliases.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Compute `out += variant(a, b)` for a zeroed `m × n` destination,
+/// fanning a 2-D tile grid out over `threads` workers when `threads >
+/// 1`. Every tile runs the same serial driver and every output element
+/// keeps its single ascending reduction chain, so the result is
+/// bit-identical to the matching reference at any `threads`/`isa`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    v: Variant,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    isa: KernelIsa,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(b.len(), k * n);
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    // A striding: (output row r, reduction p) ↦ a[row0·row_base + r·a_r + p·a_p]
+    let (a_r, a_p, trans, ldb, skip) = match v {
+        Variant::Mm => (k, 1, false, n, true),
+        Variant::Nt => (k, 1, true, k, false),
+        Variant::Tn => (1, m, false, n, true),
+    };
+    let row_off = |row0: usize| match v {
+        Variant::Mm | Variant::Nt => row0 * k,
+        Variant::Tn => row0,
+    };
+    let grid = predtop_runtime::tile_grid(m, n, threads, GRID_ROW_QUANTUM, GRID_COL_QUANTUM);
+    if threads <= 1 || grid.tiles.len() <= 1 {
+        unsafe {
+            gemm_region(
+                a.as_ptr(),
+                a_r,
+                a_p,
+                b,
+                trans,
+                ldb,
+                out.as_mut_ptr(),
+                n,
+                m,
+                k,
+                0,
+                n,
+                skip,
+                isa,
+            );
+        }
+        return;
+    }
+    PAR_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    GRID_TILES.fetch_add(grid.tiles.len() as u64, Ordering::Relaxed);
+    let out_base = SendPtr(out.as_mut_ptr());
+    let out_ref = &out_base;
+    predtop_runtime::par_tiles(&grid, threads, move |t| {
+        // Safety: tiles partition the output; this tile's rows/cols are
+        // disjoint from every other worker's, and `a`/`b` are read-only.
+        unsafe {
+            gemm_region(
+                a.as_ptr().add(row_off(t.row0)),
+                a_r,
+                a_p,
+                b,
+                trans,
+                ldb,
+                out_ref.0.add(t.row0 * n),
+                n,
+                t.rows,
+                k,
+                t.col0,
+                t.col0 + t.cols,
+                skip,
+                isa,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_isa_accepts_known_names_case_insensitively() {
+        assert_eq!(parse_isa("scalar"), Some(KernelIsa::Scalar));
+        assert_eq!(parse_isa(" AVX2 "), Some(KernelIsa::Avx2));
+        assert_eq!(parse_isa("Avx512"), Some(KernelIsa::Avx512));
+        assert_eq!(parse_isa("neon"), None);
+        assert_eq!(parse_isa(""), None);
+    }
+
+    #[test]
+    fn available_isas_is_monotone_and_scalar_first() {
+        let isas = available_isas();
+        assert_eq!(isas[0], KernelIsa::Scalar);
+        // widest last; active_isa picks from this list
+        assert!(isas.contains(&active_isa()));
+        for isa in isas {
+            assert_eq!(parse_isa(isa.name()), Some(isa), "name round-trips");
+            assert!(!isa.microkernel().is_empty());
+        }
+    }
+
+    #[test]
+    fn select_micro_prefers_wide_tiles_only_when_they_cover() {
+        // full multiples of the widest lane count take the widest kernel
+        assert_eq!(select_micro(KernelIsa::Avx512, 64), Micro::V8x32);
+        assert_eq!(select_micro(KernelIsa::Avx2, 64), Micro::V4x16);
+        assert_eq!(select_micro(KernelIsa::Scalar, 64), Micro::S4x8);
+        // a 16-wide output (attention head dim) must not go all-edge
+        assert_eq!(select_micro(KernelIsa::Avx512, 16), Micro::V4x16);
+        // wide-with-ragged-tail trades lane rate against edge coverage
+        let m50 = select_micro(KernelIsa::Avx512, 50);
+        assert_ne!(m50, Micro::S4x8);
+    }
+
+    #[test]
+    fn pack_row_major_is_tile_major() {
+        // B = 3×5 row-major, nr = 2 → tiles of cols {0,1},{2,3},{4}
+        let b: Vec<f32> = (0..15).map(|x| x as f32).collect();
+        let mut buf = Vec::new();
+        let ntiles = pack_panel(&b, false, 5, 0, 3, 0, 5, 2, &mut buf);
+        assert_eq!(ntiles, 3);
+        let kc = 3;
+        for p in 0..kc {
+            assert_eq!(buf[p * 2], b[p * 5]);
+            assert_eq!(buf[p * 2 + 1], b[p * 5 + 1]);
+            assert_eq!(buf[kc * 2 + p * 2], b[p * 5 + 2]);
+            assert_eq!(buf[kc * 2 + p * 2 + 1], b[p * 5 + 3]);
+            // final partial tile: only lane 0 is meaningful
+            assert_eq!(buf[2 * kc * 2 + p * 2], b[p * 5 + 4]);
+        }
+    }
+
+    #[test]
+    fn pack_transposed_matches_row_major_of_transpose() {
+        // bt is the 5×3 transpose of a 3×5 matrix; packing it with
+        // trans=true must equal packing the original row-major B.
+        let b: Vec<f32> = (0..15).map(|x| (x * 7 % 11) as f32).collect();
+        let mut bt = vec![0.0f32; 15];
+        for p in 0..3 {
+            for j in 0..5 {
+                bt[j * 3 + p] = b[p * 5 + j];
+            }
+        }
+        let (mut buf_a, mut buf_b) = (Vec::new(), Vec::new());
+        let na = pack_panel(&b, false, 5, 1, 3, 1, 5, 2, &mut buf_a);
+        let nb = pack_panel(&bt, true, 3, 1, 3, 1, 5, 2, &mut buf_b);
+        assert_eq!(na, nb);
+        // compare only meaningful lanes (final tile lane 1 is stale)
+        let kc = 2;
+        for t in 0..na {
+            let w = 2usize.min(4 - t * 2);
+            for p in 0..kc {
+                for l in 0..w {
+                    let idx = t * kc * 2 + p * 2 + l;
+                    assert_eq!(buf_a[idx], buf_b[idx], "tile {t} p {p} lane {l}");
+                }
+            }
+        }
+    }
+
+    /// Counters are process-global (other tests may run kernels
+    /// concurrently), so assert monotone deltas, not exact values.
+    #[test]
+    fn stats_accumulate() {
+        reset_kernel_stats();
+        let before = kernel_stats();
+        let a = vec![1.0f32; 12 * 20];
+        let b = vec![2.0f32; 20 * 24];
+        let mut out = vec![0.0f32; 12 * 24];
+        gemm(
+            Variant::Mm,
+            &a,
+            &b,
+            &mut out,
+            12,
+            20,
+            24,
+            1,
+            KernelIsa::Scalar,
+        );
+        let s = kernel_stats();
+        assert!(s.calls > before.calls);
+        assert!(s.pack_panels > before.pack_panels);
+        assert!(s.packed_floats >= before.packed_floats + 20 * 24);
+        assert!(s.micro_full_tiles + s.micro_edge_tiles > 0);
+    }
+}

@@ -3,35 +3,34 @@
 //!
 //! # Kernel design
 //!
-//! The three matmul variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) are cache-blocked
-//! and written so LLVM's autovectorizer sees contiguous unit-stride inner
-//! loops, but every optimization preserves the *per-output-element
-//! accumulation order* of the naive reference kernels
-//! ([`Matrix::matmul_ref`] et al.): blocking only reorders the `i`/`j`
-//! (output) loops, never splits the reduction over `p` into partial sums,
-//! and keeps the reference kernels' skip-zero behaviour. f32 addition
-//! rounds identically regardless of where the operands live, and Rust
-//! never contracts `a*b + c` into an FMA, so the blocked kernels are
-//! **bit-identical** to the references (proptested below) — which is what
-//! lets the training loop parallelize without losing reproducibility.
+//! The three matmul variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) dispatch into the
+//! register-tiled, panel-packed GEMM driver in [`crate::kernel`]: the
+//! active `B` panel is packed once into tile-major scratch and reused
+//! across the whole output row sweep, full output tiles run in a
+//! runtime-selected SIMD micro-kernel (AVX-512 8×32 / AVX2 4×16 /
+//! scalar 4×8), and parallel runs fan a deterministic 2-D tile grid out
+//! over `predtop-runtime` workers. Every optimization preserves the
+//! *per-output-element accumulation order* of the naive reference
+//! kernels ([`Matrix::matmul_ref`] et al.): each element's reduction
+//! over `p` stays one ascending chain (accumulators continue from `out`
+//! across panels, never restart as partial sums), SIMD lanes run across
+//! output columns with per-lane IEEE mul/add (no FMA contraction), and
+//! the references' skip-zero behaviour is kept as a branch. The fast
+//! kernels are therefore **bit-identical** to the references at every
+//! ISA tier and thread count (proptested below) — which is what lets
+//! the training loop parallelize without losing reproducibility.
 //!
-//! Above `PAR_MIN_MULADDS` multiply-adds the kernels split the output
-//! into contiguous row panels and fan them out over
-//! `predtop_runtime::par_map_with`; each panel is computed by the same
-//! serial kernel, so results stay bit-identical at any thread count.
+//! Above `PAR_MIN_MULADDS` multiply-adds the kernels fan the 2-D tile
+//! grid out over `predtop_runtime::par_tiles`; each tile is computed by
+//! the same serial driver, so results stay bit-identical at any thread
+//! count.
 
 use serde::{Deserialize, Serialize};
 
-/// Output-row panel height: how many rows of `out` (and `A`) are swept
-/// per reduction panel, sized so a panel of output rows stays L1-hot.
-const MC: usize = 32;
-/// Reduction panel length: rows of `B` kept hot while a row panel of the
-/// output is updated (`KC · n · 4` bytes of `B` per panel).
-const KC: usize = 256;
-/// `matmul_nt` keeps this many rows of `B` hot while sweeping all of `A`.
-const NT_JB: usize = 32;
-/// Minimum multiply-add count (`m·k·n`) before a kernel fans row panels
-/// out over worker threads; below this the spawn cost dominates.
+use crate::kernel::{self, Variant};
+
+/// Minimum multiply-add count (`m·k·n`) before a kernel fans output
+/// tiles out over worker threads; below this the spawn cost dominates.
 const PAR_MIN_MULADDS: usize = 1 << 20;
 
 /// A dense row-major `rows × cols` matrix of f32.
@@ -162,8 +161,8 @@ impl Matrix {
 
     /// `self · other` written into `out` (reshaped + zeroed in place).
     ///
-    /// Cache-blocked over output row panels (`MC`) and reduction
-    /// panels (`KC`); bit-identical to [`Matrix::matmul_ref`].
+    /// Register-tiled over packed `B` panels (see [`crate::kernel`]);
+    /// bit-identical to [`Matrix::matmul_ref`].
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
@@ -171,21 +170,17 @@ impl Matrix {
         if m == 0 || k == 0 || n == 0 {
             return;
         }
-        let threads = par_threads(m, k, n);
-        if threads > 1 {
-            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
-                let rows = panel.len() / n;
-                mm_kernel(
-                    &self.data[start * k..(start + rows) * k],
-                    &other.data,
-                    panel,
-                    k,
-                    n,
-                );
-            });
-        } else {
-            mm_kernel(&self.data, &other.data, &mut out.data, k, n);
-        }
+        kernel::gemm(
+            Variant::Mm,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            par_threads(m, k, n),
+            kernel::active_isa(),
+        );
     }
 
     /// `self · otherᵀ` into a fresh matrix (attention `Q·Kᵀ`). See
@@ -199,13 +194,11 @@ impl Matrix {
     /// `self · otherᵀ` written into `out`, without materializing the
     /// transpose.
     ///
-    /// Blocks over `NT_JB` rows of `other` so they stay cache-hot
-    /// while every row of `self` is swept (the naive j-then-p loop
-    /// re-streamed all of `other` per output row), and computes four
-    /// output columns per pass with independent accumulators for
-    /// instruction-level parallelism. Each output element is still one
-    /// sequential dot product over `p`, so the result is bit-identical
-    /// to [`Matrix::matmul_nt_ref`].
+    /// The packing stage gathers `other`'s rows into column-lane tiles
+    /// (so SIMD lanes still run across output columns while the
+    /// reduction stays a sequential scalar walk); each output element
+    /// remains one sequential dot product over `p`, so the result is
+    /// bit-identical to [`Matrix::matmul_nt_ref`].
     pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
@@ -213,21 +206,17 @@ impl Matrix {
         if m == 0 || k == 0 || n == 0 {
             return;
         }
-        let threads = par_threads(m, k, n);
-        if threads > 1 {
-            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
-                let rows = panel.len() / n;
-                mm_nt_kernel(
-                    &self.data[start * k..(start + rows) * k],
-                    &other.data,
-                    panel,
-                    k,
-                    n,
-                );
-            });
-        } else {
-            mm_nt_kernel(&self.data, &other.data, &mut out.data, k, n);
-        }
+        kernel::gemm(
+            Variant::Nt,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            par_threads(m, k, n),
+            kernel::active_isa(),
+        );
     }
 
     /// `selfᵀ · other` into a fresh matrix (matmul backward). See
@@ -241,11 +230,11 @@ impl Matrix {
     /// `selfᵀ · other` written into `out`, without materializing the
     /// transpose.
     ///
-    /// Blocks over `MC` output rows so the updated panel stays hot
-    /// while `self` and `other` stream past once per panel; the `p`
-    /// reduction stays ascending with the reference's skip-zero
-    /// behaviour, so the result is bit-identical to
-    /// [`Matrix::matmul_tn_ref`].
+    /// The driver reads `self` column-wise (stride-`cols` along the
+    /// reduction) while `other` is packed exactly like the plain
+    /// matmul's `B`; the `p` reduction stays ascending with the
+    /// reference's skip-zero behaviour, so the result is bit-identical
+    /// to [`Matrix::matmul_tn_ref`].
     pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let (m, k, n) = (self.cols, self.rows, other.cols);
@@ -253,14 +242,17 @@ impl Matrix {
         if m == 0 || k == 0 || n == 0 {
             return;
         }
-        let threads = par_threads(m, k, n);
-        if threads > 1 {
-            par_row_panels(&mut out.data, m, n, threads, |start, panel| {
-                mm_tn_kernel(&self.data, &other.data, panel, start, m, n);
-            });
-        } else {
-            mm_tn_kernel(&self.data, &other.data, &mut out.data, 0, m, n);
-        }
+        kernel::gemm(
+            Variant::Tn,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            par_threads(m, k, n),
+            kernel::active_isa(),
+        );
     }
 
     /// Reference `self · other`: the naive ikj kernel the blocked
@@ -435,125 +427,6 @@ fn par_threads(m: usize, k: usize, n: usize) -> usize {
         return 1;
     }
     predtop_runtime::configured_threads().min(m)
-}
-
-/// Split `out` (flat `m × n`) into one contiguous row panel per worker
-/// and run `body(first_row, panel)` on each. Panels are disjoint output
-/// rows computed by the same serial kernels, so the result is
-/// bit-identical to a single-threaded run.
-fn par_row_panels<F>(out: &mut [f32], m: usize, n: usize, threads: usize, body: F)
-where
-    F: Fn(usize, &mut [f32]) + Sync,
-{
-    let rows_per = m.div_ceil(threads);
-    let items: Vec<(usize, &mut [f32])> = out
-        .chunks_mut(rows_per * n)
-        .enumerate()
-        .map(|(c, panel)| (c * rows_per, panel))
-        .collect();
-    predtop_runtime::par_map_with(items, threads, |(start, panel)| body(start, panel));
-}
-
-/// `o_row += a · b_row` over contiguous slices (the autovectorized axpy
-/// all three blocked kernels bottom out in).
-#[inline]
-fn axpy(o_row: &mut [f32], b_row: &[f32], a: f32) {
-    for (o, &b) in o_row.iter_mut().zip(b_row) {
-        *o += a * b;
-    }
-}
-
-/// Blocked `A·B` over a row panel: `a` holds the panel's rows of `A`
-/// (`rows × k`), `b` all of `B` (`k × n`), `out` the panel's zeroed
-/// output rows. For every output element the reduction runs over `p`
-/// ascending with the reference's skip-zero rule, so blocking changes
-/// only the cache schedule, not one bit of the result.
-fn mm_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let rows = out.len() / n;
-    for i0 in (0..rows).step_by(MC) {
-        let i1 = (i0 + MC).min(rows);
-        for p0 in (0..k).step_by(KC) {
-            let p1 = (p0 + KC).min(k);
-            for i in i0..i1 {
-                let a_row = &a[i * k..(i + 1) * k];
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in a_row.iter().enumerate().take(p1).skip(p0) {
-                    if av == 0.0 {
-                        continue; // adjacency/mask matrices are sparse in 0s
-                    }
-                    axpy(o_row, &b[p * n..(p + 1) * n], av);
-                }
-            }
-        }
-    }
-}
-
-/// Blocked `A·Bᵀ` over a row panel: `a` holds the panel's rows of `A`,
-/// `b` all of `B` (`n × k`). `NT_JB` rows of `B` stay hot per block;
-/// four independent dot products run per pass for ILP. Each element is
-/// one sequential `p`-ascending dot product — bit-identical to the
-/// reference.
-fn mm_nt_kernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    let rows = out.len() / n;
-    for j0 in (0..n).step_by(NT_JB) {
-        let j1 = (j0 + NT_JB).min(n);
-        for i in 0..rows {
-            let a_row = &a[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            let mut j = j0;
-            while j + 4 <= j1 {
-                let b0 = &b[j * k..(j + 1) * k];
-                let b1 = &b[(j + 1) * k..(j + 2) * k];
-                let b2 = &b[(j + 2) * k..(j + 3) * k];
-                let b3 = &b[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for (p, &av) in a_row.iter().enumerate() {
-                    s0 += av * b0[p];
-                    s1 += av * b1[p];
-                    s2 += av * b2[p];
-                    s3 += av * b3[p];
-                }
-                o_row[j] = s0;
-                o_row[j + 1] = s1;
-                o_row[j + 2] = s2;
-                o_row[j + 3] = s3;
-                j += 4;
-            }
-            while j < j1 {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (p, &av) in a_row.iter().enumerate() {
-                    acc += av * b_row[p];
-                }
-                o_row[j] = acc;
-                j += 1;
-            }
-        }
-    }
-}
-
-/// Blocked `Aᵀ·B` over a row panel of the output: `a` is all of `A`
-/// (`k × a_cols`), `b` all of `B` (`k × n`), `out` covers output rows
-/// `start..start + rows` (= columns of `A`). The `MC`-row output
-/// panel stays hot while `A`/`B` stream past; `p` ascends with the
-/// reference's skip-zero rule — bit-identical to the reference.
-fn mm_tn_kernel(a: &[f32], b: &[f32], out: &mut [f32], start: usize, a_cols: usize, n: usize) {
-    let rows = out.len() / n;
-    let k = b.len() / n;
-    for i0 in (0..rows).step_by(MC) {
-        let i1 = (i0 + MC).min(rows);
-        for p in 0..k {
-            let a_row = &a[p * a_cols..(p + 1) * a_cols];
-            let b_row = &b[p * n..(p + 1) * n];
-            for i in i0..i1 {
-                let av = a_row[start + i];
-                if av == 0.0 {
-                    continue;
-                }
-                axpy(&mut out[i * n..(i + 1) * n], b_row, av);
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -744,55 +617,115 @@ mod tests {
         }
     }
 
-    /// Parallel row panels produce the same bits as the serial kernel.
-    /// Sizes here are tiny, so this drives `par_row_panels` directly.
-    #[test]
-    fn parallel_panels_match_serial_kernels() {
-        let a = pair_matrix(7, 37, 19);
-        let b = pair_matrix(8, 19, 23);
-        let serial = a.matmul_ref(&b);
-        for threads in [2, 3, 5] {
-            let mut out = Matrix::zeros(37, 23);
-            par_row_panels(out.data_mut(), 37, 23, threads, |start, panel| {
-                let rows = panel.len() / 23;
-                mm_kernel(
-                    &a.data()[start * 19..(start + rows) * 19],
+    /// Drive all three kernel variants at an explicit ISA tier and
+    /// thread count (bypassing auto-detection and the parallelism
+    /// threshold) and compare bitwise against the references.
+    fn assert_kernels_exact(m: usize, k: usize, n: usize, seed: u64) {
+        for isa in kernel::available_isas() {
+            for threads in [1usize, 4, 8] {
+                let ctx = format!("{m}x{k}x{n} isa={} threads={threads}", isa.name());
+
+                let a = pair_matrix(seed ^ 1, m, k);
+                let b = pair_matrix(seed ^ 2, k, n);
+                let mut out = Matrix::zeros(m, n);
+                kernel::gemm(
+                    Variant::Mm,
+                    a.data(),
                     b.data(),
-                    panel,
-                    19,
-                    23,
+                    out.data_mut(),
+                    m,
+                    k,
+                    n,
+                    threads,
+                    isa,
                 );
-            });
-            assert_eq!(out, serial, "matmul panels diverged at {threads} threads");
+                assert_eq!(out, a.matmul_ref(&b), "matmul diverged at {ctx}");
 
-            let bt = pair_matrix(9, 23, 19);
-            let serial_nt = a.matmul_nt_ref(&bt);
-            let mut out = Matrix::zeros(37, 23);
-            par_row_panels(out.data_mut(), 37, 23, threads, |start, panel| {
-                let rows = panel.len() / 23;
-                mm_nt_kernel(
-                    &a.data()[start * 19..(start + rows) * 19],
+                let bt = pair_matrix(seed ^ 3, n, k);
+                let mut out = Matrix::zeros(m, n);
+                kernel::gemm(
+                    Variant::Nt,
+                    a.data(),
                     bt.data(),
-                    panel,
-                    19,
-                    23,
+                    out.data_mut(),
+                    m,
+                    k,
+                    n,
+                    threads,
+                    isa,
                 );
-            });
-            assert_eq!(
-                out, serial_nt,
-                "matmul_nt panels diverged at {threads} threads"
-            );
+                assert_eq!(out, a.matmul_nt_ref(&bt), "matmul_nt diverged at {ctx}");
 
-            let b2 = pair_matrix(10, 37, 23);
-            let serial_tn = a.matmul_tn_ref(&b2);
-            let mut out = Matrix::zeros(19, 23);
-            par_row_panels(out.data_mut(), 19, 23, threads, |start, panel| {
-                mm_tn_kernel(a.data(), b2.data(), panel, start, 19, 23);
-            });
-            assert_eq!(
-                out, serial_tn,
-                "matmul_tn panels diverged at {threads} threads"
-            );
+                let at = pair_matrix(seed ^ 4, k, m);
+                let b2 = pair_matrix(seed ^ 5, k, n);
+                let mut out = Matrix::zeros(m, n);
+                kernel::gemm(
+                    Variant::Tn,
+                    at.data(),
+                    b2.data(),
+                    out.data_mut(),
+                    m,
+                    k,
+                    n,
+                    threads,
+                    isa,
+                );
+                assert_eq!(out, at.matmul_tn_ref(&b2), "matmul_tn diverged at {ctx}");
+            }
+        }
+    }
+
+    /// Ragged, non-square shapes — `m`, `k`, `n` coprime with the
+    /// micro-kernel tiles (4/8 rows, 8/16/32 lanes) and the KC=256 /
+    /// NC=512 panel sizes — stay bit-exact for every variant at every
+    /// available ISA tier and 1/4/8 threads. Includes `1×k×1`,
+    /// tall-skinny, wide-flat, and `k > KC` chain-continuation cases.
+    #[test]
+    fn ragged_shapes_exact_across_isas_and_threads() {
+        let shapes: &[(usize, usize, usize)] = &[
+            (1, 1, 1),
+            (1, 97, 1),    // 1×k×1
+            (1, 257, 1),   // 1×k×1 across the KC=256 panel boundary
+            (263, 1, 1),   // tall-skinny degenerate
+            (1, 1, 263),   // wide-flat degenerate
+            (37, 41, 43),  // all dims coprime with every tile size
+            (129, 67, 3),  // tall, narrower than every SIMD lane count
+            (3, 67, 129),  // short-and-wide (exercises column strips)
+            (61, 259, 67), // reduction spans two KC panels mid-panel
+            (517, 7, 5),   // tall-skinny
+            (5, 7, 517),   // wide-flat past NC=512
+            (47, 53, 50),  // width between one and two 32-lane tiles
+        ];
+        for (i, &(m, k, n)) in shapes.iter().enumerate() {
+            assert_kernels_exact(m, k, n, 0xc0ffee ^ (i as u64) << 8);
+        }
+    }
+
+    /// The 2-D tile grid (row panels × column strips) produces the same
+    /// bits as a serial run even when columns split — the case the old
+    /// 1-D row-panel fan-out never exercised.
+    #[test]
+    fn column_split_tiles_match_serial() {
+        // 8 rows × 96 cols with 8 threads forces grid_cols > 1
+        let grid = predtop_runtime::tile_grid(8, 96, 8, 8, 32);
+        assert!(grid.grid_cols > 1, "test must exercise column strips");
+        assert_kernels_exact(8, 40, 96, 0xbead);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Randomized ragged-shape exactness across ISA tiers and
+        /// thread counts (cases kept small: this multiplies 3 variants
+        /// × up to 3 ISAs × 3 thread counts per case).
+        #[test]
+        fn prop_kernels_exact_on_ragged_shapes(
+            m in 1usize..48,
+            k in 1usize..48,
+            n in 1usize..48,
+            seed in any::<u64>(),
+        ) {
+            assert_kernels_exact(m, k, n, seed);
         }
     }
 }

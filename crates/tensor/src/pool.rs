@@ -31,6 +31,16 @@ pub struct PoolStats {
     pub misses: u64,
 }
 
+impl PoolStats {
+    /// Fraction of requests served from recycled buffers (0 when no
+    /// requests have been made). The serve path asserts this stays
+    /// positive in `bench_predictor` — a zero hit rate there means a
+    /// tape op regressed to per-call allocation.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+}
+
 /// Size-bucketed recycler of matrix backing buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {

@@ -59,8 +59,9 @@ enum Op {
     /// Horizontal concatenation.
     ConcatCols(Vec<Var>),
     /// Row-wise standardization `(x − μ_row) / σ_row` (layer-norm core).
-    /// Stores the per-row 1/σ for the backward pass.
-    NormalizeRows(Var, Vec<f32>),
+    /// Stores the per-row 1/σ (a pooled `1 × rows` matrix, recycled on
+    /// [`Tape::reset`] like every value buffer) for the backward pass.
+    NormalizeRows(Var, Matrix),
     /// `A ∘ broadcast_rows(scale)` with `scale : 1 × d` (layer-norm γ).
     MulRow(Var, Var),
 }
@@ -99,8 +100,14 @@ impl Tape {
     /// this is what makes per-sample tapes allocation-free in
     /// steady-state training.
     pub fn reset(&mut self) {
-        self.ops.clear();
-        let Tape { values, pool, .. } = self;
+        let Tape { ops, values, pool } = self;
+        for op in ops.drain(..) {
+            // ops that own auxiliary buffers retire them too, keeping
+            // the serve path allocation-free in steady state
+            if let Op::NormalizeRows(_, inv_sigma) = op {
+                pool.recycle(inv_sigma);
+            }
+        }
         for v in values.drain(..) {
             pool.recycle(v);
         }
@@ -317,13 +324,13 @@ impl Tape {
         let av = &values[a.0];
         let (rows, cols) = (av.rows(), av.cols());
         let mut out = pool.alloc(rows, cols);
-        let mut inv_sigma = Vec::with_capacity(rows);
+        let mut inv_sigma = pool.alloc(1, rows);
         for r in 0..rows {
             let row = av.row(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
             let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
             let inv = 1.0 / (var + 1e-5).sqrt();
-            inv_sigma.push(inv);
+            inv_sigma.data_mut()[r] = inv;
             for (o, &x) in out.row_mut(r).iter_mut().zip(row) {
                 *o = (x - mean) * inv;
             }
@@ -472,7 +479,7 @@ impl Tape {
                     let y = &values[idx];
                     let cols = y.cols() as f32;
                     let mut da = pool.alloc(y.rows(), y.cols());
-                    for (r, &inv) in inv_sigma.iter().enumerate() {
+                    for (r, &inv) in inv_sigma.row(0).iter().enumerate() {
                         let yrow = y.row(r);
                         let grow = g.row(r);
                         let gmean = grow.iter().sum::<f32>() / cols;
