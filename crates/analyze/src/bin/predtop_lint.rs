@@ -189,23 +189,23 @@ fn faulty_plan() -> (PipelinePlan, ModelSpec) {
 
 /// The layer ordering `predtop search` installs (see `cmd_search`):
 /// faults innermost, deadline policing each attempt, retry absorbing
-/// transient failures, then memoization, fan-out, instrumentation.
-/// `predtop search` asserts its *actual* built stack through the same
-/// `analyze_stack` rules, so this mirror cannot silently drift into
-/// legality.
-fn search_stack_spec(raw_cache: bool) -> StackSpec {
-    StackSpec::from_layers([
-        LayerTag::FaultInject,
-        LayerTag::Deadline,
-        LayerTag::Retry,
-        if raw_cache {
-            LayerTag::Memoize
-        } else {
-            LayerTag::MemoizeStructural
-        },
-        LayerTag::Batched,
-        LayerTag::Instrumented,
-    ])
+/// transient failures, then (with `--store`) the disk tier, then
+/// memoization, fan-out, instrumentation. `predtop search` asserts its
+/// *actual* built stack through the same `analyze_stack` rules, so this
+/// mirror cannot silently drift into legality.
+fn search_stack_spec(raw_cache: bool, store: bool) -> StackSpec {
+    let mut layers = vec![LayerTag::FaultInject, LayerTag::Deadline, LayerTag::Retry];
+    if store {
+        layers.push(LayerTag::Persist);
+    }
+    layers.push(if raw_cache {
+        LayerTag::Memoize
+    } else {
+        LayerTag::MemoizeStructural
+    });
+    layers.push(LayerTag::Batched);
+    layers.push(LayerTag::Instrumented);
+    StackSpec::from_layers(layers)
 }
 
 /// A deliberately misordered stack — retry trapped inside the fault
@@ -416,8 +416,12 @@ fn main() -> ExitCode {
         }
     }
     if args.stack {
-        for (name, raw_cache) in [("stack:default-search", false), ("stack:raw-cache", true)] {
-            let spec = search_stack_spec(raw_cache);
+        for (name, raw_cache, store) in [
+            ("stack:default-search", false, false),
+            ("stack:raw-cache", true, false),
+            ("stack:store-search", false, true),
+        ] {
+            let spec = search_stack_spec(raw_cache, store);
             eprintln!("stack: {name}: {}", spec.label());
             reports.push(Report {
                 subject: name.to_string(),

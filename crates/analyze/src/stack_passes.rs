@@ -11,7 +11,7 @@
 //! order, innermost first, is
 //!
 //! ```text
-//! FaultInject → Deadline → [CircuitBreaker] → Retry → Memoize → Batched → Instrumented
+//! FaultInject → Deadline → [CircuitBreaker] → Retry → [Persist] → Memoize → Batched → Instrumented
 //! ```
 //!
 //! [`analyze_stack`] checks a [`StackSpec`] — either one built live by
@@ -27,8 +27,11 @@
 //! | `P2103` | error    | `Memoize` inside `Retry` |
 //! | `P2104` | error    | `Deadline` outside `Batched` |
 //! | `P2105` | error    | `Memoize` outside `Batched` |
+//! | `P2106` | error    | `Persist` outside `Memoize` |
+//! | `P2107` | error    | `Persist` outside `Batched` |
 //! | `P2201` | warning  | `Instrumented` not outermost |
 //! | `P2202` | warning  | `Retry` without a `Deadline` budget |
+//! | `P2203` | warning  | `Persist` without a `Memoize` above it |
 //!
 //! `predtop-lint --stack` runs these over the stacks the CLI search
 //! actually builds, and the CLI asserts a clean report on its own stack
@@ -106,6 +109,7 @@ pub fn analyze_stack(spec: &StackSpec) -> Vec<Diagnostic> {
     let deadline = position(tags, LayerTag::Deadline);
     let breaker = position(tags, LayerTag::CircuitBreaker);
     let retry = position(tags, LayerTag::Retry);
+    let persist = position(tags, LayerTag::Persist);
     let memoize = position(tags, LayerTag::Memoize);
     let batched = position(tags, LayerTag::Batched);
     let instrumented = position(tags, LayerTag::Instrumented);
@@ -181,6 +185,36 @@ pub fn analyze_stack(spec: &StackSpec) -> Vec<Diagnostic> {
         }
     }
 
+    // P2106: Persist is the *disk* tier and goes inside Memoize —
+    // outside, every in-run repeat of a memoized key still pays a disk
+    // read before the memory cache can answer it.
+    if let (Some(p), Some(m)) = (persist, memoize) {
+        if p > m {
+            out.push(misordered(
+                2106,
+                tags,
+                p,
+                m,
+                "in-run repeats pay a disk read the memory cache should absorb",
+            ));
+        }
+    }
+
+    // P2107: Persist goes inside Batched — Persist keeps the default
+    // serial `query_batch`, so installed outside it serializes the whole
+    // fan-out through one disk-checking loop.
+    if let (Some(p), Some(b)) = (persist, batched) {
+        if p > b {
+            out.push(misordered(
+                2107,
+                tags,
+                p,
+                b,
+                "Persist's serial query_batch serializes the parallel fan-out",
+            ));
+        }
+    }
+
     // P2201: Instrumented should be outermost — anywhere lower it
     // under-counts what the caller actually observes.
     if let Some(i) = instrumented {
@@ -216,6 +250,21 @@ pub fn analyze_stack(spec: &StackSpec) -> Vec<Diagnostic> {
         );
     }
 
+    // P2203: Persist without a Memoize above it — correct but slow:
+    // with no memory tier, every repeat of a key hits the disk tier.
+    if let (Some(p), None) = (persist, memoize) {
+        out.push(
+            Diagnostic::new(
+                2203,
+                Severity::Warn,
+                Span::Layer(p),
+                "Persist is installed without a Memoize above it: every in-run repeat pays a \
+                 disk read",
+            )
+            .with_suggestion("add .memoize() or .memoize_structural() above the persist layer"),
+        );
+    }
+
     sort_diagnostics(&mut out);
     out
 }
@@ -236,11 +285,49 @@ mod tests {
             LayerTag::Deadline,
             LayerTag::CircuitBreaker,
             LayerTag::Retry,
+            LayerTag::Persist,
             LayerTag::Memoize,
             LayerTag::Batched,
             LayerTag::Instrumented,
         ]);
         assert_eq!(analyze_stack(&spec), vec![]);
+    }
+
+    #[test]
+    fn persisted_search_stack_lints_clean() {
+        let spec = StackSpec::from_layers([
+            LayerTag::Persist,
+            LayerTag::MemoizeStructural,
+            LayerTag::Batched,
+            LayerTag::Instrumented,
+        ]);
+        assert_eq!(analyze_stack(&spec), vec![]);
+    }
+
+    #[test]
+    fn persist_outside_memoize_and_batched_is_rejected() {
+        let spec = StackSpec::from_layers([
+            LayerTag::MemoizeStructural,
+            LayerTag::Batched,
+            LayerTag::Persist,
+            LayerTag::Instrumented,
+        ]);
+        let diags = analyze_stack(&spec);
+        assert!(has_errors(&diags));
+        assert_eq!(codes(&diags), vec![2106, 2107]);
+        assert_eq!(diags[0].span, Span::Layer(2));
+        assert_eq!(diags[1].span, Span::Layer(2));
+    }
+
+    #[test]
+    fn persist_without_memoize_warns() {
+        let spec =
+            StackSpec::from_layers([LayerTag::Persist, LayerTag::Batched, LayerTag::Instrumented]);
+        let diags = analyze_stack(&spec);
+        assert!(!has_errors(&diags));
+        assert_eq!(codes(&diags), vec![2203]);
+        assert_eq!(diags[0].span, Span::Layer(0));
+        assert_eq!(diags[0].severity, Severity::Warn);
     }
 
     #[test]

@@ -14,7 +14,10 @@ use predtop_parallel::{table3_configs, MeshShape, ParallelConfig, StageLatencyPr
 use predtop_runtime::par_map;
 use predtop_service::{LatencyQuery, LatencyReply, LatencyService, ServiceError};
 use predtop_sim::SimProfiler;
+use predtop_store::{ByteReader, ByteWriter, DecodeError, ObjectKind, Store};
+use predtop_tensor::Loss;
 
+use crate::artifacts::{self, ArtifactError};
 use crate::predictor::ArchConfig;
 
 /// Configuration of the gray-box workflow.
@@ -152,6 +155,39 @@ impl PredTop {
         }
     }
 
+    /// [`PredTop::fit`] with a store-backed fast path: look the fitted
+    /// snapshot up under [`graybox_snapshot_key`] first, and only run
+    /// the (expensive) profile-and-train phases on a miss — writing the
+    /// fresh fit behind for the next run. Returns the instance plus
+    /// whether it was restored from disk.
+    ///
+    /// A corrupt or undecodable snapshot (including one whose restored
+    /// weights fail the [`ParamStore`
+    /// fingerprint](predtop_tensor::ParamStore::fingerprint) seal) is
+    /// treated as a miss: the fit recomputes and rewrites the entry.
+    /// Restored instances predict bit-identically to the fit they
+    /// snapshot, but report zero `training_seconds` and carry no
+    /// per-scenario training reports — those describe work this run
+    /// did not do.
+    pub fn fit_stored(
+        model: ModelSpec,
+        cluster: MeshShape,
+        profiler: &SimProfiler,
+        cfg: &GrayBoxConfig,
+        store: &Store,
+        namespace: &str,
+    ) -> (PredTop, bool) {
+        let key = graybox_snapshot_key(namespace, model, cluster, cfg);
+        if let Ok(Some(bytes)) = store.get(ObjectKind::Model, &key) {
+            if let Ok(pt) = decode_graybox(&bytes, cfg) {
+                return (pt, true);
+            }
+        }
+        let pt = PredTop::fit(model, cluster, profiler, cfg);
+        let _ = store.put(ObjectKind::Model, &key, &encode_graybox(&pt, cfg));
+        (pt, false)
+    }
+
     /// Scenarios this instance can predict for.
     pub fn scenarios(&self) -> impl Iterator<Item = &(MeshShape, ParallelConfig)> {
         self.predictors.keys()
@@ -175,6 +211,113 @@ impl PredTop {
         drop(cache);
         *self.inference_seconds.lock() += started.elapsed().as_secs_f64();
     }
+}
+
+/// Version byte heading every gray-box snapshot encoding.
+pub const GRAYBOX_ENCODING_VERSION: u8 = 1;
+
+/// Store key for a fitted gray-box snapshot: a pure function of the
+/// namespace and everything that determines the fit bit-for-bit — the
+/// model, the cluster, and the full [`GrayBoxConfig`] (sampling,
+/// architecture, training protocol, seeds). Two processes configured
+/// identically derive the same key; any config change misses cleanly.
+pub fn graybox_snapshot_key(
+    namespace: &str,
+    model: ModelSpec,
+    cluster: MeshShape,
+    cfg: &GrayBoxConfig,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(namespace);
+    w.str("graybox");
+    artifacts::encode_model(&mut w, &model);
+    w.usize(cluster.nodes);
+    w.usize(cluster.gpus_per_node);
+    w.usize(cfg.num_profile_stages);
+    w.usize(cfg.max_stage_layers);
+    artifacts::encode_arch(&mut w, &cfg.arch);
+    let t = &cfg.train;
+    w.usize(t.epochs);
+    w.usize(t.batch_size);
+    w.f32_bits(t.base_lr);
+    w.u8(match t.loss {
+        Loss::Mae => 1,
+        Loss::Mse => 2,
+    });
+    w.usize(t.patience);
+    match t.clip_norm {
+        None => w.u8(0),
+        Some(c) => {
+            w.u8(1);
+            w.f32_bits(c);
+        }
+    }
+    w.u64(t.seed);
+    w.u64(cfg.seed);
+    w.into_bytes()
+}
+
+/// Encode a fitted instance as a store payload: every per-scenario
+/// predictor (in a deterministic scenario order) through
+/// [`artifacts::encode_predictor`], each sealed with its weight
+/// fingerprint. Wall-clock facts (`training_seconds`, the per-scenario
+/// reports) are excluded — they describe one run, not the fit.
+pub fn encode_graybox(pt: &PredTop, cfg: &GrayBoxConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(GRAYBOX_ENCODING_VERSION);
+    w.usize(pt.profiled_stage_count);
+    let mut scenarios: Vec<_> = pt.predictors.iter().collect();
+    scenarios
+        .sort_by_key(|((mesh, config), _)| (mesh.nodes, mesh.gpus_per_node, config.dp, config.mp));
+    w.usize(scenarios.len());
+    for ((mesh, config), predictor) in scenarios {
+        w.usize(mesh.nodes);
+        w.usize(mesh.gpus_per_node);
+        w.usize(config.dp);
+        w.usize(config.mp);
+        w.bytes(&artifacts::encode_predictor(&cfg.arch, predictor));
+    }
+    w.into_bytes()
+}
+
+/// Rebuild a fitted instance from a payload written by
+/// [`encode_graybox`]. Every scenario's weights are fingerprint-checked
+/// and its declared architecture must match `cfg.arch` — a snapshot
+/// from a different configuration is an [`ArtifactError::ArchMismatch`],
+/// not a silently wrong predictor.
+pub fn decode_graybox(bytes: &[u8], cfg: &GrayBoxConfig) -> Result<PredTop, ArtifactError> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.u8("graybox version")?;
+    if version != GRAYBOX_ENCODING_VERSION {
+        return Err(DecodeError::UnsupportedVersion {
+            what: "graybox",
+            version: version as u64,
+        }
+        .into());
+    }
+    let profiled_stage_count = r.usize("graybox profiled stages")?;
+    let count = r.usize("graybox scenario count")?;
+    let mut predictors = HashMap::new();
+    for _ in 0..count {
+        let mesh = MeshShape::new(r.usize("scenario nodes")?, r.usize("scenario gpus")?);
+        let config = ParallelConfig::new(r.usize("scenario dp")?, r.usize("scenario mp")?);
+        let blob = r.bytes("scenario predictor")?;
+        let (arch, predictor) = artifacts::decode_predictor(blob)?;
+        if arch != cfg.arch {
+            return Err(ArtifactError::ArchMismatch);
+        }
+        predictors.insert((mesh, config), predictor);
+    }
+    r.finish().map_err(ArtifactError::Decode)?;
+    Ok(PredTop {
+        predictors,
+        prediction_cache: Mutex::new(HashMap::new()),
+        pe_dim: cfg.arch.pe_dim(),
+        training_seconds: 0.0,
+        inference_seconds: Mutex::new(0.0),
+        profiled_stage_count,
+        reports: Vec::new(),
+    })
 }
 
 /// 90/10 train/validation split over `n` fitted samples (no test part:
@@ -319,6 +462,79 @@ mod tests {
         }
         let mre = mean_relative_error(&preds, &truth);
         assert!(mre < 60.0, "in-sample MRE {mre:.1}% is way off");
+    }
+
+    fn fresh_store(name: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "predtop-graybox-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fit_stored_restores_bit_identical_predictors() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let cluster = MeshShape::new(1, 2);
+        let cfg = tiny_cfg();
+        let store = fresh_store("fit-stored");
+
+        // cold: fits and writes the snapshot behind
+        let (cold, restored) =
+            PredTop::fit_stored(tiny_model(), cluster, &profiler, &cfg, &store, "sim:p1:7");
+        assert!(!restored, "first fit cannot come from an empty store");
+        assert!(cold.training_seconds > 0.0);
+
+        // warm: restored from disk without touching the profiler
+        let p2 = SimProfiler::new(Platform::platform1(), 7);
+        let before = p2.queries_issued();
+        let (warm, restored) =
+            PredTop::fit_stored(tiny_model(), cluster, &p2, &cfg, &store, "sim:p1:7");
+        assert!(restored, "second fit must restore the snapshot");
+        assert_eq!(p2.queries_issued(), before, "restore must not profile");
+        assert_eq!(warm.training_seconds, 0.0);
+        assert_eq!(warm.profiled_stage_count, cold.profiled_stage_count);
+        assert_eq!(warm.scenarios().count(), cold.scenarios().count());
+
+        // predictions are bit-identical across the round trip
+        let stage = StageSpec::new(tiny_model(), 0, 5);
+        for &(mesh, config) in cold.scenarios() {
+            assert_eq!(
+                cold.stage_latency(&stage, mesh, config).to_bits(),
+                warm.stage_latency(&stage, mesh, config).to_bits(),
+                "scenario ({mesh:?}, {config:?}) diverged after restore"
+            );
+        }
+
+        // a different namespace misses and refits
+        let p3 = SimProfiler::new(Platform::platform1(), 7);
+        let (_, restored) =
+            PredTop::fit_stored(tiny_model(), cluster, &p3, &cfg, &store, "sim:p2:7");
+        assert!(!restored, "namespaces must not cross-contaminate");
+    }
+
+    #[test]
+    fn graybox_snapshot_rejects_foreign_architectures() {
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let cfg = tiny_cfg();
+        let pt = PredTop::fit(tiny_model(), MeshShape::new(1, 1), &profiler, &cfg);
+        let bytes = encode_graybox(&pt, &cfg);
+
+        // same bytes, different configured architecture: ArchMismatch
+        let mut other = cfg;
+        other.arch.hidden = 32;
+        match decode_graybox(&bytes, &other) {
+            Err(crate::artifacts::ArtifactError::ArchMismatch) => {}
+            Err(e) => panic!("expected ArchMismatch, got {e:?}"),
+            Ok(_) => panic!("expected ArchMismatch, got a decoded instance"),
+        }
+
+        // truncations surface as structured errors, never panics
+        for cut in (0..bytes.len()).step_by(97) {
+            assert!(decode_graybox(&bytes[..cut], &cfg).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

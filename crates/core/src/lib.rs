@@ -28,17 +28,23 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod artifacts;
 pub mod graybox;
 pub mod persist;
 pub mod predictor;
 pub mod search;
 
 pub use analytic::AnalyticBaseline;
-pub use graybox::{GrayBoxConfig, PredTop};
+pub use artifacts::{
+    decode_outcome, decode_plan, decode_predictor, encode_outcome, encode_plan, encode_predictor,
+    ArtifactError, SearchSnapshot,
+};
+pub use graybox::{decode_graybox, encode_graybox, graybox_snapshot_key, GrayBoxConfig, PredTop};
 pub use persist::{load_from_file, save_to_file, SavedPredictor};
 pub use predictor::ArchConfig;
 pub use predtop_parallel::plan::pipeline_latency;
 pub use search::{
     search_legality, search_plan, search_plan_checked, search_plan_checked_with_threads,
-    search_plan_service, search_plan_with_threads, SearchOutcome, ServiceReport,
+    search_plan_service, search_plan_stored, search_plan_with_threads, search_snapshot_key,
+    SearchOutcome, ServiceReport, StoredSearch,
 };

@@ -11,7 +11,7 @@ use predtop_gnn::{DagTransformer, Gat, Gcn, GnnModel, ModelKind};
 use serde::{Deserialize, Serialize};
 
 /// Architecture hyper-parameters for one predictor instance.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArchConfig {
     /// Which architecture.
     pub kind: ModelKind,

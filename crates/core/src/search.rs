@@ -13,6 +13,7 @@
 //! the same work-list through the same `par_map_with` fan-out and the
 //! same [`solve_pipeline`] DP.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use predtop_analyze::StaticLegality;
@@ -24,10 +25,13 @@ use predtop_parallel::{
 use predtop_runtime::configured_threads;
 use predtop_service::{
     provider_stack, BatchStats, BreakerStats, DeadlineStats, FallbackStats, FaultStats,
-    LatencyQuery, LatencyService, RetryStats, ServiceError, ServiceMetrics, ServiceStack,
-    StackHandles,
+    LatencyQuery, LatencyService, PersistStats, RetryStats, ServiceBuilder, ServiceError,
+    ServiceMetrics, ServiceStack, StackHandles,
 };
 use predtop_sim::SimProfiler;
+use predtop_store::{ByteWriter, ObjectKind, Store};
+
+use crate::artifacts;
 
 /// Accounting of what the service stack did during one search, built
 /// from the stack's [`StackHandles`]. Every field mirrors one optional
@@ -61,6 +65,11 @@ pub struct ServiceReport {
     /// State-transition counters of the `CircuitBreaker` layer, if
     /// installed.
     pub breaker: Option<BreakerStats>,
+    /// Disk hit/miss/write accounting of the `Persist` layer, if
+    /// installed: how much of the memoize tier's miss traffic the
+    /// on-disk store absorbed, and what was written behind for the next
+    /// run.
+    pub persist: Option<PersistStats>,
 }
 
 impl ServiceReport {
@@ -76,6 +85,7 @@ impl ServiceReport {
             retry: h.retry.as_ref().map(|r| r.stats()),
             deadline: h.deadline.as_ref().map(|d| d.stats()),
             breaker: h.breaker.as_ref().map(|b| b.stats()),
+            persist: h.persist.as_ref().map(|p| p.stats()),
         }
     }
 
@@ -90,6 +100,7 @@ impl ServiceReport {
             || self.retry.is_some()
             || self.deadline.is_some()
             || self.breaker.is_some()
+            || self.persist.is_some()
     }
 }
 
@@ -308,6 +319,80 @@ pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
     let stack = provider_stack(provider, "provider", threads);
     search_plan_service(model, cluster, &stack, profiler, opts, Some(&legality))
         .expect("lifted providers are infallible")
+}
+
+/// Configuration of a store-backed search: where the disk tier lives,
+/// the namespace its keys are scoped to, and the evaluation-pool size.
+pub struct StoredSearch<'a> {
+    /// The open object store serving (and receiving) latency replies,
+    /// plan snapshots, and outcome snapshots.
+    pub store: Arc<Store>,
+    /// Key namespace, conventionally `"<source>:<platform>:<seed>"` —
+    /// replies from different simulators/seeds must never collide.
+    pub namespace: String,
+    /// Evaluation worker threads for the `Batched` layer.
+    pub threads: usize,
+    /// Optional static-legality filter (the `--checked` path).
+    pub legality: Option<&'a StaticLegality>,
+}
+
+/// Store key for the outcome/plan snapshots one search writes: a pure
+/// function of the namespace and the search problem (model, cluster,
+/// options, checked-ness), so a re-run of the identical search finds —
+/// and must byte-match — the previous run's snapshot.
+pub fn search_snapshot_key(
+    namespace: &str,
+    model: ModelSpec,
+    cluster: MeshShape,
+    opts: InterStageOptions,
+    checked: bool,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(namespace);
+    w.str("search");
+    artifacts::encode_model(&mut w, &model);
+    w.usize(cluster.nodes);
+    w.usize(cluster.gpus_per_node);
+    w.usize(opts.microbatches);
+    w.opt_f64_bits(opts.imbalance_tolerance);
+    w.bool(checked);
+    w.into_bytes()
+}
+
+/// [`search_plan_service`] with the canonical store-backed stack wrapped
+/// around `source`: `Persist → MemoizeStructural → Batched →
+/// Instrumented`, so per-query replies are served from (and written
+/// behind into) `cfg.store`, and the finished search's plan and outcome
+/// snapshots are persisted under [`search_snapshot_key`].
+///
+/// Determinism contract: a warm re-run serves replies from disk but
+/// must produce a bit-identical [`SearchOutcome`] (plan, latency bits,
+/// query counts) — the snapshots written by the cold run double as the
+/// check. Snapshot writes are best-effort write-behind: an unwritable
+/// store degrades persistence, never the search result.
+pub fn search_plan_stored<S: LatencyService>(
+    model: ModelSpec,
+    cluster: MeshShape,
+    source: S,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    cfg: &StoredSearch<'_>,
+) -> Result<SearchOutcome, ServiceError> {
+    let stack = ServiceBuilder::new(source)
+        .persist(cfg.store.clone(), cfg.namespace.clone())
+        .memoize_structural()
+        .batched(cfg.threads)
+        .instrumented()
+        .finish();
+    let out = search_plan_service(model, cluster, &stack, profiler, opts, cfg.legality)?;
+    let key = search_snapshot_key(&cfg.namespace, model, cluster, opts, cfg.legality.is_some());
+    let _ = cfg
+        .store
+        .put(ObjectKind::Outcome, &key, &artifacts::encode_outcome(&out));
+    let _ = cfg
+        .store
+        .put(ObjectKind::Plan, &key, &artifacts::encode_plan(&out.plan));
+    Ok(out)
 }
 
 /// The static-legality filter the checked searches install: the
@@ -635,6 +720,151 @@ mod tests {
             plain.estimated_latency.to_bits()
         );
         assert_eq!(checked.true_latency.to_bits(), plain.true_latency.to_bits());
+    }
+
+    fn store_dir(name: &str) -> Arc<Store> {
+        let dir = std::env::temp_dir().join(format!(
+            "predtop-core-search-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(Store::open(dir).unwrap())
+    }
+
+    #[test]
+    fn stored_search_cold_and_warm_runs_are_bit_identical() {
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let store = store_dir("cold-warm");
+        let cfg = StoredSearch {
+            store: store.clone(),
+            namespace: "sim:platform1:7".to_string(),
+            threads: 2,
+            legality: None,
+        };
+
+        // the reference result through the plain engine
+        let profiler = SimProfiler::new(Platform::platform1(), 7);
+        let plain = search_plan_with_threads(tiny_model(), cluster, &profiler, &profiler, opts, 2);
+
+        // cold run: every structural class misses the disk and is
+        // written behind
+        let p_cold = SimProfiler::new(Platform::platform1(), 7);
+        let cold = search_plan_stored(tiny_model(), cluster, &p_cold, &p_cold, opts, &cfg)
+            .expect("simulator stack is infallible");
+        assert_eq!(cold.plan, plain.plan);
+        assert_eq!(
+            cold.estimated_latency.to_bits(),
+            plain.estimated_latency.to_bits()
+        );
+        let cold_report = cold.service.as_ref().expect("stored stack reports");
+        let cold_persist = cold_report.persist.expect("persist layer reports");
+        assert_eq!(cold_persist.disk_hits, 0);
+        assert!(cold_persist.disk_misses > 0);
+        assert_eq!(cold_persist.writes, cold_persist.disk_misses);
+        assert_eq!(cold_persist.write_errors, 0);
+
+        // warm run, same namespace, fresh process state: the disk tier
+        // serves every structural class and the inner simulator is
+        // never consulted
+        let p_warm = SimProfiler::new(Platform::platform1(), 7);
+        let warm = search_plan_stored(tiny_model(), cluster, &p_warm, &p_warm, opts, &cfg)
+            .expect("simulator stack is infallible");
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(
+            warm.estimated_latency.to_bits(),
+            cold.estimated_latency.to_bits()
+        );
+        assert_eq!(warm.true_latency.to_bits(), cold.true_latency.to_bits());
+        assert_eq!(warm.num_queries, cold.num_queries);
+        let warm_persist = warm
+            .service
+            .as_ref()
+            .and_then(|r| r.persist)
+            .expect("persist layer reports");
+        assert_eq!(warm_persist.disk_misses, 0);
+        assert_eq!(warm_persist.disk_hits, cold_persist.disk_misses);
+        // the warm search's candidate evaluation never reached the
+        // simulator — only the out-of-stack ground-truth re-evaluation
+        // did, so the warm run issues strictly fewer queries than cold
+        assert!(
+            p_warm.queries_issued() < p_cold.queries_issued(),
+            "warm search must serve candidate latencies from disk \
+             ({} vs {} simulator queries)",
+            p_warm.queries_issued(),
+            p_cold.queries_issued()
+        );
+
+        // the persisted snapshots match both runs bit-for-bit
+        let key = search_snapshot_key(&cfg.namespace, tiny_model(), cluster, opts, false);
+        let snap_bytes = store
+            .get(ObjectKind::Outcome, &key)
+            .unwrap()
+            .expect("outcome snapshot persisted");
+        let snap = crate::artifacts::decode_outcome(&snap_bytes).unwrap();
+        assert!(snap.matches(&cold));
+        assert!(snap.matches(&warm));
+        let plan_bytes = store
+            .get(ObjectKind::Plan, &key)
+            .unwrap()
+            .expect("plan snapshot persisted");
+        assert_eq!(
+            crate::artifacts::decode_plan(&plan_bytes).unwrap(),
+            warm.plan
+        );
+    }
+
+    #[test]
+    fn stored_search_survives_truncated_objects_bit_identically() {
+        let cluster = MeshShape::new(1, 2);
+        let opts = InterStageOptions {
+            microbatches: 4,
+            imbalance_tolerance: None,
+        };
+        let store = store_dir("truncated");
+        let cfg = StoredSearch {
+            store: store.clone(),
+            namespace: "sim:platform1:7".to_string(),
+            threads: 2,
+            legality: None,
+        };
+        let p_cold = SimProfiler::new(Platform::platform1(), 7);
+        let cold = search_plan_stored(tiny_model(), cluster, &p_cold, &p_cold, opts, &cfg)
+            .expect("simulator stack is infallible");
+
+        // truncate every loose object mid-file: each warm read now
+        // surfaces a ShortRead, the layer recomputes, and the damaged
+        // entries are rewritten
+        for fan in std::fs::read_dir(store.root().join("objects")).unwrap() {
+            for obj in std::fs::read_dir(fan.unwrap().path()).unwrap() {
+                let path = obj.unwrap().path();
+                let bytes = std::fs::read(&path).unwrap();
+                std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+            }
+        }
+
+        let p_warm = SimProfiler::new(Platform::platform1(), 7);
+        let warm = search_plan_stored(tiny_model(), cluster, &p_warm, &p_warm, opts, &cfg)
+            .expect("corruption must degrade to recompute, not fail");
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(
+            warm.estimated_latency.to_bits(),
+            cold.estimated_latency.to_bits()
+        );
+        assert_eq!(warm.true_latency.to_bits(), cold.true_latency.to_bits());
+        let persist = warm
+            .service
+            .as_ref()
+            .and_then(|r| r.persist)
+            .expect("persist layer reports");
+        assert!(persist.corrupt_recovered > 0, "damage must be observed");
+        // the rewrite repaired the reply objects: they verify clean now
+        // (snapshot objects were re-put by the warm run too)
+        assert!(store.verify().unwrap().is_clean());
     }
 
     #[test]

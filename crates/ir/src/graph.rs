@@ -236,14 +236,13 @@ impl Graph {
     /// deduplicates compiled stages the same way).
     pub fn structural_hash(&self) -> u64 {
         // FNV-1a over a canonical byte walk; stable across runs (no
-        // RandomState).
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-        };
+        // RandomState). The hasher — including its historical truncated
+        // prime — lives in predtop-store so on-disk structural keys and
+        // this method can never drift apart; the exact digest is pinned
+        // by tests/hash_pins.rs.
+        let mut h =
+            predtop_store::hash::Fnv1a64::with_prime(predtop_store::hash::FNV64_PRIME_SHORT);
+        let mut eat = |v: u64| h.write_word(v);
         for n in &self.nodes {
             let kind_tag = match n.kind {
                 NodeKind::Input => 1u64,
@@ -264,7 +263,7 @@ impl Graph {
                 eat(p.0 as u64);
             }
         }
-        h
+        h.finish()
     }
 
     /// Validate the structural invariants (edge direction, dense ids,

@@ -128,6 +128,52 @@ impl StructuralDescriptor {
             config,
         }
     }
+
+    /// Versioned canonical byte encoding of this descriptor — the basis
+    /// of persistent store keys (`predtop-store` addresses latency
+    /// objects by the digest of these bytes plus a namespace).
+    ///
+    /// Unlike [`crate::StructuralKey`] ids, which are dense
+    /// first-intern-order numbers and therefore differ between runs,
+    /// this encoding is a pure function of the descriptor's fields: the
+    /// same sub-problem produces the same bytes in every process, at
+    /// every thread count. The leading version byte lets future field
+    /// changes re-key the store instead of misreading old objects.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = predtop_store::ByteWriter::new();
+        w.u8(1); // descriptor encoding version
+        w.usize(self.batch);
+        w.usize(self.seq_len);
+        w.usize(self.hidden);
+        w.usize(self.num_heads);
+        w.usize(self.vocab);
+        w.usize(self.ffn_mult);
+        match self.experts {
+            None => w.u8(0),
+            Some((n, h)) => {
+                w.u8(1);
+                w.usize(n);
+                w.usize(h);
+            }
+        }
+        w.usize(self.window);
+        w.u128(self.moe_mask);
+        match self.raw_window {
+            None => w.u8(0),
+            Some((s, e)) => {
+                w.u8(1);
+                w.usize(s);
+                w.usize(e);
+            }
+        }
+        w.bool(self.has_embedding);
+        w.bool(self.has_head);
+        w.usize(self.mesh.nodes);
+        w.usize(self.mesh.gpus_per_node);
+        w.usize(self.config.dp);
+        w.usize(self.config.mp);
+        w.into_bytes()
+    }
 }
 
 /// Interned handle of one structural equivalence class: a small dense
@@ -250,6 +296,28 @@ mod tests {
         m.vocab = 64;
         m.num_layers = num_layers;
         m
+    }
+
+    #[test]
+    fn canonical_bytes_track_descriptor_equality() {
+        let m = tiny(8);
+        let mesh = MeshShape::new(1, 2);
+        let cfg = ParallelConfig::new(1, 2);
+        let a = StructuralDescriptor::of(&StageSpec::new(m, 1, 3), mesh, cfg);
+        let b = StructuralDescriptor::of(&StageSpec::new(m, 2, 4), mesh, cfg);
+        let c = StructuralDescriptor::of(&StageSpec::new(m, 0, 2), mesh, cfg);
+        // isomorphic interior windows share bytes; the embedding window
+        // does not.
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+        // Pinned digest: these bytes key on-disk latency objects, so an
+        // accidental change to the encoding (or to the shared hasher)
+        // must fail loudly, not silently orphan every stored object.
+        assert_eq!(
+            predtop_store::hash::digest_bytes(&a.canonical_bytes()).to_hex(),
+            "6bac9a02dd0ccdbf5c9f1e6b251af520"
+        );
     }
 
     fn key(interner: &StructuralInterner, m: ModelSpec, start: usize, end: usize) -> StructuralKey {

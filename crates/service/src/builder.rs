@@ -11,6 +11,7 @@ use crate::fallback::Fallback;
 use crate::fault::{FaultConfig, FaultHandle, FaultInject};
 use crate::instrument::Instrumented;
 use crate::memoize::{CacheHandle, Memoize};
+use crate::persist::{Persist, PersistHandle};
 use crate::retry::{Retry, RetryHandle, RetryPolicy};
 use crate::{
     FallbackHandle, LatencyQuery, LatencyReply, LatencyService, MetricsHandle, ServiceError,
@@ -26,6 +27,9 @@ pub enum LayerTag {
     Memoize,
     /// [`Memoize`] in structural-equivalence mode.
     MemoizeStructural,
+    /// [`crate::Persist`] — disk-backed reply store under the memoize
+    /// tier.
+    Persist,
     /// [`Batched`] — fan batches across the worker pool.
     Batched,
     /// [`FaultInject`] — deterministic chaos injection.
@@ -47,6 +51,7 @@ impl LayerTag {
             LayerTag::Fallback => "Fallback",
             LayerTag::Memoize => "Memoize",
             LayerTag::MemoizeStructural => "MemoizeStructural",
+            LayerTag::Persist => "Persist",
             LayerTag::Batched => "Batched",
             LayerTag::FaultInject => "FaultInject",
             LayerTag::Deadline => "Deadline",
@@ -144,6 +149,9 @@ pub struct StackHandles {
     /// State-transition counters of the [`CircuitBreaker`] layer, if one
     /// was installed.
     pub breaker: Option<BreakerHandle>,
+    /// Disk hit/miss/write accounting of the [`crate::Persist`] layer,
+    /// if one was installed.
+    pub persist: Option<PersistHandle>,
 }
 
 /// Type-state builder for a latency-service middleware stack.
@@ -225,6 +233,27 @@ impl<S: LatencyService> ServiceBuilder<S> {
         handles.interner = Some(interner);
         let mut spec = self.spec;
         spec.push(LayerTag::MemoizeStructural);
+        ServiceBuilder { svc, handles, spec }
+    }
+
+    /// Back the current stack with a persistent object store: replies
+    /// are served from `store` when present (keyed by structural
+    /// descriptor under `namespace`) and write-behind into it when not.
+    /// Goes directly inside [`memoize`](Self::memoize) /
+    /// [`memoize_structural`](Self::memoize_structural) — memory
+    /// absorbs in-run repeats, disk absorbs across-run repeats — and
+    /// inside [`batched`](Self::batched) so disk misses still fan out
+    /// (lints `P2106`/`P2107`/`P2203`).
+    pub fn persist(
+        self,
+        store: Arc<predtop_store::Store>,
+        namespace: impl Into<String>,
+    ) -> ServiceBuilder<Persist<S>> {
+        let svc = Persist::new(self.svc, store, namespace);
+        let mut handles = self.handles;
+        handles.persist = Some(svc.handle());
+        let mut spec = self.spec;
+        spec.push(LayerTag::Persist);
         ServiceBuilder { svc, handles, spec }
     }
 
@@ -441,6 +470,7 @@ mod tests {
         assert!(stack.handles().retry.is_none());
         assert!(stack.handles().deadline.is_none());
         assert!(stack.handles().breaker.is_none());
+        assert!(stack.handles().persist.is_none());
         // batched itself was installed, so its handle is present
         assert!(stack.handles().batch.is_some());
     }
@@ -490,6 +520,66 @@ mod tests {
         );
         assert!(LayerTag::Memoize.same_family(LayerTag::MemoizeStructural));
         assert!(!LayerTag::Memoize.same_family(LayerTag::Batched));
+    }
+
+    #[test]
+    fn persisted_stack_spec_and_combined_hit_accounting() {
+        let dir = std::env::temp_dir().join(format!(
+            "predtop-builder-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(predtop_store::Store::open(&dir).unwrap());
+        let qs = queries(6);
+
+        let build = |store: Arc<predtop_store::Store>| {
+            let (svc, calls) = counting_service();
+            (
+                ServiceBuilder::new(svc)
+                    .persist(store, "test:ns")
+                    .memoize_structural()
+                    .batched(2)
+                    .instrumented()
+                    .finish(),
+                calls,
+            )
+        };
+
+        let (cold, cold_calls) = build(store.clone());
+        assert_eq!(
+            cold.spec().layers(),
+            &[
+                LayerTag::Persist,
+                LayerTag::MemoizeStructural,
+                LayerTag::Batched,
+                LayerTag::Instrumented
+            ]
+        );
+        let cold_replies = cold.query_batch(&qs);
+        assert!(cold_replies.iter().all(|r| r.is_ok()));
+        // 3 structural classes: memoize absorbs repeats in-run, persist
+        // sees only the 3 first-in-run misses and writes them.
+        let p = cold.handles().persist.as_ref().unwrap().stats();
+        assert_eq!(p.disk_misses, 3);
+        assert_eq!(p.writes, 3);
+        assert_eq!(cold_calls.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+        // Warm stack over the same dir: the inner source is never
+        // consulted and the replies are bit-identical.
+        let (warm, warm_calls) = build(store);
+        let warm_replies = warm.query_batch(&qs);
+        for (c, w) in cold_replies.iter().zip(&warm_replies) {
+            assert_eq!(
+                c.as_ref().unwrap().seconds.to_bits(),
+                w.as_ref().unwrap().seconds.to_bits()
+            );
+        }
+        let p = warm.handles().persist.as_ref().unwrap().stats();
+        assert_eq!(p.disk_hits, 3);
+        assert_eq!(p.disk_misses, 0);
+        assert_eq!(warm_calls.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert!(p.disk_served_rate() > 0.99);
     }
 
     #[test]

@@ -140,19 +140,14 @@ impl FaultState {
     fn roll(&self, q: &LatencyQuery, attempt: u64, stream: u64) -> f64 {
         let mut qh = std::collections::hash_map::DefaultHasher::new();
         q.hash(&mut qh);
-        let mut h = self.config.seed ^ 0x9e37_79b9_7f4a_7c15;
-        let mut mix = |v: u64| {
-            h ^= v
-                .wrapping_add(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(h << 6)
-                .wrapping_add(h >> 2);
-            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            h ^= h >> 27;
-        };
-        mix(qh.finish());
-        mix(attempt);
-        mix(stream);
-        (h >> 11) as f64 / (1u64 << 53) as f64
+        // The mixer lives in predtop-store's shared hash module (its
+        // constants are pinned there); fault schedules for a given
+        // (seed, query, attempt, stream) are bit-stable across releases.
+        let mut h = predtop_store::hash::SplitMix64::new(self.config.seed);
+        h.mix(qh.finish());
+        h.mix(attempt);
+        h.mix(stream);
+        h.unit_f64()
     }
 }
 

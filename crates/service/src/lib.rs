@@ -8,6 +8,10 @@
 //! * [`Memoize`] — sharded per-query memoization with hit/miss
 //!   [`CacheStats`], generalizing the old `parallel::cache`
 //!   `CachedProvider`;
+//! * [`Persist`] — the disk tier under [`Memoize`]: replies are served
+//!   from (and write-behind into) a content-addressed
+//!   `predtop-store` directory, keyed by structural descriptor plus a
+//!   namespace, so a second run starts warm;
 //! * [`Batched`] — evaluates whole query batches in one deterministic
 //!   `predtop-runtime` fan-out (`par_map_with`), so the plan-search
 //!   engine's candidate table is bit-identical at any thread count;
@@ -56,6 +60,7 @@ pub mod fallback;
 pub mod fault;
 pub mod instrument;
 pub mod memoize;
+pub mod persist;
 pub mod query;
 pub mod retry;
 
@@ -68,6 +73,7 @@ pub use fallback::{Fallback, FallbackHandle, FallbackStats};
 pub use fault::{FaultConfig, FaultHandle, FaultInject, FaultStats};
 pub use instrument::{Instrumented, MetricsHandle, ServiceMetrics};
 pub use memoize::{CacheHandle, Memoize};
+pub use persist::{Persist, PersistHandle, PersistStats};
 pub use predtop_parallel::CacheStats;
 pub use query::{LatencyQuery, LatencyReply, Retryability, ServiceError};
 pub use retry::{Retry, RetryHandle, RetryPolicy, RetryStats};

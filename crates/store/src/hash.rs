@@ -1,0 +1,297 @@
+//! The workspace's hand-rolled hashers, deduplicated into one place.
+//!
+//! Three hashers grew up independently in the workspace and are now
+//! load-bearing for persisted keys, so their exact bit behaviour is
+//! pinned here (and by cross-crate tests in their original homes):
+//!
+//! * [`Fnv1a64`] — FNV-1a with the standard 64-bit prime; used by
+//!   `ParamStore::fingerprint` in `predtop-tensor` to checksum trained
+//!   weights.
+//! * [`Fnv1a64::with_prime`] with [`FNV64_PRIME_SHORT`] — the
+//!   *truncated* prime `Graph::structural_hash` in `predtop-ir` has
+//!   always used. It is not the published FNV prime, but every
+//!   structural digest in caches, benches, and now the on-disk store
+//!   depends on it, so it is kept verbatim and documented rather than
+//!   silently "fixed".
+//! * [`SplitMix64`] — the SplitMix64-style stateful mixer the
+//!   `FaultInject` service layer uses to derive deterministic fault
+//!   rolls from (seed, query, attempt, stream).
+//!
+//! New code addressing the on-disk store uses the 128-bit [`Fnv1a128`]
+//! ([`Digest`]), which is the standard FNV-1a/128 function.
+
+/// Standard FNV-1a 64-bit offset basis (also the hash of empty input).
+pub const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Standard FNV-1a 64-bit prime, `2^40 + 2^8 + 0xb3`.
+pub const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The truncated prime `Graph::structural_hash` has always multiplied
+/// by (`0x1000_0000_01b3`, missing one hex digit of [`FNV64_PRIME`]).
+/// Kept bit-for-bit because structural digests derived from it key
+/// caches and on-disk objects.
+pub const FNV64_PRIME_SHORT: u64 = 0x1000_0000_01b3;
+
+/// Standard FNV-1a 128-bit offset basis.
+pub const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// Standard FNV-1a 128-bit prime, `2^88 + 2^8 + 0x3b`.
+pub const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// Incremental FNV-1a hasher over 64 bits with a configurable prime.
+///
+/// `Fnv1a64::new()` is the textbook function; callers that historically
+/// used a variant prime construct via [`Fnv1a64::with_prime`] so their
+/// digests stay stable.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64 {
+    state: u64,
+    prime: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// Hasher with the standard offset basis and prime.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64::with_prime(FNV64_PRIME)
+    }
+
+    /// Hasher with the standard offset basis and a caller-chosen prime
+    /// (see [`FNV64_PRIME_SHORT`]).
+    pub fn with_prime(prime: u64) -> Fnv1a64 {
+        Fnv1a64 {
+            state: FNV64_OFFSET,
+            prime,
+        }
+    }
+
+    /// Absorb one byte.
+    #[inline]
+    pub fn write_byte(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(self.prime);
+    }
+
+    /// Absorb a byte slice.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Absorb a 64-bit word as its 8 little-endian bytes — the exact
+    /// walk `ParamStore::fingerprint` and `Graph::structural_hash` use.
+    #[inline]
+    pub fn write_word(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.write_byte(b);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A 128-bit content digest (standard FNV-1a/128 of the input bytes).
+///
+/// This is the address type of the on-disk store: object paths and pack
+/// index entries are derived from its canonical lowercase-hex form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(pub u128);
+
+impl Digest {
+    /// 32-char lowercase hex, most significant nibble first.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse the canonical 32-char lowercase hex form.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Digest)
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental standard FNV-1a hasher over 128 bits.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a128 {
+    state: u128,
+}
+
+impl Default for Fnv1a128 {
+    fn default() -> Self {
+        Fnv1a128::new()
+    }
+}
+
+impl Fnv1a128 {
+    /// Hasher at the offset basis.
+    pub fn new() -> Fnv1a128 {
+        Fnv1a128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorb a byte slice.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+/// One-shot [`Fnv1a128`] of a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Fnv1a128::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// SplitMix64-style stateful mixer, extracted verbatim from the
+/// `FaultInject` layer's `roll` so fault schedules stay bit-identical.
+///
+/// The state starts at `seed ^ GOLDEN`; each [`SplitMix64::mix`] folds
+/// one word in with the golden-ratio increment, the SplitMix
+/// multiplier, and a 27-bit xor-shift. [`SplitMix64::unit_f64`] maps
+/// the top 53 bits of the state onto `[0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    h: u64,
+}
+
+impl SplitMix64 {
+    /// The 64-bit golden-ratio constant used as both seed whitener and
+    /// per-word increment.
+    pub const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Mixer seeded with `seed ^ GOLDEN`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            h: seed ^ Self::GOLDEN,
+        }
+    }
+
+    /// Fold one word into the state.
+    #[inline]
+    pub fn mix(&mut self, v: u64) {
+        self.h ^= v
+            .wrapping_add(Self::GOLDEN)
+            .wrapping_add(self.h << 6)
+            .wrapping_add(self.h >> 2);
+        self.h = self.h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        self.h ^= self.h >> 27;
+    }
+
+    /// The raw 64-bit state.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.h
+    }
+
+    /// The state's top 53 bits as a float in `[0, 1)` — the fault-roll
+    /// projection.
+    #[inline]
+    pub fn unit_f64(&self) -> f64 {
+        (self.h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_empty_input_is_the_offset_basis() {
+        assert_eq!(Fnv1a64::new().finish(), FNV64_OFFSET);
+        assert_eq!(
+            Fnv1a64::with_prime(FNV64_PRIME_SHORT).finish(),
+            FNV64_OFFSET
+        );
+    }
+
+    #[test]
+    fn fnv64_known_answer_vectors() {
+        // Published FNV-1a/64 test vectors.
+        let mut h = Fnv1a64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a64::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv64_word_walk_matches_byte_walk() {
+        let mut words = Fnv1a64::new();
+        words.write_word(0x0102_0304_0506_0708);
+        let mut bytes = Fnv1a64::new();
+        bytes.write_bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(words.finish(), bytes.finish());
+    }
+
+    #[test]
+    fn fnv128_empty_input_is_the_offset_basis() {
+        assert_eq!(Fnv1a128::new().finish(), Digest(FNV128_OFFSET));
+    }
+
+    #[test]
+    fn digest_hex_round_trip() {
+        let d = digest_bytes(b"predtop-store");
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn splitmix_sequence_is_pinned() {
+        // Captured before the mixer was deduplicated out of the
+        // FaultInject layer; fault schedules depend on these exact bits.
+        let mut h = SplitMix64::new(42);
+        h.mix(1);
+        h.mix(2);
+        h.mix(3);
+        assert_eq!(h.state(), 0x4b6e_e0e4_4cc0_17ea);
+        let expected_unit = (0x4b6e_e0e4_4cc0_17ea_u64 >> 11) as f64 / (1u64 << 53) as f64;
+        assert_eq!(h.unit_f64().to_bits(), expected_unit.to_bits());
+    }
+
+    #[test]
+    fn splitmix_distinct_streams_decorrelate() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        a.mix(1);
+        a.mix(0);
+        b.mix(1);
+        b.mix(1);
+        assert_ne!(a.state(), b.state());
+        let u = a.unit_f64();
+        assert!((0.0..1.0).contains(&u));
+    }
+}

@@ -1,0 +1,190 @@
+//! Lockfile with stale-holder recovery.
+//!
+//! The store's plain object writes need no lock (tempfile + rename is
+//! atomic and writers of the same key produce identical bytes), but
+//! [`crate::Store::gc`] rewrites the pack set and must be exclusive.
+//! The protocol is the classic one:
+//!
+//! 1. `open(O_CREAT | O_EXCL)` the lock path; success means the lock
+//!    is held. The holder's pid is written into the file for
+//!    post-mortem debugging.
+//! 2. On `AlreadyExists`, inspect the lockfile's mtime. A lock older
+//!    than the caller's staleness budget is presumed abandoned by a
+//!    crashed process: it is removed and acquisition retried. A young
+//!    lock yields [`LockError::Held`].
+//! 3. Dropping the guard removes the file.
+//!
+//! Removal of a stale lock can race between two waiters; the loop
+//! re-runs the exclusive create, so exactly one of them wins.
+
+use std::fs;
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Failure to acquire a [`Lockfile`].
+#[derive(Debug)]
+pub enum LockError {
+    /// Another process holds the lock and it is not stale yet.
+    Held {
+        /// The lock path.
+        path: PathBuf,
+        /// Seconds since the lockfile was last touched.
+        age_seconds: u64,
+    },
+    /// Filesystem error manipulating the lockfile.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { path, age_seconds } => {
+                write!(f, "lock {} held for {age_seconds}s", path.display())
+            }
+            LockError::Io(e) => write!(f, "lockfile io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> LockError {
+        LockError::Io(e)
+    }
+}
+
+/// An exclusively held lockfile; dropping releases it.
+#[derive(Debug)]
+pub struct Lockfile {
+    path: PathBuf,
+}
+
+impl Lockfile {
+    /// Acquire `path` exclusively, breaking locks older than
+    /// `stale_after`.
+    pub fn acquire(path: impl AsRef<Path>, stale_after: Duration) -> Result<Lockfile, LockError> {
+        let path = path.as_ref().to_path_buf();
+        // One retry per stale break plus one for the create/remove race.
+        for _ in 0..4 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(Lockfile { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let age = lock_age(&path)?;
+                    match age {
+                        // Holder vanished between our create and stat:
+                        // just retry the create.
+                        None => continue,
+                        Some(age) if age > stale_after => {
+                            // Presumed crashed holder; break the lock.
+                            match fs::remove_file(&path) {
+                                Ok(()) => continue,
+                                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                                Err(e) => return Err(LockError::Io(e)),
+                            }
+                        }
+                        Some(age) => {
+                            return Err(LockError::Held {
+                                path,
+                                age_seconds: age.as_secs(),
+                            })
+                        }
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Held {
+            path,
+            age_seconds: 0,
+        })
+    }
+
+    /// The lockfile path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for Lockfile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Age of the lockfile, or `None` if it no longer exists.
+fn lock_age(path: &Path) -> Result<Option<Duration>, LockError> {
+    match fs::metadata(path) {
+        Ok(meta) => {
+            let mtime = meta.modified()?;
+            Ok(Some(
+                SystemTime::now()
+                    .duration_since(mtime)
+                    .unwrap_or(Duration::ZERO),
+            ))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(LockError::Io(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "predtop-lock-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("gc.lock");
+        let guard = Lockfile::acquire(&path, Duration::from_secs(60)).unwrap();
+        assert!(path.exists());
+        drop(guard);
+        assert!(!path.exists());
+        let _guard = Lockfile::acquire(&path, Duration::from_secs(60)).unwrap();
+    }
+
+    #[test]
+    fn fresh_lock_blocks_second_acquirer() {
+        let dir = tmp_dir("held");
+        let path = dir.join("gc.lock");
+        let _guard = Lockfile::acquire(&path, Duration::from_secs(60)).unwrap();
+        match Lockfile::acquire(&path, Duration::from_secs(60)) {
+            Err(LockError::Held { .. }) => {}
+            other => panic!("expected Held, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_lock_is_broken_and_reacquired() {
+        let dir = tmp_dir("stale");
+        let path = dir.join("gc.lock");
+        // Simulate a crashed holder: a lockfile nobody will release.
+        fs::write(&path, "999999\n").unwrap();
+        // Any positive age exceeds a zero staleness budget.
+        std::thread::sleep(Duration::from_millis(20));
+        let guard = Lockfile::acquire(&path, Duration::from_millis(1)).unwrap();
+        assert!(path.exists());
+        drop(guard);
+        assert!(!path.exists());
+    }
+}

@@ -111,21 +111,18 @@ impl ParamStore {
     /// `bench_predictor` emits to prove parallel training changed
     /// nothing.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |word: u64| {
-            for byte in word.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
+        // Standard FNV-1a from predtop-store's shared hash module; the
+        // exact digest is pinned by tests/hash_pins.rs because on-disk
+        // model snapshots verify restored weights against it.
+        let mut h = predtop_store::hash::Fnv1a64::new();
         for m in &self.values {
-            mix(m.rows() as u64);
-            mix(m.cols() as u64);
+            h.write_word(m.rows() as u64);
+            h.write_word(m.cols() as u64);
             for &x in m.data() {
-                mix(x.to_bits() as u64);
+                h.write_word(x.to_bits() as u64);
             }
         }
-        h
+        h.finish()
     }
 }
 

@@ -1,0 +1,38 @@
+//! Cross-crate digest pin: `ParamStore::fingerprint` is implemented on
+//! `predtop_store::hash::Fnv1a64` (standard prime), and its digests
+//! checksum trained weights both in bench artifacts and in on-disk
+//! model snapshots. This pins the exact value for a fixed store.
+
+use predtop_store::hash::{Fnv1a64, FNV64_OFFSET};
+use predtop_tensor::matrix::Matrix;
+use predtop_tensor::optim::ParamStore;
+
+fn fixed_store() -> ParamStore {
+    let mut store = ParamStore::new();
+    store.add(Matrix::from_vec(1, 2, vec![1.0, -2.5]));
+    store.add(Matrix::from_vec(2, 2, vec![0.5, 0.25, -0.125, 3.0]));
+    store
+}
+
+#[test]
+fn fingerprint_digest_is_pinned() {
+    // Captured before the hasher was deduplicated into predtop-store;
+    // persisted model snapshots verify against this exact function.
+    assert_eq!(fixed_store().fingerprint(), 0xd2a0_2842_d5b5_f886);
+    assert_eq!(ParamStore::new().fingerprint(), FNV64_OFFSET);
+}
+
+#[test]
+fn fingerprint_uses_the_shared_standard_hasher() {
+    let store = fixed_store();
+    let mut h = Fnv1a64::new();
+    for pid in 0..store.len() {
+        let m = store.value(pid);
+        h.write_word(m.rows() as u64);
+        h.write_word(m.cols() as u64);
+        for &x in m.data() {
+            h.write_word(x.to_bits() as u64);
+        }
+    }
+    assert_eq!(h.finish(), store.fingerprint());
+}

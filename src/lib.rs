@@ -40,6 +40,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`store`] | content-addressed object store: latency replies, plan/model snapshots, gc |
 //! | [`ir`] | tensor-operator DAG, pruning, Table I features, DAGRA/DAGPE |
 //! | [`models`] | GPT-3 / MoE builders, stage slicing & sampling |
 //! | [`cluster`] | GPU/interconnect/mesh specs, collective cost models |
@@ -64,6 +65,7 @@ pub use predtop_parallel as parallel;
 pub use predtop_runtime as runtime;
 pub use predtop_service as service;
 pub use predtop_sim as sim;
+pub use predtop_store as store;
 pub use predtop_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
@@ -71,8 +73,10 @@ pub mod prelude {
     pub use predtop_analyze::{analyze_stack, has_errors, render_text, StaticLegality};
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
     pub use predtop_core::{
-        pipeline_latency, search_legality, search_plan, search_plan_checked, search_plan_service,
+        encode_outcome, encode_plan, pipeline_latency, search_legality, search_plan,
+        search_plan_checked, search_plan_service, search_plan_stored, search_snapshot_key,
         AnalyticBaseline, ArchConfig, GrayBoxConfig, PredTop, SearchOutcome, ServiceReport,
+        StoredSearch,
     };
     pub use predtop_gnn::{
         mean_relative_error, train, Dataset, GraphSample, ModelKind, TrainConfig, TrainedPredictor,
@@ -86,8 +90,9 @@ pub mod prelude {
     pub use predtop_runtime::configured_threads;
     pub use predtop_service::{
         BatchStats, BreakerConfig, DeadlinePolicy, DispatchPolicy, FaultConfig, LatencyQuery,
-        LatencyReply, LatencyService, RetryPolicy, Retryability, ServiceBuilder, ServiceError,
-        ServiceStack, Unavailable,
+        LatencyReply, LatencyService, PersistStats, RetryPolicy, Retryability, ServiceBuilder,
+        ServiceError, ServiceStack, Unavailable,
     };
     pub use predtop_sim::{DeviceCostModel, SimProfiler};
+    pub use predtop_store::{ObjectKind, Store, StoreError};
 }

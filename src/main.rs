@@ -6,6 +6,7 @@
 //! predtop search  [options]             optimize a pipeline plan
 //! predtop fit     [options] -o FILE     fit a predictor and save it
 //! predtop predict -m FILE [options]     predict with a saved predictor
+//! predtop store ACTION --store DIR      inspect/verify/gc an object store
 //! predtop help                          print the full flag reference
 //! ```
 //!
@@ -15,12 +16,19 @@
 //! laptop), `--seed S`. `search` additionally takes the fault-tolerance
 //! flags `--inject-fault-rate`, `--fault-seed`, `--retry`, and
 //! `--deadline-ms` (see `DESIGN.md` §10 for the fault model).
+//!
+//! `--store DIR` on `profile`/`search`/`predict` installs the disk tier
+//! (DESIGN.md §13): latency replies are keyed by structural descriptor
+//! in a content-addressed object store, so a second identical run is
+//! served from disk — bit-identically — instead of recomputed.
 
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::Arc;
 
 use predtop::core::persist;
 use predtop::prelude::*;
+use predtop::store::hash::digest_bytes;
 
 /// The complete help text. `predtop help` / `--help` print it verbatim
 /// (a golden test in `tests/cli.rs` pins it), and every usage error
@@ -35,6 +43,8 @@ commands:
   predict -m FILE            predict a stage latency with a saved model
                              (falls back to the analytic baseline if the
                              model cannot be loaded; see `source = ...`)
+  store stats|verify|gc      inspect, verify, or compact the object
+                             store named by --store DIR
   help                       print this help (also --help / -h)
 
 options:
@@ -47,6 +57,10 @@ options:
   --threads T                (search) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
+  --store DIR                persist latency replies and plan/outcome
+                             snapshots in a content-addressed object
+                             store at DIR, so a second identical run
+                             is served from disk (profile/search/predict)
   --raw-cache                (search) memoize on raw query identity
                              instead of structural equivalence classes
   --checked                  (search) reject statically illegal
@@ -74,6 +88,9 @@ fn help() -> ! {
 
 struct Args {
     command: String,
+    /// The bare action word after the `store` command (`stats` | `verify`
+    /// | `gc`); every other command rejects positionals.
+    action: Option<String>,
     flags: HashMap<String, String>,
     switches: Vec<String>,
 }
@@ -84,6 +101,7 @@ fn parse_args() -> Args {
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         help();
     }
+    let mut action = None;
     let mut flags = HashMap::new();
     let mut switches = Vec::new();
     let rest: Vec<String> = argv.collect();
@@ -91,6 +109,11 @@ fn parse_args() -> Args {
     while i < rest.len() {
         let a = &rest[i];
         if !a.starts_with("--") && a != "-o" && a != "-m" && a != "-h" {
+            if command == "store" && action.is_none() {
+                action = Some(a.clone());
+                i += 1;
+                continue;
+            }
             eprintln!("unexpected argument `{a}`");
             usage();
         }
@@ -112,6 +135,7 @@ fn parse_args() -> Args {
     }
     Args {
         command,
+        action,
         flags,
         switches,
     }
@@ -212,6 +236,34 @@ impl Args {
         self.usize_flag("seed", 7) as u64
     }
 
+    /// The `--store DIR` object store, opened (and its directory layout
+    /// created) on demand.
+    fn store(&self) -> Option<Arc<Store>> {
+        self.flags.get("store").map(|dir| match Store::open(dir) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("could not open object store at {dir}: {e}");
+                exit(1)
+            }
+        })
+    }
+
+    /// The platform's numeric id, for store-key namespaces. Replies
+    /// simulated on different platforms (or seeds) must never collide.
+    fn platform_id(&self) -> &str {
+        match self.flags.get("platform").map(|s| s.as_str()) {
+            Some("1") => "1",
+            _ => "2",
+        }
+    }
+
+    /// Store-key namespace of simulator-backed commands:
+    /// `sim:<platform>:<seed>` — `profile` and `search` share it, so a
+    /// search warms the store for later single-stage profiles.
+    fn sim_namespace(&self) -> String {
+        format!("sim:{}:{}", self.platform_id(), self.seed())
+    }
+
     fn format(&self) -> OutputFormat {
         match self.flags.get("format").map(|s| s.as_str()) {
             None | Some("text") => OutputFormat::Text,
@@ -244,6 +296,33 @@ impl Args {
             }
         }
     }
+}
+
+/// The disk tier's text accounting line, shared by every `--store`
+/// command.
+fn persist_text_line(s: &PersistStats) -> String {
+    let mut line = format!(
+        "store: {} disk hits / {} disk misses ({:.1}% served from disk), {} written",
+        s.disk_hits,
+        s.disk_misses,
+        s.disk_served_rate() * 100.0,
+        s.writes
+    );
+    if s.corrupt_recovered > 0 {
+        line.push_str(&format!(", {} corrupt recovered", s.corrupt_recovered));
+    }
+    if s.write_errors > 0 {
+        line.push_str(&format!(", {} write errors", s.write_errors));
+    }
+    line
+}
+
+/// The disk tier's JSON fields (leading comma included).
+fn persist_json_fields(s: &PersistStats) -> String {
+    format!(
+        ",\"store_disk_hits\":{},\"store_disk_misses\":{},\"store_writes\":{}",
+        s.disk_hits, s.disk_misses, s.writes
+    )
 }
 
 fn cmd_info() {
@@ -299,12 +378,32 @@ fn cmd_profile(args: &Args) {
     }
     let profiler = SimProfiler::new(args.platform(), args.seed());
     let graph = profiler.stage_graph(&stage);
+    let query = LatencyQuery::new(stage, mesh, config);
     // even a single query goes through the service stack, so the CLI
-    // reports the same instrumented accounting as the search path
-    let stack = ServiceBuilder::new(&profiler).instrumented().finish();
-    let reply = stack
-        .query(&LatencyQuery::new(stage, mesh, config))
-        .expect("the simulator serves every scenario");
+    // reports the same instrumented accounting as the search path; with
+    // `--store` the disk tier slots in under the (canonical-order)
+    // memory cache, so a profile re-run is served from disk
+    let (reply, persist) = match args.store() {
+        Some(store) => {
+            let stack = ServiceBuilder::new(&profiler)
+                .persist(store, args.sim_namespace())
+                .memoize()
+                .instrumented()
+                .finish();
+            let reply = stack
+                .query(&query)
+                .expect("the simulator serves every scenario");
+            let persist = stack.handles().persist.as_ref().map(|h| h.stats());
+            (reply, persist)
+        }
+        None => {
+            let stack = ServiceBuilder::new(&profiler).instrumented().finish();
+            let reply = stack
+                .query(&query)
+                .expect("the simulator serves every scenario");
+            (reply, None)
+        }
+    };
     match args.format() {
         OutputFormat::Text => {
             println!(
@@ -323,15 +422,22 @@ fn cmd_profile(args: &Args) {
                 "  training-iteration latency: {:.6} s (one micro-batch, source = {})",
                 reply.seconds, reply.source
             );
+            if let Some(p) = &persist {
+                println!("  {}", persist_text_line(p));
+            }
         }
         OutputFormat::Json => println!(
-            "{{\"stage\":\"{}\",\"mesh\":\"{}\",\"dp\":{},\"mp\":{},\"latency_s\":{:.9},\"source\":\"{}\"}}",
+            "{{\"stage\":\"{}\",\"mesh\":\"{}\",\"dp\":{},\"mp\":{},\"latency_s\":{:.9},\"source\":\"{}\"{}}}",
             stage.label(),
             mesh.label(),
             config.dp,
             config.mp,
             reply.seconds,
-            reply.source
+            reply.source,
+            persist
+                .as_ref()
+                .map(persist_json_fields)
+                .unwrap_or_default()
         ),
     }
 }
@@ -364,6 +470,28 @@ fn die_service_error(e: ServiceError) -> ! {
     exit(1)
 }
 
+/// Lint the stack's layer ordering (the same `P2xxx` rules
+/// `predtop-lint --stack` enforces), then run the plan search over it.
+fn run_search<S: LatencyService>(
+    stack: &ServiceStack<S>,
+    model: ModelSpec,
+    cluster: MeshShape,
+    profiler: &SimProfiler,
+    opts: InterStageOptions,
+    legality: Option<&StaticLegality>,
+) -> SearchOutcome {
+    let stack_diags = analyze_stack(stack.spec());
+    if has_errors(&stack_diags) {
+        eprintln!("internal error: the search service stack is misordered");
+        eprint!("{}", render_text(&stack_diags));
+        exit(1);
+    }
+    match search_plan_service(model, cluster, stack, profiler, opts, legality) {
+        Ok(out) => out,
+        Err(e) => die_service_error(e),
+    }
+}
+
 fn cmd_search(args: &Args) {
     let model = args.model();
     let platform = args.platform();
@@ -392,36 +520,6 @@ fn cmd_search(args: &Args) {
         platform.name,
         enumerate_stages(model).len()
     );
-    // the canonical chaos-capable stack (DESIGN.md §10): faults are
-    // injected innermost, the deadline polices each attempt, the retry
-    // loop absorbs transient failures, and only then do memoization,
-    // fan-out, and instrumentation see the (now reliable) service. With
-    // the default flags every fault-tolerance layer is a pass-through.
-    // structural memoization is the default: the simulator is a pure
-    // function of the stage graph, so isomorphic layer windows share
-    // one cache entry. `--raw-cache` restores raw query-identity keys.
-    let raw_cache = args.switches.iter().any(|s| s == "raw-cache");
-    let builder = ServiceBuilder::new(&profiler)
-        .inject_faults(FaultConfig::errors(fault_seed, fault_rate))
-        .deadline(DeadlinePolicy {
-            per_query_seconds: deadline,
-            per_batch_seconds: None,
-        })
-        .retry(RetryPolicy::retries(retries));
-    let builder = if raw_cache {
-        builder.memoize()
-    } else {
-        builder.memoize_structural()
-    };
-    let stack = builder.batched(threads).instrumented().finish();
-    // the stack we just built must satisfy the DESIGN §10 ordering
-    // rules — the same P2xxx lints `predtop-lint --stack` runs
-    let stack_diags = analyze_stack(stack.spec());
-    if has_errors(&stack_diags) {
-        eprintln!("internal error: the search service stack is misordered");
-        eprint!("{}", render_text(&stack_diags));
-        exit(1);
-    }
     let checked = args.switches.iter().any(|s| s == "checked");
     if checked && (opts.microbatches == 0 || !model.batch.is_multiple_of(opts.microbatches)) {
         // P1301 rejects *every* candidate, so a checked search can never
@@ -442,11 +540,55 @@ fn cmd_search(args: &Args) {
         exit(2);
     }
     let legality = checked.then(|| search_legality(model, &profiler, opts));
-    let out = match search_plan_service(model, cluster, &stack, &profiler, opts, legality.as_ref())
-    {
-        Ok(out) => out,
-        Err(e) => die_service_error(e),
+    // the canonical chaos-capable stack (DESIGN.md §10): faults are
+    // injected innermost, the deadline polices each attempt, the retry
+    // loop absorbs transient failures, and only then do persistence,
+    // memoization, fan-out, and instrumentation see the (now reliable)
+    // service. With the default flags every fault-tolerance layer is a
+    // pass-through. structural memoization is the default: the simulator
+    // is a pure function of the stage graph, so isomorphic layer windows
+    // share one cache entry. `--raw-cache` restores raw query-identity
+    // keys; `--store` slots the disk tier under the memory cache
+    // (DESIGN.md §13), so a second identical run is served from disk.
+    let raw_cache = args.switches.iter().any(|s| s == "raw-cache");
+    let store = args.store();
+    let namespace = args.sim_namespace();
+    let builder = ServiceBuilder::new(&profiler)
+        .inject_faults(FaultConfig::errors(fault_seed, fault_rate))
+        .deadline(DeadlinePolicy {
+            per_query_seconds: deadline,
+            per_batch_seconds: None,
+        })
+        .retry(RetryPolicy::retries(retries));
+    let out = match &store {
+        Some(store) => {
+            let b = builder.persist(Arc::clone(store), namespace.clone());
+            let b = if raw_cache {
+                b.memoize()
+            } else {
+                b.memoize_structural()
+            };
+            let stack = b.batched(threads).instrumented().finish();
+            run_search(&stack, model, cluster, &profiler, opts, legality.as_ref())
+        }
+        None => {
+            let b = if raw_cache {
+                builder.memoize()
+            } else {
+                builder.memoize_structural()
+            };
+            let stack = b.batched(threads).instrumented().finish();
+            run_search(&stack, model, cluster, &profiler, opts, legality.as_ref())
+        }
     };
+    // write-behind the outcome/plan snapshots under a key derived from
+    // the search problem itself; best-effort — an unwritable store
+    // degrades persistence, never the result
+    if let Some(store) = &store {
+        let key = search_snapshot_key(&namespace, model, cluster, opts, checked);
+        let _ = store.put(ObjectKind::Outcome, &key, &encode_outcome(&out));
+        let _ = store.put(ObjectKind::Plan, &key, &encode_plan(&out.plan));
+    }
     let report = out.service.as_ref();
     match args.format() {
         OutputFormat::Text => {
@@ -487,6 +629,9 @@ fn cmd_search(args: &Args) {
                         i.lookups,
                         i.reuse_rate() * 100.0
                     );
+                }
+                if let Some(p) = &report.persist {
+                    println!("{}", persist_text_line(p));
                 }
                 if let Some(b) = report.batch {
                     println!(
@@ -562,6 +707,9 @@ fn cmd_search(args: &Args) {
             }
             if let Some(i) = report.and_then(|r| r.interner) {
                 svc_fields.push_str(&format!(",\"distinct_structures\":{}", i.distinct));
+            }
+            if let Some(p) = report.and_then(|r| r.persist) {
+                svc_fields.push_str(&persist_json_fields(&p));
             }
             let mut chaos_fields = String::new();
             if chaos {
@@ -714,28 +862,125 @@ fn cmd_predict(args: &Args) {
     // predictor → analytic fallback chain: a missing or undecodable
     // model file degrades the answer instead of aborting the command
     let analytic = AnalyticBaseline::new(args.platform());
-    let stack = ServiceBuilder::new(load_model_service(model_path))
-        .or_fallback_to(analytic)
-        .finish();
-    let reply = stack
-        .query(&LatencyQuery::new(stage, mesh, config))
-        .unwrap_or_else(|e| {
-            eprintln!("prediction failed: {e}");
-            exit(1);
-        });
+    let builder = ServiceBuilder::new(load_model_service(model_path)).or_fallback_to(analytic);
+    let query = LatencyQuery::new(stage, mesh, config);
+    let (reply, persist) = match args.store() {
+        Some(store) => {
+            // the namespace ties persisted answers to the exact model
+            // weights (file digest) and fallback platform, so swapping
+            // the model file can never serve stale predictions
+            let weights = match std::fs::read(model_path) {
+                Ok(bytes) => digest_bytes(&bytes).to_hex(),
+                Err(_) => "unloadable".to_string(),
+            };
+            let ns = format!("predict:{}:{}", args.platform_id(), weights);
+            let stack = builder.persist(store, ns).memoize().finish();
+            let reply = stack.query(&query);
+            let persist = stack.handles().persist.as_ref().map(|h| h.stats());
+            (reply, persist)
+        }
+        None => (builder.finish().query(&query), None),
+    };
+    let reply = reply.unwrap_or_else(|e| {
+        eprintln!("prediction failed: {e}");
+        exit(1);
+    });
     match args.format() {
-        OutputFormat::Text => println!(
-            "{}: predicted latency {:.6} s (source = {})",
-            stage.label(),
-            reply.seconds,
-            reply.source
-        ),
+        OutputFormat::Text => {
+            println!(
+                "{}: predicted latency {:.6} s (source = {})",
+                stage.label(),
+                reply.seconds,
+                reply.source
+            );
+            if let Some(p) = &persist {
+                println!("{}", persist_text_line(p));
+            }
+        }
         OutputFormat::Json => println!(
-            "{{\"stage\":\"{}\",\"latency_s\":{:.9},\"source\":\"{}\"}}",
+            "{{\"stage\":\"{}\",\"latency_s\":{:.9},\"source\":\"{}\"{}}}",
             stage.label(),
             reply.seconds,
-            reply.source
+            reply.source,
+            persist
+                .as_ref()
+                .map(persist_json_fields)
+                .unwrap_or_default()
         ),
+    }
+}
+
+/// `predtop store stats|verify|gc --store DIR` — the object-store
+/// maintenance surface (DESIGN.md §13).
+fn cmd_store(args: &Args) {
+    let Some(action) = args.action.as_deref() else {
+        eprintln!("store requires an action: stats | verify | gc");
+        usage()
+    };
+    let Some(store) = args.store() else {
+        eprintln!("store requires --store DIR");
+        usage()
+    };
+    let dir = &args.flags["store"];
+    match action {
+        "stats" => {
+            let s = store.stats().unwrap_or_else(|e| {
+                eprintln!("store stats failed: {e}");
+                exit(1)
+            });
+            println!("object store at {dir} (generation {}):", s.generation);
+            println!(
+                "  loose:  {} objects, {} bytes",
+                s.loose_objects, s.loose_bytes
+            );
+            println!(
+                "  packed: {} objects, {} bytes in {} pack file(s)",
+                s.packed_objects, s.pack_bytes, s.pack_files
+            );
+        }
+        "verify" => {
+            let report = store.verify().unwrap_or_else(|e| {
+                eprintln!("store verify failed: {e}");
+                exit(1)
+            });
+            println!(
+                "verified {} objects ({} loose, {} packed): {}",
+                report.checked,
+                report.loose,
+                report.packed,
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "CORRUPT"
+                }
+            );
+            if !report.is_clean() {
+                for (digest, reason) in &report.corrupt {
+                    eprintln!("  corrupt {}: {reason}", digest.to_hex());
+                }
+                exit(1);
+            }
+        }
+        "gc" => {
+            let r = store.gc().unwrap_or_else(|e| {
+                eprintln!("store gc failed: {e}");
+                exit(1)
+            });
+            println!(
+                "gc generation {}: packed {} objects ({} duplicates folded, \
+                 {} corrupt dropped)",
+                r.generation, r.packed, r.duplicates_folded, r.corrupt_dropped
+            );
+            println!(
+                "  removed {} loose file(s) and {} prior pack(s); \
+                 {} -> {} bytes",
+                r.loose_removed, r.packs_removed, r.bytes_before, r.bytes_after
+            );
+        }
+        other => {
+            eprintln!("unknown store action `{other}` (stats|verify|gc)");
+            usage()
+        }
     }
 }
 
@@ -747,6 +992,7 @@ fn main() {
         "search" => cmd_search(&args),
         "fit" => cmd_fit(&args),
         "predict" => cmd_predict(&args),
+        "store" => cmd_store(&args),
         other => {
             eprintln!("unknown command `{other}`");
             usage()

@@ -75,6 +75,8 @@ commands:
   predict -m FILE            predict a stage latency with a saved model
                              (falls back to the analytic baseline if the
                              model cannot be loaded; see `source = ...`)
+  store stats|verify|gc      inspect, verify, or compact the object
+                             store named by --store DIR
   help                       print this help (also --help / -h)
 
 options:
@@ -87,6 +89,10 @@ options:
   --threads T                (search) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
+  --store DIR                persist latency replies and plan/outcome
+                             snapshots in a content-addressed object
+                             store at DIR, so a second identical run
+                             is served from disk (profile/search/predict)
   --raw-cache                (search) memoize on raw query identity
                              instead of structural equivalence classes
   --checked                  (search) reject statically illegal
@@ -455,6 +461,189 @@ fn search_rejects_an_out_of_range_fault_rate() {
         .expect("run predtop search");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("probability"));
+}
+
+/// A fresh per-test store directory under the system temp dir.
+fn fresh_store_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("predtop-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn store_backed_search_serves_the_second_run_from_disk() {
+    let dir = fresh_store_dir("warm-search");
+    let run = || {
+        predtop()
+            .args([
+                "search",
+                "--scaled",
+                "--platform",
+                "1",
+                "--microbatches",
+                "4",
+                "--format",
+                "json",
+                "--store",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run store-backed predtop search")
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold = String::from_utf8_lossy(&cold.stdout).into_owned();
+    // the cold run saw an empty store: every distinct structure missed
+    assert!(cold.contains("\"store_disk_hits\":0,"), "{cold}");
+    assert!(!cold.contains("\"store_disk_misses\":0,"), "{cold}");
+
+    let warm = run();
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm = String::from_utf8_lossy(&warm.stdout).into_owned();
+    // the warm run recomputed nothing and wrote nothing new
+    assert!(warm.contains("\"store_disk_misses\":0,"), "{warm}");
+    assert!(warm.contains("\"store_writes\":0"), "{warm}");
+    assert!(!warm.contains("\"store_disk_hits\":0,"), "{warm}");
+
+    // bit-identical results: the JSON lines differ only in the store
+    // counters, so compare everything around them
+    let strip = |s: &str| -> String {
+        s.split(',')
+            .filter(|f| !f.contains("\"store_"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(strip(&cold), strip(&warm), "warm plan diverged from cold");
+
+    // the maintenance surface sees the objects the runs wrote
+    let stats = predtop()
+        .args(["store", "stats", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("run predtop store stats");
+    assert!(stats.status.success());
+    let stats = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats.contains("object store at"), "{stats}");
+    assert!(!stats.contains("loose:  0 objects"), "{stats}");
+
+    let verify = predtop()
+        .args(["store", "verify", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("run predtop store verify");
+    assert!(
+        verify.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("clean"));
+
+    // gc packs the loose objects; the store stays clean and warm
+    let gc = predtop()
+        .args(["store", "gc", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("run predtop store gc");
+    assert!(
+        gc.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gc.stderr)
+    );
+    let gc = String::from_utf8_lossy(&gc.stdout);
+    assert!(gc.contains("gc generation"), "{gc}");
+
+    let verify = predtop()
+        .args(["store", "verify", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("run predtop store verify after gc");
+    assert!(verify.status.success());
+    let packed = run();
+    assert!(packed.status.success());
+    let packed = String::from_utf8_lossy(&packed.stdout).into_owned();
+    assert!(packed.contains("\"store_disk_misses\":0,"), "{packed}");
+    assert_eq!(strip(&cold), strip(&packed), "post-gc plan diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_backed_profile_hits_disk_on_the_second_run() {
+    let dir = fresh_store_dir("warm-profile");
+    let run = || {
+        predtop()
+            .args([
+                "profile",
+                "--scaled",
+                "--stage",
+                "2..4",
+                "--mesh",
+                "1x2",
+                "--mp",
+                "2",
+                "--store",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run store-backed predtop profile")
+    };
+    let cold = run();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold = String::from_utf8_lossy(&cold.stdout).into_owned();
+    assert!(
+        cold.contains("store: 0 disk hits / 1 disk misses"),
+        "{cold}"
+    );
+    let warm = run();
+    assert!(warm.status.success());
+    let warm = String::from_utf8_lossy(&warm.stdout).into_owned();
+    assert!(
+        warm.contains("store: 1 disk hits / 0 disk misses"),
+        "{warm}"
+    );
+    // identical latency line, served from disk this time
+    let latency = |s: &str| -> String {
+        s.lines()
+            .find(|l| l.contains("training-iteration latency"))
+            .unwrap()
+            .split("(")
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(latency(&cold), latency(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_command_requires_an_action_and_a_directory() {
+    let out = predtop().arg("store").output().expect("run predtop store");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stats | verify | gc"));
+
+    let out = predtop()
+        .args(["store", "stats"])
+        .output()
+        .expect("run predtop store stats without dir");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store DIR"));
+
+    let dir = fresh_store_dir("bad-action");
+    let out = predtop()
+        .args(["store", "frobnicate", "--store", dir.to_str().unwrap()])
+        .output()
+        .expect("run predtop store frobnicate");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown store action"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
