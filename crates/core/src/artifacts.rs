@@ -27,10 +27,15 @@
 //! from the weights it claims to carry.
 
 use predtop_gnn::{ModelKind as PredictorKind, TargetScaler, TrainedPredictor};
-use predtop_models::{ModelKind, ModelSpec, MoeSpec, StageSpec};
-use predtop_parallel::{MeshShape, ParallelConfig, PipelinePlan, PlannedStage};
+use predtop_parallel::PipelinePlan;
+use predtop_service::api::{decode_plan_body, encode_plan_body};
 use predtop_store::{ByteReader, ByteWriter, DecodeError};
 use predtop_tensor::Matrix;
+
+// The model layout is shared with the wire protocol's request encoding
+// and now lives in `predtop_service::api`; re-exported here so store
+// payloads keep their historical import path. The bytes are identical.
+pub use predtop_service::api::{decode_model, encode_model};
 
 use crate::predictor::ArchConfig;
 use crate::search::SearchOutcome;
@@ -109,113 +114,6 @@ impl From<DecodeError> for ArtifactError {
     fn from(e: DecodeError) -> Self {
         ArtifactError::Decode(e)
     }
-}
-
-/// Append `m`'s canonical encoding to `w`. Stable across runs: a pure
-/// function of the spec's fields.
-pub fn encode_model(w: &mut ByteWriter, m: &ModelSpec) {
-    w.u8(match m.kind {
-        ModelKind::Gpt3 => 1,
-        ModelKind::Moe => 2,
-    });
-    w.usize(m.batch);
-    w.usize(m.seq_len);
-    w.usize(m.hidden);
-    w.usize(m.num_layers);
-    w.usize(m.num_heads);
-    w.usize(m.vocab);
-    w.usize(m.ffn_mult);
-    match &m.moe {
-        None => w.u8(0),
-        Some(moe) => {
-            w.u8(1);
-            w.usize(moe.num_experts);
-            w.usize(moe.expert_hidden);
-            w.usize(moe.every);
-        }
-    }
-}
-
-/// Decode a model spec written by [`encode_model`].
-pub fn decode_model(r: &mut ByteReader<'_>) -> Result<ModelSpec, DecodeError> {
-    let kind = match r.u8("model kind")? {
-        1 => ModelKind::Gpt3,
-        2 => ModelKind::Moe,
-        tag => {
-            return Err(DecodeError::BadTag {
-                what: "model kind",
-                tag: tag as u64,
-            })
-        }
-    };
-    let batch = r.usize("model batch")?;
-    let seq_len = r.usize("model seq_len")?;
-    let hidden = r.usize("model hidden")?;
-    let num_layers = r.usize("model num_layers")?;
-    let num_heads = r.usize("model num_heads")?;
-    let vocab = r.usize("model vocab")?;
-    let ffn_mult = r.usize("model ffn_mult")?;
-    let moe = match r.u8("moe tag")? {
-        0 => None,
-        1 => Some(MoeSpec {
-            num_experts: r.usize("moe num_experts")?,
-            expert_hidden: r.usize("moe expert_hidden")?,
-            every: r.usize("moe every")?,
-        }),
-        tag => {
-            return Err(DecodeError::BadTag {
-                what: "moe tag",
-                tag: tag as u64,
-            })
-        }
-    };
-    Ok(ModelSpec {
-        kind,
-        batch,
-        seq_len,
-        hidden,
-        num_layers,
-        num_heads,
-        vocab,
-        ffn_mult,
-        moe,
-    })
-}
-
-fn encode_plan_body(w: &mut ByteWriter, plan: &PipelinePlan) {
-    w.usize(plan.microbatches);
-    w.usize(plan.stages.len());
-    for ps in &plan.stages {
-        encode_model(w, &ps.stage.model);
-        w.usize(ps.stage.start);
-        w.usize(ps.stage.end);
-        w.usize(ps.mesh.nodes);
-        w.usize(ps.mesh.gpus_per_node);
-        w.usize(ps.config.dp);
-        w.usize(ps.config.mp);
-    }
-}
-
-fn decode_plan_body(r: &mut ByteReader<'_>) -> Result<PipelinePlan, DecodeError> {
-    let microbatches = r.usize("plan microbatches")?;
-    let num_stages = r.usize("plan stage count")?;
-    let mut stages = Vec::new();
-    for _ in 0..num_stages {
-        let model = decode_model(r)?;
-        let start = r.usize("stage start")?;
-        let end = r.usize("stage end")?;
-        let mesh = MeshShape::new(r.usize("stage mesh nodes")?, r.usize("stage mesh gpus")?);
-        let config = ParallelConfig::new(r.usize("stage dp")?, r.usize("stage mp")?);
-        stages.push(PlannedStage {
-            stage: StageSpec { model, start, end },
-            mesh,
-            config,
-        });
-    }
-    Ok(PipelinePlan {
-        stages,
-        microbatches,
-    })
 }
 
 /// Encode a plan as a self-contained store payload.
@@ -462,6 +360,8 @@ mod tests {
     use predtop_gnn::train::{train, TrainConfig};
     use predtop_gnn::{Dataset, GraphSample};
     use predtop_ir::{DType, GraphBuilder, OpKind};
+    use predtop_models::{ModelSpec, StageSpec};
+    use predtop_parallel::{MeshShape, ParallelConfig, PlannedStage};
 
     fn tiny_model() -> ModelSpec {
         let mut s = ModelSpec::gpt3_1p3b(2);

@@ -33,6 +33,7 @@ pub mod graybox;
 pub mod persist;
 pub mod predictor;
 pub mod search;
+pub mod serve;
 
 pub use analytic::AnalyticBaseline;
 pub use artifacts::{
@@ -44,7 +45,9 @@ pub use persist::{load_from_file, save_to_file, SavedPredictor};
 pub use predictor::ArchConfig;
 pub use predtop_parallel::plan::pipeline_latency;
 pub use search::{
-    search_legality, search_plan, search_plan_checked, search_plan_checked_with_threads,
-    search_plan_service, search_plan_stored, search_plan_with_threads, search_snapshot_key,
-    SearchOutcome, ServiceReport, StoredSearch,
+    run_search, search_legality, search_plan, search_plan_checked,
+    search_plan_checked_with_threads, search_plan_service, search_plan_stored,
+    search_plan_with_threads, search_snapshot_key, SearchOutcome, SearchRequest, ServiceReport,
+    StoredSearch,
 };
+pub use serve::{load_model_service, EngineConfig, ServeEngine};

@@ -20,89 +20,21 @@ use predtop_analyze::StaticLegality;
 use predtop_models::{ModelSpec, StageSpec};
 use predtop_parallel::{
     enumerate_candidates, solve_pipeline, CacheStats, EvaluatedCandidate, InterStageOptions,
-    InternStats, MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
+    MeshShape, ParallelConfig, PipelinePlan, StageLatencyProvider,
 };
 use predtop_runtime::configured_threads;
 use predtop_service::{
-    provider_stack, BatchStats, BreakerStats, DeadlineStats, FallbackStats, FaultStats,
-    LatencyQuery, LatencyService, PersistStats, RetryStats, ServiceBuilder, ServiceError,
-    ServiceMetrics, ServiceStack, StackHandles,
+    LatencyQuery, LatencyService, ProviderService, ServiceBuilder, ServiceError, ServiceStack,
 };
 use predtop_sim::SimProfiler;
 use predtop_store::{ByteWriter, ObjectKind, Store};
 
 use crate::artifacts;
 
-/// Accounting of what the service stack did during one search, built
-/// from the stack's [`StackHandles`]. Every field mirrors one optional
-/// middleware layer.
-#[derive(Debug, Clone, Default)]
-pub struct ServiceReport {
-    /// Hit/miss counters of the `Memoize` layer, if installed.
-    pub cache: Option<CacheStats>,
-    /// Lookup/distinct counters of the structural interner, when the
-    /// `Memoize` layer keys on structural equivalence classes
-    /// (`ServiceBuilder::memoize_structural`). `distinct` is the number
-    /// of genuinely different sub-problems the search contained;
-    /// `lookups − distinct` is the sharing a raw-keyed cache would miss.
-    pub interner: Option<InternStats>,
-    /// Chunked-dispatch counters of the `Batched` layer, if installed:
-    /// how many batches fanned out vs. ran inline, and how coarse the
-    /// worker chunks were.
-    pub batch: Option<BatchStats>,
-    /// Query/batch/error counters and deterministic latency accounting
-    /// of the `Instrumented` layer, if installed.
-    pub metrics: Option<ServiceMetrics>,
-    /// Primary/secondary attribution of the `Fallback` layer, if
-    /// installed.
-    pub fallback: Option<FallbackStats>,
-    /// Injection counters of the `FaultInject` layer, if installed.
-    pub fault: Option<FaultStats>,
-    /// Attempt accounting of the `Retry` layer, if installed.
-    pub retry: Option<RetryStats>,
-    /// Overrun counters of the `Deadline` layer, if installed.
-    pub deadline: Option<DeadlineStats>,
-    /// State-transition counters of the `CircuitBreaker` layer, if
-    /// installed.
-    pub breaker: Option<BreakerStats>,
-    /// Disk hit/miss/write accounting of the `Persist` layer, if
-    /// installed: how much of the memoize tier's miss traffic the
-    /// on-disk store absorbed, and what was written behind for the next
-    /// run.
-    pub persist: Option<PersistStats>,
-}
-
-impl ServiceReport {
-    /// Snapshot every installed layer's counters.
-    pub fn from_handles(h: &StackHandles) -> ServiceReport {
-        ServiceReport {
-            cache: h.cache.as_ref().map(|c| c.stats()),
-            interner: h.interner.as_ref().map(|i| i.stats()),
-            batch: h.batch.as_ref().map(|b| b.stats()),
-            metrics: h.metrics.as_ref().map(|m| m.metrics()),
-            fallback: h.fallback.as_ref().map(|f| f.stats()),
-            fault: h.fault.as_ref().map(|f| f.stats()),
-            retry: h.retry.as_ref().map(|r| r.stats()),
-            deadline: h.deadline.as_ref().map(|d| d.stats()),
-            breaker: h.breaker.as_ref().map(|b| b.stats()),
-            persist: h.persist.as_ref().map(|p| p.stats()),
-        }
-    }
-
-    /// True when at least one observable layer was installed.
-    pub fn any_installed(&self) -> bool {
-        self.cache.is_some()
-            || self.interner.is_some()
-            || self.batch.is_some()
-            || self.metrics.is_some()
-            || self.fallback.is_some()
-            || self.fault.is_some()
-            || self.retry.is_some()
-            || self.deadline.is_some()
-            || self.breaker.is_some()
-            || self.persist.is_some()
-    }
-}
+// ServiceReport moved next to the stack handles it snapshots (and the
+// `Ledger` render trait the CLI and wire protocol share); re-exported
+// here so `predtop_core::search::ServiceReport` keeps resolving.
+pub use predtop_service::ServiceReport;
 
 /// Outcome of one plan search, with everything Fig. 10 reports.
 #[derive(Debug, Clone)]
@@ -236,6 +168,129 @@ pub fn search_plan_service<S: LatencyService>(
     })
 }
 
+/// One unified description of a plan search: the problem (`model`,
+/// `cluster`, `opts`) plus the execution knobs the legacy thin-lifts
+/// used to take positionally. Build one with [`SearchRequest::new`],
+/// refine it with the chained setters, and execute it with
+/// [`run_search`] — the CLI, the `predtop serve` daemon, and the tests
+/// all construct the same value.
+#[derive(Clone)]
+pub struct SearchRequest<'a> {
+    /// The model whose pipeline is being partitioned.
+    pub model: ModelSpec,
+    /// The full cluster mesh candidate sub-meshes are carved from.
+    pub cluster: MeshShape,
+    /// Inter-stage options (micro-batches, imbalance tolerance).
+    pub opts: InterStageOptions,
+    /// Evaluation worker threads for the `Batched` layer.
+    pub threads: usize,
+    /// Optional disk tier: the open store and the namespace its keys
+    /// are scoped to (conventionally `"<source>:<platform>:<seed>"`).
+    /// When set, the canonical store-backed stack (`Persist →
+    /// MemoizeStructural → Batched → Instrumented`) is assembled and
+    /// the finished search's plan/outcome snapshots are persisted under
+    /// [`search_snapshot_key`].
+    pub store: Option<(Arc<Store>, String)>,
+    /// Optional static-legality filter (the `--checked` path).
+    pub legality: Option<&'a StaticLegality>,
+}
+
+impl<'a> SearchRequest<'a> {
+    /// A request for the plain search: `configured_threads()` workers,
+    /// no disk tier, no legality filter.
+    pub fn new(model: ModelSpec, cluster: MeshShape, opts: InterStageOptions) -> SearchRequest<'a> {
+        SearchRequest {
+            model,
+            cluster,
+            opts,
+            threads: configured_threads(),
+            store: None,
+            legality: None,
+        }
+    }
+
+    /// Set an explicit evaluation-pool size. The outcome is
+    /// bit-identical for every `threads ≥ 1`.
+    pub fn threads(mut self, threads: usize) -> SearchRequest<'a> {
+        self.threads = threads;
+        self
+    }
+
+    /// Attach the disk tier: replies are served from (and written
+    /// behind into) `store` under `namespace`.
+    pub fn stored(mut self, store: Arc<Store>, namespace: String) -> SearchRequest<'a> {
+        self.store = Some((store, namespace));
+        self
+    }
+
+    /// Install a static-legality filter in front of the latency source.
+    pub fn legality(mut self, legality: &'a StaticLegality) -> SearchRequest<'a> {
+        self.legality = Some(legality);
+        self
+    }
+}
+
+/// Execute one [`SearchRequest`] with `source` as the latency source,
+/// re-evaluating the winning plan with the ground-truth `profiler`.
+///
+/// This is the single execution path behind every `search_plan*` entry
+/// point. Without a store the stack is `Batched` only — bit-identical
+/// to the historical [`predtop_service::provider_stack`] engine; with one it is the
+/// canonical `Persist → MemoizeStructural → Batched → Instrumented`
+/// store-backed stack, and the plan/outcome snapshots are persisted
+/// (best-effort write-behind: an unwritable store degrades persistence,
+/// never the search result).
+///
+/// # Panics
+/// Panics if no legal covering partition exists — in particular when
+/// `opts.microbatches` does not divide `model.batch` (`P1301` rejects
+/// every candidate).
+pub fn run_search<S: LatencyService>(
+    req: &SearchRequest<'_>,
+    source: S,
+    profiler: &SimProfiler,
+) -> Result<SearchOutcome, ServiceError> {
+    match &req.store {
+        Some((store, namespace)) => {
+            let stack = ServiceBuilder::new(source)
+                .persist(store.clone(), namespace.clone())
+                .memoize_structural()
+                .batched(req.threads)
+                .instrumented()
+                .finish();
+            let out = search_plan_service(
+                req.model,
+                req.cluster,
+                &stack,
+                profiler,
+                req.opts,
+                req.legality,
+            )?;
+            let key = search_snapshot_key(
+                namespace,
+                req.model,
+                req.cluster,
+                req.opts,
+                req.legality.is_some(),
+            );
+            let _ = store.put(ObjectKind::Outcome, &key, &artifacts::encode_outcome(&out));
+            let _ = store.put(ObjectKind::Plan, &key, &artifacts::encode_plan(&out.plan));
+            Ok(out)
+        }
+        None => {
+            let stack = ServiceBuilder::new(source).batched(req.threads).finish();
+            search_plan_service(
+                req.model,
+                req.cluster,
+                &stack,
+                profiler,
+                req.opts,
+                req.legality,
+            )
+        }
+    }
+}
+
 /// Run the inter-stage optimizer with `provider` as the latency source,
 /// then re-evaluate the winning plan with the ground-truth `profiler`.
 ///
@@ -244,6 +299,9 @@ pub fn search_plan_service<S: LatencyService>(
 /// fitted [`crate::PredTop`] this is the paper's system. Candidate
 /// evaluation fans out over the worker pool `predtop-runtime` sizes
 /// from `PREDTOP_THREADS`.
+///
+/// Deprecated shim: prefer building a [`SearchRequest`] and calling
+/// [`run_search`]; this wrapper only delegates.
 pub fn search_plan<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -263,6 +321,9 @@ pub fn search_plan<P: StageLatencyProvider>(
 
 /// [`search_plan`] with an explicit evaluation-pool size. The outcome is
 /// bit-identical for every `threads ≥ 1`.
+///
+/// Deprecated shim: prefer [`SearchRequest::threads`] + [`run_search`];
+/// this wrapper only delegates.
 pub fn search_plan_with_threads<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -271,9 +332,12 @@ pub fn search_plan_with_threads<P: StageLatencyProvider>(
     opts: InterStageOptions,
     threads: usize,
 ) -> SearchOutcome {
-    let stack = provider_stack(provider, "provider", threads);
-    search_plan_service(model, cluster, &stack, profiler, opts, None)
-        .expect("lifted providers are infallible")
+    run_search(
+        &SearchRequest::new(model, cluster, opts).threads(threads),
+        ProviderService::new(provider, "provider"),
+        profiler,
+    )
+    .expect("lifted providers are infallible")
 }
 
 /// [`search_plan`] with the `predtop-analyze` static-legality filter in
@@ -307,6 +371,10 @@ pub fn search_plan_checked<P: StageLatencyProvider>(
 
 /// [`search_plan_checked`] with an explicit evaluation-pool size. The
 /// outcome is bit-identical for every `threads ≥ 1`.
+///
+/// Deprecated shim: prefer [`SearchRequest::legality`] + [`run_search`];
+/// this wrapper only delegates (it builds the canonical
+/// [`search_legality`] filter itself).
 pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -316,9 +384,14 @@ pub fn search_plan_checked_with_threads<P: StageLatencyProvider>(
     threads: usize,
 ) -> SearchOutcome {
     let legality = search_legality(model, profiler, opts);
-    let stack = provider_stack(provider, "provider", threads);
-    search_plan_service(model, cluster, &stack, profiler, opts, Some(&legality))
-        .expect("lifted providers are infallible")
+    run_search(
+        &SearchRequest::new(model, cluster, opts)
+            .threads(threads)
+            .legality(&legality),
+        ProviderService::new(provider, "provider"),
+        profiler,
+    )
+    .expect("lifted providers are infallible")
 }
 
 /// Configuration of a store-backed search: where the disk tier lives,
@@ -370,6 +443,9 @@ pub fn search_snapshot_key(
 /// query counts) — the snapshots written by the cold run double as the
 /// check. Snapshot writes are best-effort write-behind: an unwritable
 /// store degrades persistence, never the search result.
+///
+/// Deprecated shim: prefer [`SearchRequest::stored`] + [`run_search`];
+/// this wrapper only delegates.
 pub fn search_plan_stored<S: LatencyService>(
     model: ModelSpec,
     cluster: MeshShape,
@@ -378,21 +454,11 @@ pub fn search_plan_stored<S: LatencyService>(
     opts: InterStageOptions,
     cfg: &StoredSearch<'_>,
 ) -> Result<SearchOutcome, ServiceError> {
-    let stack = ServiceBuilder::new(source)
-        .persist(cfg.store.clone(), cfg.namespace.clone())
-        .memoize_structural()
-        .batched(cfg.threads)
-        .instrumented()
-        .finish();
-    let out = search_plan_service(model, cluster, &stack, profiler, opts, cfg.legality)?;
-    let key = search_snapshot_key(&cfg.namespace, model, cluster, opts, cfg.legality.is_some());
-    let _ = cfg
-        .store
-        .put(ObjectKind::Outcome, &key, &artifacts::encode_outcome(&out));
-    let _ = cfg
-        .store
-        .put(ObjectKind::Plan, &key, &artifacts::encode_plan(&out.plan));
-    Ok(out)
+    let mut req = SearchRequest::new(model, cluster, opts)
+        .threads(cfg.threads)
+        .stored(cfg.store.clone(), cfg.namespace.clone());
+    req.legality = cfg.legality;
+    run_search(&req, source, profiler)
 }
 
 /// The static-legality filter the checked searches install: the
@@ -417,7 +483,7 @@ mod tests {
     use predtop_cluster::Platform;
     use predtop_gnn::train::TrainConfig;
     use predtop_gnn::ModelKind;
-    use predtop_service::ServiceBuilder;
+    use predtop_service::{provider_stack, ServiceBuilder};
 
     fn tiny_model() -> ModelSpec {
         let mut s = ModelSpec::gpt3_1p3b(2);

@@ -241,6 +241,44 @@ impl BreakerHandle {
     }
 }
 
+/// The breaker's state machine as a standalone admission controller,
+/// for gatekeepers that sit *in front of* a service rather than inside
+/// its stack — the `predtop serve` daemon asks it before dispatching
+/// each request and feeds the outcome back after. Same machine, same
+/// counters, same determinism contract as the [`CircuitBreaker`]
+/// middleware; the only difference is who calls the inner service.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    state: Arc<BreakerState>,
+}
+
+impl AdmissionControl {
+    /// A fresh controller with the given thresholds, starting closed.
+    pub fn new(config: BreakerConfig) -> AdmissionControl {
+        AdmissionControl {
+            state: Arc::new(BreakerState::new(config)),
+        }
+    }
+
+    /// Admission decision for one request: `Ok(())` admits it (the
+    /// caller must later [`record`](AdmissionControl::record) the
+    /// outcome), `Err(n)` sheds it with `n` cooldown rejections left
+    /// before a half-open probe is admitted.
+    pub fn try_admit(&self) -> Result<(), u64> {
+        self.state.admit()
+    }
+
+    /// Feed one admitted request's outcome back into the machine.
+    pub fn record(&self, ok: bool) {
+        self.state.record(ok);
+    }
+
+    /// Counters (and current state) accumulated since construction.
+    pub fn stats(&self) -> BreakerStats {
+        self.state.snapshot()
+    }
+}
+
 /// Middleware that sheds load off a persistently failing service — see
 /// the module docs for the state machine.
 pub struct CircuitBreaker<S> {
@@ -460,5 +498,49 @@ mod tests {
         breaker.query(&q(0)).unwrap_err(); // one fresh failure
         assert_eq!(breaker.stats().state, CircuitState::Closed);
         assert!(breaker.query(&q(0)).is_ok());
+    }
+
+    #[test]
+    fn admission_control_runs_the_same_machine_without_a_stack() {
+        let ac = AdmissionControl::new(BreakerConfig {
+            window: 2,
+            failure_threshold: 2,
+            cooldown_rejections: 2,
+        });
+        // healthy traffic passes
+        ac.try_admit().unwrap();
+        ac.record(true);
+        // two failures in the window trip it
+        ac.try_admit().unwrap();
+        ac.record(false);
+        ac.try_admit().unwrap();
+        ac.record(false);
+        assert_eq!(ac.stats().state, CircuitState::Open);
+        // cooldown counts down in rejections
+        assert_eq!(ac.try_admit(), Err(1));
+        assert_eq!(ac.try_admit(), Err(0));
+        // then a probe is admitted; success closes the machine
+        ac.try_admit().unwrap();
+        ac.record(true);
+        let s = ac.stats();
+        assert_eq!(s.state, CircuitState::Closed);
+        assert_eq!(s.opened, 1);
+        assert_eq!(s.half_opened, 1);
+        assert_eq!(s.closed, 1);
+        assert_eq!(s.rejected, 2);
+    }
+
+    #[test]
+    fn admission_control_clones_share_one_machine() {
+        let ac = AdmissionControl::new(BreakerConfig {
+            window: 2,
+            failure_threshold: 1,
+            cooldown_rejections: 8,
+        });
+        let other = ac.clone();
+        ac.try_admit().unwrap();
+        ac.record(false); // trips
+        assert!(other.try_admit().is_err(), "clone observes the trip");
+        assert_eq!(other.stats().rejected, 1);
     }
 }

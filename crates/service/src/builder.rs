@@ -345,6 +345,22 @@ impl<S: LatencyService> ServiceBuilder<S> {
         ServiceBuilder { svc, handles, spec }
     }
 
+    /// Erase the stack's concrete layer composition behind a trait
+    /// object, so stacks whose shapes diverge at runtime (with vs.
+    /// without a persist tier, say) share one type. Installs no layer:
+    /// handles and spec carry through unchanged, and boxing a service
+    /// is behaviorally invisible.
+    pub fn boxed(self) -> ServiceBuilder<Box<dyn LatencyService + Send + Sync>>
+    where
+        S: Send + Sync + 'static,
+    {
+        ServiceBuilder {
+            svc: Box::new(self.svc),
+            handles: self.handles,
+            spec: self.spec,
+        }
+    }
+
     /// Seal the stack.
     pub fn finish(self) -> ServiceStack<S> {
         ServiceStack {

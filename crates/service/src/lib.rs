@@ -48,9 +48,19 @@
 //! `predtop_parallel::StageLatencyProvider` into a named service, and
 //! [`AsProvider`] projects a service back down for APIs (like
 //! `PipelinePlan::latency`) that still speak the provider trait.
+//!
+//! The serving surface sits on top: [`api`] is the versioned
+//! request/response vocabulary every frontend (CLI, wire protocol,
+//! tests) shares; [`wire`] frames it over TCP and Unix sockets for the
+//! `predtop serve` daemon, with [`AdmissionControl`] exposing the
+//! breaker's machine as a standalone gatekeeper; [`ServiceReport`]
+//! snapshots a stack's installed layers, each rendered exactly once
+//! through the shared [`Ledger`] trait for the CLI text summary, the
+//! flat JSON object, and the wire `Stats` reply alike.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batched;
 pub mod breaker;
 pub mod bridge;
@@ -59,23 +69,30 @@ pub mod deadline;
 pub mod fallback;
 pub mod fault;
 pub mod instrument;
+pub mod ledger;
 pub mod memoize;
 pub mod persist;
 pub mod query;
+pub mod report;
 pub mod retry;
+pub mod wire;
 
 pub use batched::{BatchHandle, BatchStats, Batched, DispatchPolicy};
-pub use breaker::{BreakerConfig, BreakerHandle, BreakerStats, CircuitBreaker, CircuitState};
+pub use breaker::{
+    AdmissionControl, BreakerConfig, BreakerHandle, BreakerStats, CircuitBreaker, CircuitState,
+};
 pub use bridge::{plan_latency, provider_stack, AsProvider, ProviderService, Unavailable};
 pub use builder::{LayerTag, ServiceBuilder, ServiceStack, StackHandles, StackSpec};
 pub use deadline::{Deadline, DeadlineHandle, DeadlinePolicy, DeadlineStats};
 pub use fallback::{Fallback, FallbackHandle, FallbackStats};
 pub use fault::{FaultConfig, FaultHandle, FaultInject, FaultStats};
 pub use instrument::{Instrumented, MetricsHandle, ServiceMetrics};
+pub use ledger::{flat_json_fields, Ledger, LedgerField, LedgerValue};
 pub use memoize::{CacheHandle, Memoize};
 pub use persist::{Persist, PersistHandle, PersistStats};
 pub use predtop_parallel::CacheStats;
 pub use query::{LatencyQuery, LatencyReply, Retryability, ServiceError};
+pub use report::ServiceReport;
 pub use retry::{Retry, RetryHandle, RetryPolicy, RetryStats};
 
 /// A source of stage latencies, queryable one at a time or in batches.
@@ -122,6 +139,18 @@ impl<S: LatencyService + ?Sized> LatencyService for &S {
 }
 
 impl<S: LatencyService + ?Sized> LatencyService for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
+        (**self).query(q)
+    }
+    fn query_batch(&self, qs: &[LatencyQuery]) -> Vec<Result<LatencyReply, ServiceError>> {
+        (**self).query_batch(qs)
+    }
+}
+
+impl<S: LatencyService + Send + ?Sized> LatencyService for std::sync::Arc<S> {
     fn name(&self) -> &'static str {
         (**self).name()
     }

@@ -73,10 +73,10 @@ pub mod prelude {
     pub use predtop_analyze::{analyze_stack, has_errors, render_text, StaticLegality};
     pub use predtop_cluster::{GpuSpec, Link, Mesh, Platform};
     pub use predtop_core::{
-        encode_outcome, encode_plan, pipeline_latency, search_legality, search_plan,
-        search_plan_checked, search_plan_service, search_plan_stored, search_snapshot_key,
-        AnalyticBaseline, ArchConfig, GrayBoxConfig, PredTop, SearchOutcome, ServiceReport,
-        StoredSearch,
+        encode_outcome, encode_plan, load_model_service, pipeline_latency, run_search,
+        search_legality, search_plan, search_plan_checked, search_plan_service, search_plan_stored,
+        search_snapshot_key, AnalyticBaseline, ArchConfig, EngineConfig, GrayBoxConfig, PredTop,
+        SearchOutcome, SearchRequest, ServeEngine, ServiceReport, StoredSearch,
     };
     pub use predtop_gnn::{
         mean_relative_error, train, Dataset, GraphSample, ModelKind, TrainConfig, TrainedPredictor,
@@ -89,8 +89,9 @@ pub mod prelude {
     };
     pub use predtop_runtime::configured_threads;
     pub use predtop_service::{
-        BatchStats, BreakerConfig, DeadlinePolicy, DispatchPolicy, FaultConfig, LatencyQuery,
-        LatencyReply, LatencyService, PersistStats, RetryPolicy, Retryability, ServiceBuilder,
+        api, flat_json_fields, wire, AdmissionControl, BatchStats, BreakerConfig, DeadlinePolicy,
+        DispatchPolicy, FaultConfig, LatencyQuery, LatencyReply, LatencyService, Ledger,
+        LedgerField, LedgerValue, PersistStats, RetryPolicy, Retryability, ServiceBuilder,
         ServiceError, ServiceStack, Unavailable,
     };
     pub use predtop_sim::{DeviceCostModel, SimProfiler};

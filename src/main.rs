@@ -7,28 +7,36 @@
 //! predtop fit     [options] -o FILE     fit a predictor and save it
 //! predtop predict -m FILE [options]     predict with a saved predictor
 //! predtop store ACTION --store DIR      inspect/verify/gc an object store
+//! predtop serve   [options]             framed request/response daemon
 //! predtop help                          print the full flag reference
 //! ```
 //!
 //! Common options: `--model gpt3|moe`, `--platform 1|2`, `--mesh NxG`,
 //! `--dp D --mp M`, `--stage A..B`, `--threads T`, `--format text|json`,
 //! `--scaled` (shrink the benchmark so runs finish in seconds on a
-//! laptop), `--seed S`. `search` additionally takes the fault-tolerance
-//! flags `--inject-fault-rate`, `--fault-seed`, `--retry`, and
-//! `--deadline-ms` (see `DESIGN.md` §10 for the fault model).
+//! laptop), `--seed S`. `search` and `serve` additionally take the
+//! fault-tolerance flags `--inject-fault-rate`, `--fault-seed`,
+//! `--retry`, and `--deadline-ms` (see `DESIGN.md` §10 for the fault
+//! model).
 //!
-//! `--store DIR` on `profile`/`search`/`predict` installs the disk tier
-//! (DESIGN.md §13): latency replies are keyed by structural descriptor
-//! in a content-addressed object store, so a second identical run is
-//! served from disk — bit-identically — instead of recomputed.
+//! `--store DIR` on `profile`/`search`/`predict`/`serve` installs the
+//! disk tier (DESIGN.md §13): latency replies are keyed by structural
+//! descriptor in a content-addressed object store, so a second
+//! identical run is served from disk — bit-identically — instead of
+//! recomputed.
+//!
+//! Every command speaks the unified request/response API of
+//! `predtop_service::api`: the CLI parses its flags into the **same**
+//! [`api::Request`] values the `serve` daemon decodes off a socket, and
+//! both hand them to the same [`ServeEngine`] (DESIGN.md §14).
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 use std::sync::Arc;
 
 use predtop::core::persist;
 use predtop::prelude::*;
-use predtop::store::hash::digest_bytes;
 
 /// The complete help text. `predtop help` / `--help` print it verbatim
 /// (a golden test in `tests/cli.rs` pins it), and every usage error
@@ -45,6 +53,10 @@ commands:
                              model cannot be loaded; see `source = ...`)
   store stats|verify|gc      inspect, verify, or compact the object
                              store named by --store DIR
+  serve                      run the framed wire-protocol daemon on
+                             --listen (TCP) and/or --socket (Unix);
+                             drains gracefully on SIGTERM or a
+                             Shutdown frame
   help                       print this help (also --help / -h)
 
 options:
@@ -54,15 +66,17 @@ options:
   --dp D --mp M              parallelism config (default 1,1)
   --stage A..B               layer range (default whole model)
   --microbatches B           pipeline micro-batches (default 8)
-  --threads T                (search) evaluation worker threads
+  --threads T                (search/serve) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
   --store DIR                persist latency replies and plan/outcome
                              snapshots in a content-addressed object
                              store at DIR, so a second identical run
-                             is served from disk (profile/search/predict)
-  --raw-cache                (search) memoize on raw query identity
-                             instead of structural equivalence classes
+                             is served from disk (profile/search/
+                             predict/serve)
+  --raw-cache                (search/serve) memoize on raw query
+                             identity instead of structural equivalence
+                             classes
   --checked                  (search) reject statically illegal
                              candidates (sharding divisibility + the
                              liveness-tight memory bound) before any
@@ -70,11 +84,20 @@ options:
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
-fault tolerance (search):
+fault tolerance (search, serve):
   --inject-fault-rate R      inject transient faults at rate R in [0,1]
   --fault-seed S             fault-injection hash seed (default 0)
   --retry N                  re-attempt transient failures up to N times
-  --deadline-ms MS           per-query latency budget in milliseconds";
+  --deadline-ms MS           per-query latency budget in milliseconds
+
+serving (serve):
+  --listen HOST:PORT         accept framed requests over TCP
+  --socket PATH              accept framed requests on a Unix socket
+  -m FILE                    saved predictor backing Predict requests
+  --max-connections N        concurrent-connection ceiling
+  --breaker-trip N           admission breaker trips after N failures
+                             and sheds requests until its cooldown
+                             probe succeeds (default 5)";
 
 fn usage() -> ! {
     eprintln!("{HELP}");
@@ -257,13 +280,6 @@ impl Args {
         }
     }
 
-    /// Store-key namespace of simulator-backed commands:
-    /// `sim:<platform>:<seed>` — `profile` and `search` share it, so a
-    /// search warms the store for later single-stage profiles.
-    fn sim_namespace(&self) -> String {
-        format!("sim:{}:{}", self.platform_id(), self.seed())
-    }
-
     fn format(&self) -> OutputFormat {
         match self.flags.get("format").map(|s| s.as_str()) {
             None | Some("text") => OutputFormat::Text,
@@ -296,33 +312,50 @@ impl Args {
             }
         }
     }
+
+    /// Assemble the request-execution engine every command shares, from
+    /// the common flags. One construction path: the CLI, the `serve`
+    /// daemon, and the tests all run the identical stacks.
+    fn engine(&self, model_path: Option<String>) -> ServeEngine {
+        let fault_rate = self.f64_flag("inject-fault-rate", 0.0);
+        if !(0.0..=1.0).contains(&fault_rate) {
+            eprintln!("--inject-fault-rate expects a probability in [0, 1], got {fault_rate}");
+            exit(2);
+        }
+        let mut config = EngineConfig::new(self.platform(), self.platform_id(), self.seed());
+        config.threads = self.usize_flag("threads", configured_threads());
+        config.store = self.store();
+        config.raw_cache = self.switches.iter().any(|s| s == "raw-cache");
+        config.fault_rate = fault_rate;
+        config.fault_seed = self.usize_flag("fault-seed", 0) as u64;
+        config.retries = self.usize_flag("retry", 0);
+        config.deadline = self
+            .flags
+            .contains_key("deadline-ms")
+            .then(|| self.f64_flag("deadline-ms", 0.0) / 1000.0);
+        config.breaker = BreakerConfig::tripping_after(self.usize_flag("breaker-trip", 5));
+        config.model_path = model_path;
+        match ServeEngine::new(config) {
+            Ok(engine) => engine,
+            Err(diags) => {
+                // the same `P2xxx` rules `predtop-lint --stack` enforces
+                eprintln!("internal error: the search service stack is misordered");
+                eprint!("{diags}");
+                exit(1);
+            }
+        }
+    }
 }
 
-/// The disk tier's text accounting line, shared by every `--store`
-/// command.
-fn persist_text_line(s: &PersistStats) -> String {
-    let mut line = format!(
-        "store: {} disk hits / {} disk misses ({:.1}% served from disk), {} written",
-        s.disk_hits,
-        s.disk_misses,
-        s.disk_served_rate() * 100.0,
-        s.writes
-    );
-    if s.corrupt_recovered > 0 {
-        line.push_str(&format!(", {} corrupt recovered", s.corrupt_recovered));
+/// The stage-window request `profile` and `predict` share.
+fn stage_request(stage: &StageSpec, mesh: MeshShape, config: ParallelConfig) -> api::ProfileSpec {
+    api::ProfileSpec {
+        model: stage.model,
+        start: stage.start,
+        end: stage.end,
+        mesh,
+        config,
     }
-    if s.write_errors > 0 {
-        line.push_str(&format!(", {} write errors", s.write_errors));
-    }
-    line
-}
-
-/// The disk tier's JSON fields (leading comma included).
-fn persist_json_fields(s: &PersistStats) -> String {
-    format!(
-        ",\"store_disk_hits\":{},\"store_disk_misses\":{},\"store_writes\":{}",
-        s.disk_hits, s.disk_misses, s.writes
-    )
 }
 
 fn cmd_info() {
@@ -376,34 +409,21 @@ fn cmd_profile(args: &Args) {
         );
         exit(2);
     }
-    let profiler = SimProfiler::new(args.platform(), args.seed());
-    let graph = profiler.stage_graph(&stage);
-    let query = LatencyQuery::new(stage, mesh, config);
-    // even a single query goes through the service stack, so the CLI
-    // reports the same instrumented accounting as the search path; with
-    // `--store` the disk tier slots in under the (canonical-order)
-    // memory cache, so a profile re-run is served from disk
-    let (reply, persist) = match args.store() {
-        Some(store) => {
-            let stack = ServiceBuilder::new(&profiler)
-                .persist(store, args.sim_namespace())
-                .memoize()
-                .instrumented()
-                .finish();
-            let reply = stack
-                .query(&query)
-                .expect("the simulator serves every scenario");
-            let persist = stack.handles().persist.as_ref().map(|h| h.stats());
-            (reply, persist)
+    let engine = args.engine(None);
+    let graph = engine.profiler().stage_graph(&stage);
+    let request = api::Request::Profile(stage_request(&stage, mesh, config));
+    let (seconds, source) = match engine.handle(&request) {
+        api::Response::Latency { seconds, source } => (seconds, source),
+        api::Response::Error(e) => {
+            eprintln!("profile failed: {}", e.message);
+            exit(1)
         }
-        None => {
-            let stack = ServiceBuilder::new(&profiler).instrumented().finish();
-            let reply = stack
-                .query(&query)
-                .expect("the simulator serves every scenario");
-            (reply, None)
+        other => {
+            eprintln!("internal error: unexpected profile reply {other:?}");
+            exit(1)
         }
     };
+    let persist = engine.report().persist;
     match args.format() {
         OutputFormat::Text => {
             println!(
@@ -419,11 +439,10 @@ fn cmd_profile(args: &Args) {
                 graph.num_edges()
             );
             println!(
-                "  training-iteration latency: {:.6} s (one micro-batch, source = {})",
-                reply.seconds, reply.source
+                "  training-iteration latency: {seconds:.6} s (one micro-batch, source = {source})"
             );
             if let Some(p) = &persist {
-                println!("  {}", persist_text_line(p));
+                println!("  {}", p.summary());
             }
         }
         OutputFormat::Json => println!(
@@ -432,88 +451,49 @@ fn cmd_profile(args: &Args) {
             mesh.label(),
             config.dp,
             config.mp,
-            reply.seconds,
-            reply.source,
+            seconds,
+            source,
             persist
                 .as_ref()
-                .map(persist_json_fields)
+                .map(|p| flat_json_fields(p))
                 .unwrap_or_default()
         ),
     }
 }
 
-/// Render a structured [`ServiceError`] for the terminal — the CLI's
-/// side of the error redesign: every variant gets its classification and
-/// an actionable hint.
-fn die_service_error(e: ServiceError) -> ! {
-    let class = match e.retryability() {
-        Retryability::Transient => "transient",
-        Retryability::Permanent => "permanent",
+/// Render a failed request for the terminal — the CLI's side of the
+/// error redesign: every failure class gets its retryability and an
+/// actionable hint.
+fn die_api_error(e: &api::ErrorBody) -> ! {
+    let class = if e.transient {
+        "transient"
+    } else {
+        "permanent"
     };
-    let hint = match &e {
-        ServiceError::Unavailable { .. } => {
-            "check the latency source (is the model file readable?)"
-        }
-        ServiceError::ScenarioUnsupported { .. } => {
+    let hint = match e.kind {
+        api::ErrorKind::BadRequest => "check the flags against `predtop help`",
+        api::ErrorKind::Unavailable => "check the latency source (is the model file readable?)",
+        api::ErrorKind::Unsupported => {
             "fit a predictor for this scenario, or query the simulator instead"
         }
-        ServiceError::InjectedFault { .. } => {
-            "raise --retry so every query can outlive the injected faults"
-        }
-        ServiceError::DeadlineExceeded { .. } => "raise --deadline-ms or drop the budget",
-        ServiceError::CircuitOpen { .. } => {
-            "raise --retry so re-attempts outlast the breaker cooldown"
-        }
+        api::ErrorKind::Fault => "raise --retry so every query can outlive the injected faults",
+        api::ErrorKind::Deadline => "raise --deadline-ms or drop the budget",
+        api::ErrorKind::Shed => "raise --retry so re-attempts outlast the breaker cooldown",
     };
-    eprintln!("search failed ({class}): {e}");
+    eprintln!("search failed ({class}): {}", e.message);
     eprintln!("  hint: {hint}");
     exit(1)
-}
-
-/// Lint the stack's layer ordering (the same `P2xxx` rules
-/// `predtop-lint --stack` enforces), then run the plan search over it.
-fn run_search<S: LatencyService>(
-    stack: &ServiceStack<S>,
-    model: ModelSpec,
-    cluster: MeshShape,
-    profiler: &SimProfiler,
-    opts: InterStageOptions,
-    legality: Option<&StaticLegality>,
-) -> SearchOutcome {
-    let stack_diags = analyze_stack(stack.spec());
-    if has_errors(&stack_diags) {
-        eprintln!("internal error: the search service stack is misordered");
-        eprint!("{}", render_text(&stack_diags));
-        exit(1);
-    }
-    match search_plan_service(model, cluster, stack, profiler, opts, legality) {
-        Ok(out) => out,
-        Err(e) => die_service_error(e),
-    }
 }
 
 fn cmd_search(args: &Args) {
     let model = args.model();
     let platform = args.platform();
-    let cluster = MeshShape::new(platform.max_nodes, platform.gpus_per_node);
-    let profiler = SimProfiler::new(platform.clone(), args.seed());
-    let opts = InterStageOptions {
-        microbatches: args.usize_flag("microbatches", 8),
-        imbalance_tolerance: None,
-    };
-    let threads = args.usize_flag("threads", configured_threads());
-    let fault_rate = args.f64_flag("inject-fault-rate", 0.0);
-    if !(0.0..=1.0).contains(&fault_rate) {
-        eprintln!("--inject-fault-rate expects a probability in [0, 1], got {fault_rate}");
-        exit(2);
-    }
-    let fault_seed = args.usize_flag("fault-seed", 0) as u64;
-    let retries = args.usize_flag("retry", 0);
-    let deadline = args
-        .flags
-        .contains_key("deadline-ms")
-        .then(|| args.f64_flag("deadline-ms", 0.0) / 1000.0);
-    let chaos = fault_rate > 0.0 || retries > 0 || deadline.is_some();
+    let microbatches = args.usize_flag("microbatches", 8);
+    let engine = args.engine(None);
+    let fault_rate = engine.config().fault_rate;
+    let fault_seed = engine.config().fault_seed;
+    let chaos =
+        fault_rate > 0.0 || engine.config().retries > 0 || engine.config().deadline.is_some();
     eprintln!(
         "searching plans for {} on {} ({} candidates will be profiled)...",
         model.kind.name(),
@@ -521,13 +501,13 @@ fn cmd_search(args: &Args) {
         enumerate_stages(model).len()
     );
     let checked = args.switches.iter().any(|s| s == "checked");
-    if checked && (opts.microbatches == 0 || !model.batch.is_multiple_of(opts.microbatches)) {
+    if checked && (microbatches == 0 || !model.batch.is_multiple_of(microbatches)) {
         // P1301 rejects *every* candidate, so a checked search can never
         // find a covering partition — fail up front with the structured
         // diagnostic (and its machine-applicable fix) instead.
         let diags = predtop::analyze::plan_passes::divisibility_diags(
             &model,
-            opts.microbatches,
+            microbatches,
             ParallelConfig::new(1, 1),
             predtop::analyze::Span::Plan,
             None,
@@ -539,57 +519,21 @@ fn cmd_search(args: &Args) {
         eprint!("{}", render_text(&diags));
         exit(2);
     }
-    let legality = checked.then(|| search_legality(model, &profiler, opts));
-    // the canonical chaos-capable stack (DESIGN.md §10): faults are
-    // injected innermost, the deadline polices each attempt, the retry
-    // loop absorbs transient failures, and only then do persistence,
-    // memoization, fan-out, and instrumentation see the (now reliable)
-    // service. With the default flags every fault-tolerance layer is a
-    // pass-through. structural memoization is the default: the simulator
-    // is a pure function of the stage graph, so isomorphic layer windows
-    // share one cache entry. `--raw-cache` restores raw query-identity
-    // keys; `--store` slots the disk tier under the memory cache
-    // (DESIGN.md §13), so a second identical run is served from disk.
-    let raw_cache = args.switches.iter().any(|s| s == "raw-cache");
-    let store = args.store();
-    let namespace = args.sim_namespace();
-    let builder = ServiceBuilder::new(&profiler)
-        .inject_faults(FaultConfig::errors(fault_seed, fault_rate))
-        .deadline(DeadlinePolicy {
-            per_query_seconds: deadline,
-            per_batch_seconds: None,
-        })
-        .retry(RetryPolicy::retries(retries));
-    let out = match &store {
-        Some(store) => {
-            let b = builder.persist(Arc::clone(store), namespace.clone());
-            let b = if raw_cache {
-                b.memoize()
-            } else {
-                b.memoize_structural()
-            };
-            let stack = b.batched(threads).instrumented().finish();
-            run_search(&stack, model, cluster, &profiler, opts, legality.as_ref())
-        }
-        None => {
-            let b = if raw_cache {
-                builder.memoize()
-            } else {
-                builder.memoize_structural()
-            };
-            let stack = b.batched(threads).instrumented().finish();
-            run_search(&stack, model, cluster, &profiler, opts, legality.as_ref())
+    let request = api::Request::Search(api::SearchSpec {
+        model,
+        microbatches,
+        imbalance_tolerance: None,
+        checked,
+    });
+    let out = match engine.handle(&request) {
+        api::Response::Search(out) => out,
+        api::Response::Error(e) => die_api_error(&e),
+        other => {
+            eprintln!("internal error: unexpected search reply {other:?}");
+            exit(1)
         }
     };
-    // write-behind the outcome/plan snapshots under a key derived from
-    // the search problem itself; best-effort — an unwritable store
-    // degrades persistence, never the result
-    if let Some(store) = &store {
-        let key = search_snapshot_key(&namespace, model, cluster, opts, checked);
-        let _ = store.put(ObjectKind::Outcome, &key, &encode_outcome(&out));
-        let _ = store.put(ObjectKind::Plan, &key, &encode_plan(&out.plan));
-    }
-    let report = out.service.as_ref();
+    let report = engine.report();
     match args.format() {
         OutputFormat::Text => {
             println!("optimal plan ({} stage-latency queries):", out.num_queries);
@@ -612,64 +556,24 @@ fn cmd_search(args: &Args) {
                     out.num_rejected, out.num_rejected_memory
                 );
             }
-            if let Some(report) = report {
-                if let Some(c) = report.cache {
+            // every installed sub-ledger renders through the one shared
+            // `Ledger` surface the JSON and wire stats also use; the
+            // fault-tolerance lines stay quiet unless chaos was asked for
+            for ledger in report.ledgers() {
+                let name = ledger.ledger_name();
+                if matches!(name, "faults" | "retry" | "deadline") && !chaos {
+                    continue;
+                }
+                if name == "faults" {
                     println!(
-                        "memoize: {} hits / {} misses ({:.1}% hit rate)",
-                        c.hits,
-                        c.misses,
-                        c.hit_rate() * 100.0
+                        "{} (rate {fault_rate}, seed {fault_seed})",
+                        ledger.summary()
                     );
-                }
-                if let Some(i) = report.interner {
-                    println!(
-                        "structural keys: {} distinct structures over {} lookups \
-                         ({:.1}% reuse)",
-                        i.distinct,
-                        i.lookups,
-                        i.reuse_rate() * 100.0
-                    );
-                }
-                if let Some(p) = &report.persist {
-                    println!("{}", persist_text_line(p));
-                }
-                if let Some(b) = report.batch {
-                    println!(
-                        "dispatch: {} batches ({} fanned out, {} inline), \
-                         {} chunks, last chunk size {}",
-                        b.batches, b.dispatched, b.inline, b.chunks, b.last_chunk_size
-                    );
-                }
-                if let Some(m) = &report.metrics {
-                    println!(
-                        "service: {} queries in {} batches ({} errors), {:.3} served seconds",
-                        m.queries, m.batches, m.errors, m.served_seconds
-                    );
-                }
-                if chaos {
-                    if let Some(f) = report.fault {
-                        println!(
-                            "faults: {} injected, {} passed (rate {}, seed {})",
-                            f.injected_errors, f.passed, fault_rate, fault_seed
-                        );
-                    }
-                    if let Some(r) = report.retry {
-                        println!(
-                            "retry: {} re-attempts, {} recovered, {} exhausted, \
-                             {:.3} s backoff (accounted)",
-                            r.retries, r.recovered, r.exhausted, r.backoff_seconds
-                        );
-                    }
-                    if let Some(d) = report.deadline {
-                        println!(
-                            "deadline: {} overruns / {} served",
-                            d.query_overruns + d.batch_overruns,
-                            d.served
-                        );
-                    }
+                } else {
+                    println!("{}", ledger.summary());
                 }
             }
-            let bill = profiler.ledger().totals();
+            let bill = engine.profiler().ledger().totals();
             println!(
                 "profiling bill: {} stages, {:.0} simulated seconds",
                 bill.stages_profiled, bill.profiling_s
@@ -699,34 +603,17 @@ fn cmd_search(args: &Args) {
                     out.num_rejected, out.num_rejected_memory
                 ));
             }
-            if let Some(c) = report.and_then(|r| r.cache) {
-                svc_fields.push_str(&format!(
-                    ",\"cache_hits\":{},\"cache_misses\":{}",
-                    c.hits, c.misses
-                ));
-            }
-            if let Some(i) = report.and_then(|r| r.interner) {
-                svc_fields.push_str(&format!(",\"distinct_structures\":{}", i.distinct));
-            }
-            if let Some(p) = report.and_then(|r| r.persist) {
-                svc_fields.push_str(&persist_json_fields(&p));
-            }
             let mut chaos_fields = String::new();
-            if chaos {
-                if let Some(f) = report.and_then(|r| r.fault) {
-                    chaos_fields.push_str(&format!(",\"injected_faults\":{}", f.injected_errors));
+            for ledger in report.ledgers() {
+                let chaos_ledger = matches!(ledger.ledger_name(), "faults" | "retry" | "deadline");
+                if chaos_ledger && !chaos {
+                    continue;
                 }
-                if let Some(r) = report.and_then(|r| r.retry) {
-                    chaos_fields.push_str(&format!(
-                        ",\"retries\":{},\"recovered\":{}",
-                        r.retries, r.recovered
-                    ));
-                }
-                if let Some(d) = report.and_then(|r| r.deadline) {
-                    chaos_fields.push_str(&format!(
-                        ",\"deadline_overruns\":{}",
-                        d.query_overruns + d.batch_overruns
-                    ));
+                let fields = flat_json_fields(ledger);
+                if chaos_ledger {
+                    chaos_fields.push_str(&fields);
+                } else {
+                    svc_fields.push_str(&fields);
                 }
             }
             println!(
@@ -808,48 +695,6 @@ fn cmd_fit(args: &Args) {
     );
 }
 
-/// A predictor restored from disk, lifted into the service stack: every
-/// query rebuilds the stage graph and serves the DAG-Transformer
-/// estimate, attributed to `"predictor"`.
-struct SavedModelService {
-    predictor: TrainedPredictor,
-    pe_dim: usize,
-}
-
-impl LatencyService for SavedModelService {
-    fn name(&self) -> &'static str {
-        "predictor"
-    }
-
-    fn query(&self, q: &LatencyQuery) -> Result<LatencyReply, ServiceError> {
-        let sample = GraphSample::new(&q.stage.build_graph(), 1.0, self.pe_dim);
-        Ok(LatencyReply {
-            seconds: self.predictor.predict(&sample),
-            source: self.name(),
-        })
-    }
-}
-
-/// Load a saved predictor as a service, or a named [`Unavailable`] that
-/// carries the load failure into the fallback chain.
-fn load_model_service(path: &str) -> Box<dyn LatencyService> {
-    let attempt = || -> Result<SavedModelService, String> {
-        let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        let saved: persist::SavedPredictor =
-            serde_json::from_str(&body).map_err(|e| e.to_string())?;
-        let pe_dim = saved.arch.pe_dim();
-        let predictor = persist::restore(&saved).map_err(|e| e.to_string())?;
-        Ok(SavedModelService { predictor, pe_dim })
-    };
-    match attempt() {
-        Ok(svc) => Box::new(svc),
-        Err(reason) => {
-            eprintln!("model load failed ({reason}); degrading to the analytic baseline");
-            Box::new(Unavailable::new("predictor", reason))
-        }
-    }
-}
-
 fn cmd_predict(args: &Args) {
     let Some(model_path) = args.flags.get("m") else {
         eprintln!("predict requires -m FILE");
@@ -859,55 +704,87 @@ fn cmd_predict(args: &Args) {
     let stage = args.stage(model);
     let mesh = args.mesh();
     let config = args.config();
-    // predictor → analytic fallback chain: a missing or undecodable
-    // model file degrades the answer instead of aborting the command
-    let analytic = AnalyticBaseline::new(args.platform());
-    let builder = ServiceBuilder::new(load_model_service(model_path)).or_fallback_to(analytic);
-    let query = LatencyQuery::new(stage, mesh, config);
-    let (reply, persist) = match args.store() {
-        Some(store) => {
-            // the namespace ties persisted answers to the exact model
-            // weights (file digest) and fallback platform, so swapping
-            // the model file can never serve stale predictions
-            let weights = match std::fs::read(model_path) {
-                Ok(bytes) => digest_bytes(&bytes).to_hex(),
-                Err(_) => "unloadable".to_string(),
-            };
-            let ns = format!("predict:{}:{}", args.platform_id(), weights);
-            let stack = builder.persist(store, ns).memoize().finish();
-            let reply = stack.query(&query);
-            let persist = stack.handles().persist.as_ref().map(|h| h.stats());
-            (reply, persist)
+    // the engine wires the predictor → analytic fallback chain: a
+    // missing or undecodable model file degrades the answer instead of
+    // aborting the command
+    let engine = args.engine(Some(model_path.clone()));
+    let request = api::Request::Predict(stage_request(&stage, mesh, config));
+    let (seconds, source) = match engine.handle(&request) {
+        api::Response::Latency { seconds, source } => (seconds, source),
+        api::Response::Error(e) => {
+            eprintln!("prediction failed: {}", e.message);
+            exit(1)
         }
-        None => (builder.finish().query(&query), None),
+        other => {
+            eprintln!("internal error: unexpected predict reply {other:?}");
+            exit(1)
+        }
     };
-    let reply = reply.unwrap_or_else(|e| {
-        eprintln!("prediction failed: {e}");
-        exit(1);
-    });
+    let persist = engine.predict_report().persist;
     match args.format() {
         OutputFormat::Text => {
             println!(
-                "{}: predicted latency {:.6} s (source = {})",
-                stage.label(),
-                reply.seconds,
-                reply.source
+                "{}: predicted latency {seconds:.6} s (source = {source})",
+                stage.label()
             );
             if let Some(p) = &persist {
-                println!("{}", persist_text_line(p));
+                println!("{}", p.summary());
             }
         }
         OutputFormat::Json => println!(
             "{{\"stage\":\"{}\",\"latency_s\":{:.9},\"source\":\"{}\"{}}}",
             stage.label(),
-            reply.seconds,
-            reply.source,
+            seconds,
+            source,
             persist
                 .as_ref()
-                .map(persist_json_fields)
+                .map(|p| flat_json_fields(p))
                 .unwrap_or_default()
         ),
     }
+}
+
+/// `predtop serve` — the long-lived daemon: a framed wire protocol over
+/// TCP and/or a Unix socket, every request executed by the same
+/// [`ServeEngine`] the CLI commands use (DESIGN.md §14).
+fn cmd_serve(args: &Args) {
+    let listen = args.flags.get("listen").cloned();
+    let socket = args.flags.get("socket").cloned();
+    if listen.is_none() && socket.is_none() {
+        eprintln!("serve requires --listen HOST:PORT and/or --socket PATH");
+        usage();
+    }
+    let engine = args.engine(args.flags.get("m").cloned());
+    let mut config = wire::ServerConfig::default();
+    if args.flags.contains_key("max-connections") {
+        config.max_connections = args
+            .usize_flag("max-connections", config.max_connections)
+            .max(1);
+    }
+    // SIGINT/SIGTERM request the same graceful drain a Shutdown frame
+    // does: in-flight requests finish, new connections are refused
+    wire::signal::install_drain_signals();
+    let server = wire::Server::bind(listen.as_deref(), socket.as_deref().map(Path::new), config)
+        .unwrap_or_else(|e| {
+            eprintln!("serve bind failed: {e}");
+            exit(1)
+        });
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("serving on tcp {addr}");
+    }
+    if let Some(path) = &socket {
+        eprintln!("serving on unix socket {path}");
+    }
+    let stats = server.run(|req| engine.handle(req)).unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        exit(1)
+    });
+    eprintln!(
+        "drained clean: {} request(s) served, {} shed, {} connection(s)",
+        engine.served(),
+        engine.shed(),
+        stats.connections
+    );
 }
 
 /// `predtop store stats|verify|gc --store DIR` — the object-store
@@ -993,6 +870,7 @@ fn main() {
         "fit" => cmd_fit(&args),
         "predict" => cmd_predict(&args),
         "store" => cmd_store(&args),
+        "serve" => cmd_serve(&args),
         other => {
             eprintln!("unknown command `{other}`");
             usage()

@@ -77,6 +77,10 @@ commands:
                              model cannot be loaded; see `source = ...`)
   store stats|verify|gc      inspect, verify, or compact the object
                              store named by --store DIR
+  serve                      run the framed wire-protocol daemon on
+                             --listen (TCP) and/or --socket (Unix);
+                             drains gracefully on SIGTERM or a
+                             Shutdown frame
   help                       print this help (also --help / -h)
 
 options:
@@ -86,15 +90,17 @@ options:
   --dp D --mp M              parallelism config (default 1,1)
   --stage A..B               layer range (default whole model)
   --microbatches B           pipeline micro-batches (default 8)
-  --threads T                (search) evaluation worker threads
+  --threads T                (search/serve) evaluation worker threads
   --format text|json         output format (default text)
   --plan-out FILE            (search) write the chosen plan as JSON
   --store DIR                persist latency replies and plan/outcome
                              snapshots in a content-addressed object
                              store at DIR, so a second identical run
-                             is served from disk (profile/search/predict)
-  --raw-cache                (search) memoize on raw query identity
-                             instead of structural equivalence classes
+                             is served from disk (profile/search/
+                             predict/serve)
+  --raw-cache                (search/serve) memoize on raw query
+                             identity instead of structural equivalence
+                             classes
   --checked                  (search) reject statically illegal
                              candidates (sharding divisibility + the
                              liveness-tight memory bound) before any
@@ -102,11 +108,20 @@ options:
   --scaled                   shrink the benchmark for quick runs
   --seed S                   simulator seed (default 7)
 
-fault tolerance (search):
+fault tolerance (search, serve):
   --inject-fault-rate R      inject transient faults at rate R in [0,1]
   --fault-seed S             fault-injection hash seed (default 0)
   --retry N                  re-attempt transient failures up to N times
   --deadline-ms MS           per-query latency budget in milliseconds
+
+serving (serve):
+  --listen HOST:PORT         accept framed requests over TCP
+  --socket PATH              accept framed requests on a Unix socket
+  -m FILE                    saved predictor backing Predict requests
+  --max-connections N        concurrent-connection ceiling
+  --breaker-trip N           admission breaker trips after N failures
+                             and sheds requests until its cooldown
+                             probe succeeds (default 5)
 ";
 
 #[test]
@@ -118,6 +133,28 @@ fn help_matches_the_golden_reference() {
             String::from_utf8_lossy(&out.stdout),
             GOLDEN_HELP,
             "help text drifted from the golden reference ({invocation:?})"
+        );
+    }
+}
+
+#[test]
+fn every_subcommand_answers_help_with_exit_zero() {
+    for command in [
+        "info", "profile", "search", "fit", "predict", "store", "serve",
+    ] {
+        let out = predtop()
+            .args([command, "--help"])
+            .output()
+            .expect("run subcommand --help");
+        assert!(
+            out.status.success(),
+            "`predtop {command} --help` must exit 0: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            GOLDEN_HELP,
+            "`predtop {command} --help` drifted from the golden reference"
         );
     }
 }
